@@ -1,0 +1,30 @@
+"""Study X3 — initial-partitioning restart ablation (extension).
+
+Section IV.B repeats the greedy growing from "a parametrized number of
+randomly chosen initial nodes (10 is default)".  This sweep varies the
+restart budget and reports quality/runtime.
+"""
+
+from conftest import emit
+
+from repro.bench.suites import restart_ablation
+from repro.util.tables import format_table
+
+
+def test_restart_ablation(benchmark):
+    rows = benchmark.pedantic(restart_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["study", "params", "variant", "cut", "time(s)", "max_res", "max_bw", "feasible"],
+        [r.as_list() for r in rows],
+        title="X3 initial-partitioning restart ablation",
+    )
+    emit("x3_restart_ablation.txt", table)
+    # more restarts must never lose feasibility on the same instance
+    by_seed: dict[int, dict[int, bool]] = {}
+    for r in rows:
+        by_seed.setdefault(r.params["seed"], {})[r.params["restarts"]] = r.feasible
+    for seed, grid in by_seed.items():
+        if grid.get(1):
+            assert grid.get(20, True), (
+                f"seed {seed}: 20 restarts infeasible where 1 sufficed"
+            )

@@ -1,0 +1,30 @@
+"""Study X2 — coarsening matching ablation (extension; see DESIGN.md).
+
+Section IV.A races three matching heuristics per level and keeps the best.
+This ablation runs each heuristic alone versus the best-of-three default.
+"""
+
+from conftest import emit
+
+from repro.bench.suites import matching_ablation
+from repro.util.tables import format_table
+
+
+def test_matching_ablation(benchmark):
+    rows = benchmark.pedantic(matching_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["study", "params", "variant", "cut", "time(s)", "max_res", "max_bw", "feasible"],
+        [r.as_list() for r in rows],
+        title="X2 matching-strategy ablation (GP coarsening)",
+    )
+    emit("x2_matching_ablation.txt", table)
+    # best-of-3 must be feasible wherever any single strategy is
+    by_seed: dict[int, dict[str, bool]] = {}
+    for r in rows:
+        by_seed.setdefault(r.params["seed"], {})[r.algorithm] = r.feasible
+    for seed, variants in by_seed.items():
+        if any(v for k, v in variants.items() if k != "best-of-3"):
+            assert variants["best-of-3"], (
+                f"seed {seed}: best-of-3 infeasible while a single matching "
+                f"succeeded — the racing logic regressed"
+            )

@@ -1,0 +1,55 @@
+"""Study X11 — FIFO buffer sizing across the gallery (extension).
+
+PPN-to-FPGA flows must size every FIFO; this study reports, per gallery
+application: the minimal *uniform* capacity that avoids deadlock (binary
+search over simulated runs), the per-channel peak-occupancy sizing, and the
+BRAM cost of each policy — the memory side of the paper's resource story.
+"""
+
+from conftest import emit
+
+from repro.kpn.buffer_sizing import (
+    brams_needed,
+    minimal_uniform_capacity,
+    per_channel_depths,
+)
+from repro.polyhedral import derive_ppn
+from repro.polyhedral.gallery import GALLERY
+from repro.util.tables import format_table
+
+APPS = ("chain", "fir_filter", "jacobi1d", "matmul", "split_merge", "lu")
+
+
+def run_study():
+    rows = []
+    for name in APPS:
+        ppn = derive_ppn(GALLERY[name]())
+        depths = per_channel_depths(ppn)
+        uniform = minimal_uniform_capacity(ppn)
+        rows.append(
+            [
+                name,
+                ppn.n_channels,
+                uniform,
+                max(depths.values()),
+                sum(depths.values()),
+                brams_needed(ppn, tokens_per_bram=64, depths=depths),
+            ]
+        )
+    return rows
+
+
+def test_buffer_sizing(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    table = format_table(
+        ["application", "channels", "min uniform cap", "max channel depth",
+         "total depth (per-channel)", "BRAMs (64 tok/BRAM)"],
+        rows,
+        title="X11 FIFO buffer sizing across the gallery",
+    )
+    emit("x11_buffer_sizing.txt", table)
+    for row in rows:
+        name, _, uniform, max_depth, _, _ = row
+        # uniform capacity can never need more than the worst channel depth
+        assert uniform <= max_depth, f"{name}: sizing inconsistency"
+        assert uniform >= 1

@@ -1,0 +1,38 @@
+"""Study X4 — constraint-tightness sweep (extension).
+
+Tightens Bmax/Rmax from loose (2x) to near-critical (1.05x) and tracks the
+paper's headline separation: GP keeps satisfying (or degrades gracefully to
+least-violating), while the METIS-like baseline's violations grow because it
+never looks at the constraints.
+"""
+
+from conftest import emit
+
+from repro.bench.suites import constraint_sweep
+from repro.util.tables import format_table
+
+
+def test_constraint_sweep(benchmark):
+    rows = benchmark.pedantic(constraint_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["study", "params", "algo", "cut", "time(s)", "max_res", "max_bw", "feasible"],
+        [r.as_list() for r in rows],
+        title="X4 constraint-tightness sweep",
+    )
+    emit("x4_constraint_sweep.txt", table)
+    gp = {r.params["tightness"]: r for r in rows if r.algorithm == "GP"}
+    mlkp = {r.params["tightness"]: r for r in rows if r.algorithm == "MLKP"}
+    # at the loosest setting both should be feasible; GP must stay feasible
+    # at least as deep into the sweep as MLKP does
+    tight_levels = sorted(gp, reverse=True)  # loose -> tight
+    assert gp[tight_levels[0]].feasible
+    gp_depth = sum(1 for t in tight_levels if gp[t].feasible)
+    mlkp_depth = sum(1 for t in tight_levels if mlkp[t].feasible)
+    assert gp_depth >= mlkp_depth, (
+        "GP's feasibility frontier must dominate the unconstrained baseline's"
+    )
+    # GP violation (if any) never exceeds MLKP's at the same tightness
+    for t in tight_levels:
+        gp_viol = gp[t].extra["bw_violation"] + gp[t].extra["res_violation"]
+        mlkp_viol = mlkp[t].extra["bw_violation"] + mlkp[t].extra["res_violation"]
+        assert gp_viol <= mlkp_viol + 1e-9

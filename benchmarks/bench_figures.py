@@ -1,0 +1,43 @@
+"""Figures 2-13 (paper Section V).
+
+Regenerates all twelve figures — four views per experiment (plain graph,
+weighted graph, GP partitioning, METIS-like partitioning) — as ``.dot``,
+``.svg`` and ``.txt`` artefacts, byte-deterministically.
+"""
+
+from repro.bench.figures import FIGURE_BASE, figure_artifacts, write_figure_artifacts
+
+
+def test_figures_all_experiments(benchmark, artifacts_dir):
+    paths = benchmark(write_figure_artifacts, artifacts_dir)
+    # 3 experiments x 4 figures x 3 formats
+    assert len(paths) == 36
+    names = {p.name for p in paths}
+    for exp, base in FIGURE_BASE.items():
+        for off, tag in enumerate(
+            ("unpartitioned_plain", "unpartitioned_weighted",
+             "gp_partitioning", "mlkp_partitioning")
+        ):
+            for suffix in (".dot", ".svg", ".txt"):
+                assert f"fig{base + off:02d}_{tag}{suffix}" in names
+
+
+def test_figures_deterministic(benchmark):
+    arts = benchmark(figure_artifacts, 1)
+
+    again = figure_artifacts(1)
+    for a, b in zip(arts, again):
+        assert a.dot == b.dot
+        assert a.svg == b.svg
+        assert a.text == b.text
+
+
+def test_figure_semantics(benchmark):
+    """The partitioned views must visually encode the published verdicts."""
+    arts = benchmark(figure_artifacts, 1)
+    gp_view = next(a for a in arts if a.name == "gp_partitioning")
+    mlkp_view = next(a for a in arts if a.name == "mlkp_partitioning")
+    assert "met" in gp_view.text and "VIOLATED" not in gp_view.text
+    assert "VIOLATED" in mlkp_view.text
+    # dashed edges mark partition crossings in the DOT output
+    assert "style=dashed" in gp_view.dot

@@ -1,0 +1,25 @@
+"""Table "EXPERIMENT I" (paper Section V.A).
+
+12 nodes, 33 edges, K=4, Bmax=16, Rmax=165.  Published shape: METIS violates
+*both* constraints (cut 58, res 172, bw 20); GP meets both at a slightly
+larger cut (70, res 163, bw 16) and is slower.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import paper_experiment_table, run_paper_experiment
+
+
+def test_table1_gp(benchmark):
+    outcome = benchmark(run_paper_experiment, 1)
+    checks = outcome.reproduces_paper_shape()
+    assert checks["gp_feasible"], "GP must meet both constraints (Table I)"
+    assert checks["mlkp_violates_some_constraint"], (
+        "the METIS-like baseline must violate a constraint (Table I shows both)"
+    )
+    assert checks["cut_difference_same_sign"], (
+        "paper Table I has GP cut >= METIS cut"
+    )
+    assert outcome.mlkp.metrics.bandwidth_violation > 0
+    assert outcome.mlkp.metrics.resource_violation > 0
+    emit("table1.txt", paper_experiment_table(1))

@@ -1,0 +1,61 @@
+"""Study X9 — unroll-factor sweep: growing the network to partition (ext.).
+
+Section I: "the number of nodes is usually proportional with the parallel
+portions of computation".  PPN tools expose that knob as loop unrolling;
+this sweep unrolls a pipeline's middle stage by 1/2/4/8, derives the grown
+network, and partitions it over 4 FPGAs — process count, channel count, GP
+feasibility and cut versus unroll factor.
+"""
+
+from conftest import emit
+
+from repro.core.api import partition_ppn
+from repro.polyhedral import derive_ppn
+from repro.polyhedral.gallery import chain
+from repro.polyhedral.transform import unroll_statement
+from repro.util.tables import format_table
+
+K = 4
+FACTORS = (1, 2, 4, 8)
+
+
+def run_study():
+    rows = []
+    base = chain(4, 64)
+    for f in FACTORS:
+        prog = base
+        for stage in ("s1", "s2"):
+            prog = unroll_statement(prog, stage, f)
+        ppn = derive_ppn(prog)
+        g, _names = ppn.to_wgraph()
+        rmax = 1.3 * g.total_node_weight / K
+        bmax = 0.4 * g.total_edge_weight
+        result, graph, names = partition_ppn(
+            ppn, K, bmax=bmax, rmax=rmax, seed=0
+        )
+        rows.append(
+            [
+                f,
+                ppn.n_processes,
+                ppn.n_channels,
+                result.metrics.cut,
+                round(result.runtime, 4),
+                result.feasible,
+            ]
+        )
+    return rows
+
+
+def test_unroll_sweep(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    table = format_table(
+        ["unroll", "processes", "channels", "cut", "gp time(s)", "feasible"],
+        rows,
+        title="X9 unroll-factor sweep (chain(4) stages s1+s2, K=4)",
+    )
+    emit("x9_unroll_sweep.txt", table)
+    # network growth must be monotone in the factor and GP must keep up
+    procs = [r[1] for r in rows]
+    assert procs == sorted(procs)
+    assert procs[-1] > procs[0]
+    assert all(r[5] for r in rows), "GP must stay feasible across the sweep"

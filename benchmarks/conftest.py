@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark drivers.
+
+Every driver regenerates one paper table or figure (or one extended study)
+and prints the measured-vs-paper comparison; artefacts land in
+``benchmarks/artifacts/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    return ARTIFACTS
+
+
+def emit(name: str, text: str) -> None:
+    """Print a study's table and persist it under artifacts/."""
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    (ARTIFACTS / name).write_text(text)
+    print(f"\n{text}")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Large-scale partitioning: the regime the paper motivates.
+
+Section I argues exact methods die on "graphs with potentially thousands
+nodes" — this example partitions a 1500-node process network over 8 FPGAs
+with GP and the METIS-like baseline, exercising the real multilevel path
+(several coarsening levels), and prints the level structure and timings.
+
+Run:  python examples/large_scale.py
+"""
+
+import time
+
+from repro.graph import random_process_network
+from repro.partition.coarsen import build_hierarchy
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.mlkp import mlkp_partition
+
+
+def main() -> None:
+    n, k = 1500, 8
+    g = random_process_network(
+        n=n, m=int(2.4 * n), seed=1, node_weight_range=(4, 40),
+        edge_weight_range=(1, 6),
+    )
+    # tight caps: resources at 1.025x ideal (just inside METIS's 1.03
+    # balance envelope) and a pairwise bandwidth cap below what a pure
+    # cut-minimiser spreads onto its busiest FPGA pair
+    rmax = 1.025 * g.total_node_weight / k
+    bmax = 90.0
+    cons = ConstraintSpec(bmax=bmax, rmax=rmax)
+    print(f"instance: n={g.n}, m={g.m}, K={k}, "
+          f"Bmax={bmax:g}, Rmax={rmax:g}")
+
+    t0 = time.perf_counter()
+    hier = build_hierarchy(g, coarsen_to=100, seed=0)
+    t_coarsen = time.perf_counter() - t0
+    sizes = [lvl.graph.n for lvl in hier.levels]
+    methods = [lvl.method for lvl in hier.levels[1:]]
+    print(f"hierarchy: {' -> '.join(map(str, sizes))} "
+          f"({t_coarsen:.2f}s; winning matchings: {methods})")
+
+    gp = gp_partition(
+        g, k, cons,
+        GPConfig(max_cycles=3, restarts=5, level_candidates=2), seed=0,
+    )
+    print(f"GP:   cut={gp.cut:g} feasible={gp.feasible} "
+          f"max_bw={gp.metrics.max_local_bandwidth:g} "
+          f"max_res={gp.metrics.max_resource:g} "
+          f"({gp.runtime:.2f}s, {gp.info['cycles']} cycle(s), "
+          f"{gp.info['levels']} levels)")
+
+    mlkp = mlkp_partition(g, k, seed=0, constraints=cons)
+    print(f"MLKP: cut={mlkp.cut:g} feasible={mlkp.feasible} "
+          f"max_bw={mlkp.metrics.max_local_bandwidth:g} "
+          f"max_res={mlkp.metrics.max_resource:g} ({mlkp.runtime:.2f}s)")
+
+    if gp.feasible and not mlkp.feasible:
+        print("\nheadline shape holds at scale: GP satisfies the mapping "
+              "constraints, the cut-minimising baseline does not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Regenerate the paper's three experiment tables (Section V).
+
+Prints, for each experiment, the measured table in the paper's format plus
+the published numbers for side-by-side comparison.  The same code path the
+``benchmarks/bench_table*.py`` drivers measure.
+
+Run:  python examples/paper_tables.py
+"""
+
+from repro.bench.experiments import paper_experiment_table, run_paper_experiment
+
+
+def main() -> None:
+    for exp in (1, 2, 3):
+        print(paper_experiment_table(exp))
+        outcome = run_paper_experiment(exp)
+        checks = outcome.reproduces_paper_shape()
+        failed = [name for name, ok in checks.items() if not ok]
+        verdict = "all shape checks hold" if not failed else f"FAILED: {failed}"
+        print(f"shape checks: {verdict}")
+        print("=" * 78)
+
+
+if __name__ == "__main__":
+    main()

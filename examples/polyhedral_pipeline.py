@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""End-to-end polyhedral flow: loop nest -> PPN -> simulate -> map to FPGAs.
+
+This is the full workflow the paper's title describes:
+
+1. write a Static Affine Nested Loop Program (a Sobel edge detector),
+2. derive its Polyhedral Process Network with exact dataflow analysis,
+3. simulate the KPN to measure sustained per-channel bandwidths,
+4. partition the network over 2 FPGAs with GP under Bmax/Rmax,
+5. validate the mapping against the platform model.
+
+Run:  python examples/polyhedral_pipeline.py
+"""
+
+from repro.core.api import map_to_fpgas, partition_ppn
+from repro.kpn import simulate_ppn
+from repro.polyhedral import derive_ppn
+from repro.polyhedral.gallery import sobel
+
+
+def main() -> None:
+    # 1. the SANLP: pixel source, gx/gy gradient stages, magnitude merge
+    prog = sobel(rows=32, cols=32)
+    print(f"program: {prog.name}, statements:",
+          [s.name for s in prog.statements])
+
+    # 2. derive the PPN (one process per statement, one FIFO per dependence)
+    ppn = derive_ppn(prog)
+    print(f"derived PPN: {ppn.n_processes} processes, "
+          f"{ppn.n_channels} channels, {ppn.total_tokens()} tokens total")
+    for ch in ppn.channels:
+        print(f"  {ch.src:>6s} -> {ch.dst:<6s} [{ch.array}] "
+              f"{ch.token_count} tokens (FIFO order ok: "
+              f"{ch.dependence.in_order})")
+
+    # 3. simulate: makespan, per-channel sustained bandwidth, buffer peaks
+    sim = simulate_ppn(ppn)
+    print(f"\nsimulation: {sim.cycles} cycles, "
+          f"{sim.total_traffic} tokens moved")
+    for cs in sim.channel_stats:
+        print(f"  {cs.src:>6s} -> {cs.dst:<6s} sustained "
+              f"{cs.sustained_bandwidth:.2f} tokens/cycle, "
+              f"peak FIFO {cs.peak_occupancy}")
+
+    # 4. partition over 2 FPGAs using sustained bandwidths as edge weights.
+    #    The gradient stages each pull ~8 tokens/cycle from the pixel source
+    #    (scaled x100 -> ~800), so Bmax must keep source and gradients
+    #    together; Rmax = 80% of the total leaves exactly one feasible shape:
+    #    {pixel, gx, gy} | {mag}.
+    total_res = sum(p.resources for p in ppn.processes)
+    rmax = 0.8 * total_res
+    result, graph, names = partition_ppn(
+        ppn, k=2, bmax=250.0, rmax=rmax,
+        bandwidth_mode="sustained", bandwidth_scale=100.0, seed=0,
+    )
+    print(f"\nGP partition: cut={result.metrics.cut:g}, "
+          f"feasible={result.feasible}")
+
+    # 5. validate the mapping on the platform model
+    mapping = map_to_fpgas(graph, result, bmax=250.0, rmax=rmax, names=names)
+    report = mapping.validate()
+    print(report.summary())
+    for slot in range(2):
+        print(f"  fpga{slot}: {mapping.processes_on(slot)} "
+              f"(load {mapping.device_load(slot).total:g})")
+
+    assert mapping.is_valid
+
+
+if __name__ == "__main__":
+    main()

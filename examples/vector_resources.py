@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Multi-resource partitioning: LUTs, BRAMs and DSPs budgeted together.
+
+The paper models a single resource ("for example LUTs") and names the
+vector case as the obvious extension.  This example shows why it matters:
+a partition that balances LUTs can still pile every DSP-hungry process onto
+one FPGA.  The vector-aware partitioner (repro.partition.multires) enforces
+all budgets simultaneously.
+
+Run:  python examples/vector_resources.py
+"""
+
+import numpy as np
+
+from repro.graph import random_process_network
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.multires import (
+    VectorConstraints,
+    evaluate_multires,
+    mr_gp_partition,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    k = 4
+    g = random_process_network(n=28, m=64, seed=0)
+    rng = np.random.default_rng(0)
+    # three resources with very different shapes: smooth LUTs, lumpy BRAMs,
+    # rare DSPs (a handful of processes hog them)
+    weights = np.stack(
+        [
+            rng.integers(20, 80, g.n).astype(float),
+            rng.choice([0, 0, 0, 8, 12], g.n).astype(float),
+            rng.choice([0, 0, 1, 2, 6], g.n).astype(float),
+        ],
+        axis=1,
+    )
+    rmax = (
+        1.25 * weights[:, 0].sum() / k,
+        1.45 * weights[:, 1].sum() / k,
+        1.5 * weights[:, 2].sum() / k,
+    )
+    bmax = 0.35 * g.total_edge_weight
+    cons = VectorConstraints(bmax=bmax, rmax=rmax, names=("luts", "brams", "dsps"))
+    print(f"instance: n={g.n}, m={g.m}, K={k}")
+    print(f"budgets per FPGA: luts={rmax[0]:.0f}, brams={rmax[1]:.0f}, "
+          f"dsps={rmax[2]:.0f}, Bmax={bmax:.0f}\n")
+
+    vector = mr_gp_partition(g, weights, k, cons, seed=0)
+    scalar = gp_partition(
+        g.with_node_weights(weights[:, 0]), k,
+        ConstraintSpec(bmax=bmax, rmax=rmax[0]),
+        GPConfig(max_cycles=10), seed=0,
+    )
+    scalar_m = evaluate_multires(g, weights, scalar.assign, k, cons)
+
+    rows = []
+    for tag, m in (("vector-aware GP", vector.metrics),
+                   ("LUT-only GP (audited)", scalar_m)):
+        rows.append([
+            tag, m.cut, m.feasible,
+            f"{m.max_loads[0]:.0f}/{rmax[0]:.0f}",
+            f"{m.max_loads[1]:.0f}/{rmax[1]:.0f}",
+            f"{m.max_loads[2]:.0f}/{rmax[2]:.0f}",
+        ])
+    print(format_table(
+        ["partitioner", "cut", "all budgets met",
+         "luts (max/cap)", "brams (max/cap)", "dsps (max/cap)"],
+        rows,
+    ))
+    print("\nreading: optimising LUTs alone leaves BRAM/DSP overflows that "
+          "the vector-aware run eliminates at a small cut premium.")
+    assert vector.feasible
+
+
+if __name__ == "__main__":
+    main()

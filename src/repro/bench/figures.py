@@ -1,0 +1,127 @@
+"""Regeneration of the paper's Figures 2-13.
+
+Per experiment, the paper shows four views of the same graph:
+
+1. the un-partitioned graph "before weighting" (plain topology),
+2. the same graph "after weighting and resource allocation" (node radius
+   proportional to weight, edge bandwidth labels),
+3. the GP partitioning (both constraints met),
+4. the METIS partitioning (constraint violations visible).
+
+Figure numbering: experiment 1 → Figures 2-5, experiment 2 → 6-9,
+experiment 3 → 10-13.  Each view is emitted as ``.dot``, ``.svg`` and
+``.txt`` (ASCII), all byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentOutcome, run_paper_experiment
+from repro.viz.ascii_art import render_ascii
+from repro.viz.dot import to_dot
+from repro.viz.layout import force_layout
+from repro.viz.svg import render_svg
+
+__all__ = ["figure_artifacts", "write_figure_artifacts", "FIGURE_BASE"]
+
+#: first figure number of each experiment's block of four
+FIGURE_BASE = {1: 2, 2: 6, 3: 10}
+
+
+@dataclass
+class FigureArtifact:
+    """One generated figure in all three formats."""
+
+    figure: int
+    name: str
+    dot: str
+    svg: str
+    text: str
+
+
+def figure_artifacts(experiment: int) -> list[FigureArtifact]:
+    """The four figures of one experiment, in paper order."""
+    outcome: ExperimentOutcome = run_paper_experiment(experiment)
+    g = outcome.graph
+    spec = outcome.spec
+    base = FIGURE_BASE[experiment]
+    pos = force_layout(g, seed=experiment)
+    cons = outcome.constraints
+
+    def make(fig, name, title, assign, k, constraints):
+        unweighted = fig == base
+        return FigureArtifact(
+            figure=fig,
+            name=name,
+            dot=to_dot(
+                g, assign=assign, k=k, title=title, show_weights=not unweighted
+            ),
+            svg=render_svg(
+                g, assign=assign, k=k, pos=pos, title=title
+            ),
+            text=render_ascii(
+                g, assign=assign, k=k, title=title, constraints=constraints
+            ),
+        )
+
+    views = [
+        (
+            base,
+            "unpartitioned_plain",
+            f"Fig. {base}: sample graph {experiment} before weighting",
+            None,
+            None,
+            None,
+        ),
+        (
+            base + 1,
+            "unpartitioned_weighted",
+            f"Fig. {base + 1}: sample graph {experiment} after weighting "
+            f"and resource allocation",
+            None,
+            None,
+            None,
+        ),
+        (
+            base + 2,
+            "gp_partitioning",
+            f"Fig. {base + 2}: partitioning with GP "
+            f"(Bmax={spec.bmax:g}, Rmax={spec.rmax:g})",
+            outcome.gp.assign,
+            spec.k,
+            cons,
+        ),
+        (
+            base + 3,
+            "mlkp_partitioning",
+            f"Fig. {base + 3}: partitioning with MLKP/METIS-like "
+            f"(Bmax={spec.bmax:g}, Rmax={spec.rmax:g})",
+            outcome.mlkp.assign,
+            spec.k,
+            cons,
+        ),
+    ]
+    return [make(*v) for v in views]
+
+
+def write_figure_artifacts(
+    out_dir: str | Path, experiments: tuple[int, ...] = (1, 2, 3)
+) -> list[Path]:
+    """Write every figure of *experiments* under *out_dir*; returns paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for exp in experiments:
+        for art in figure_artifacts(exp):
+            stem = f"fig{art.figure:02d}_{art.name}"
+            for suffix, payload in (
+                (".dot", art.dot),
+                (".svg", art.svg),
+                (".txt", art.text),
+            ):
+                path = out / (stem + suffix)
+                path.write_text(payload)
+                written.append(path)
+    return written

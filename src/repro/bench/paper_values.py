@@ -1,0 +1,38 @@
+"""The paper's published table values (Tables EXPERIMENT I-III).
+
+Kept as data so benchmarks and EXPERIMENTS.md compare measured-vs-paper
+mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperRow", "PAPER_TABLES"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of a published experiment table."""
+
+    tool: str
+    cut: float
+    time_s: float
+    max_resource: float
+    max_bandwidth: float
+
+
+PAPER_TABLES: dict[int, list[PaperRow]] = {
+    1: [
+        PaperRow("METIS", cut=58, time_s=0.02, max_resource=172, max_bandwidth=20),
+        PaperRow("GP", cut=70, time_s=0.33, max_resource=163, max_bandwidth=16),
+    ],
+    2: [
+        PaperRow("METIS", cut=77, time_s=0.02, max_resource=137, max_bandwidth=25),
+        PaperRow("GP", cut=62, time_s=0.25, max_resource=127, max_bandwidth=18),
+    ],
+    3: [
+        PaperRow("METIS", cut=90, time_s=0.02, max_resource=78, max_bandwidth=38),
+        PaperRow("GP", cut=96, time_s=7.76, max_resource=76, max_bandwidth=19),
+    ],
+}

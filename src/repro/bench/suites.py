@@ -1,0 +1,250 @@
+"""Extended evaluation suites (studies X1-X5 in DESIGN.md).
+
+These go beyond the paper's three 12-node experiments, probing the regime
+the paper motivates but does not measure ("graphs with potentially thousands
+nodes", Section I): scaling, matching-strategy ablations, restart ablations,
+constraint-tightness sweeps and the exact-optimality gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.generators import random_process_network
+from repro.graph.wgraph import WGraph
+from repro.partition.exact import exact_partition
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.mlkp import mlkp_partition
+from repro.partition.spectral import spectral_partition
+from repro.util.errors import InfeasibleError
+
+__all__ = [
+    "SweepRow",
+    "scaling_suite",
+    "matching_ablation",
+    "restart_ablation",
+    "constraint_sweep",
+    "exact_gap_suite",
+    "tight_instance",
+]
+
+
+@dataclass
+class SweepRow:
+    """One measurement of a sweep; ``extra`` holds study-specific fields."""
+
+    study: str
+    params: dict
+    algorithm: str
+    cut: float
+    runtime: float
+    max_resource: float
+    max_bandwidth: float
+    feasible: bool
+    extra: dict = field(default_factory=dict)
+
+    def as_list(self) -> list:
+        return [
+            self.study,
+            str(self.params),
+            self.algorithm,
+            self.cut,
+            round(self.runtime, 4),
+            self.max_resource,
+            self.max_bandwidth,
+            self.feasible,
+        ]
+
+
+def tight_instance(
+    n: int, k: int, seed: int, slack: float = 1.15, bw_factor: float = 1.3
+) -> tuple[WGraph, ConstraintSpec]:
+    """A PN-shaped instance with constraints tight enough to matter:
+    ``Rmax = slack * total/k``; ``Bmax = bw_factor * (random 4-way cut) / pairs``."""
+    m = int(2.2 * n)
+    g = random_process_network(n, m, seed=seed, node_weight_range=(4, 40))
+    rmax = slack * g.total_node_weight / k
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, k, size=n)
+    from repro.partition.metrics import bandwidth_matrix
+
+    bw = bandwidth_matrix(g, a, k)
+    pairs = k * (k - 1) / 2
+    bmax = bw_factor * float(np.triu(bw, 1).sum()) / pairs
+    return g, ConstraintSpec(bmax=float(np.ceil(bmax)), rmax=float(np.ceil(rmax)))
+
+
+def scaling_suite(
+    sizes: tuple[int, ...] = (50, 100, 200, 400, 800),
+    k: int = 4,
+    seed: int = 0,
+    include_spectral: bool = True,
+) -> list[SweepRow]:
+    """X1 — runtime/cut scaling of GP vs MLKP (vs spectral) with n."""
+    rows: list[SweepRow] = []
+    for n in sizes:
+        g, cons = tight_instance(n, k, seed=seed + n)
+        runs = [
+            ("GP", lambda: gp_partition(
+                g, k, cons, GPConfig(max_cycles=5, restarts=5), seed=seed)),
+            ("MLKP", lambda: mlkp_partition(g, k, seed=seed, constraints=cons)),
+        ]
+        if include_spectral:
+            runs.append(
+                ("spectral", lambda: spectral_partition(g, k, constraints=cons))
+            )
+        for name, fn in runs:
+            res = fn()
+            rows.append(
+                SweepRow(
+                    study="scaling",
+                    params={"n": n, "k": k},
+                    algorithm=name,
+                    cut=res.metrics.cut,
+                    runtime=res.runtime,
+                    max_resource=res.metrics.max_resource,
+                    max_bandwidth=res.metrics.max_local_bandwidth,
+                    feasible=res.feasible,
+                )
+            )
+    return rows
+
+
+def matching_ablation(
+    n: int = 150,
+    k: int = 4,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> list[SweepRow]:
+    """X2 — coarsening matching strategy ablation.
+
+    GP's Section IV.A races three matchings per level; this measures each
+    alone versus the best-of-three default.
+    """
+    variants = {
+        "random-only": ("random",),
+        "hem-only": ("hem",),
+        "kmeans-only": ("kmeans",),
+        "best-of-3": ("random", "hem", "kmeans"),
+    }
+    rows: list[SweepRow] = []
+    for seed in seeds:
+        g, cons = tight_instance(n, k, seed=100 + seed)
+        for name, methods in variants.items():
+            cfg = GPConfig(
+                max_cycles=4, restarts=5, matchings=methods, coarsen_to=30
+            )
+            res = gp_partition(g, k, cons, cfg, seed=seed)
+            rows.append(
+                SweepRow(
+                    study="matching_ablation",
+                    params={"n": n, "k": k, "seed": seed},
+                    algorithm=name,
+                    cut=res.metrics.cut,
+                    runtime=res.runtime,
+                    max_resource=res.metrics.max_resource,
+                    max_bandwidth=res.metrics.max_local_bandwidth,
+                    feasible=res.feasible,
+                    extra={"cycles": res.info["cycles"]},
+                )
+            )
+    return rows
+
+
+def restart_ablation(
+    restarts_grid: tuple[int, ...] = (1, 5, 10, 20),
+    n: int = 120,
+    k: int = 4,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> list[SweepRow]:
+    """X3 — initial-partitioning restart count ablation (paper default 10)."""
+    rows: list[SweepRow] = []
+    for seed in seeds:
+        g, cons = tight_instance(n, k, seed=200 + seed)
+        for restarts in restarts_grid:
+            cfg = GPConfig(max_cycles=3, restarts=restarts, coarsen_to=30)
+            res = gp_partition(g, k, cons, cfg, seed=seed)
+            rows.append(
+                SweepRow(
+                    study="restart_ablation",
+                    params={"restarts": restarts, "seed": seed},
+                    algorithm=f"GP(r={restarts})",
+                    cut=res.metrics.cut,
+                    runtime=res.runtime,
+                    max_resource=res.metrics.max_resource,
+                    max_bandwidth=res.metrics.max_local_bandwidth,
+                    feasible=res.feasible,
+                )
+            )
+    return rows
+
+
+def constraint_sweep(
+    n: int = 60,
+    k: int = 4,
+    seed: int = 0,
+    tightness_grid: tuple[float, ...] = (2.0, 1.6, 1.3, 1.15, 1.05),
+) -> list[SweepRow]:
+    """X4 — feasibility frontier: tighten Rmax/Bmax and watch GP keep
+    satisfying while MLKP's violations grow."""
+    rows: list[SweepRow] = []
+    for tight in tightness_grid:
+        g, cons = tight_instance(n, k, seed=seed, slack=tight, bw_factor=tight)
+        for name, fn in (
+            ("GP", lambda: gp_partition(
+                g, k, cons, GPConfig(max_cycles=8, restarts=8), seed=seed)),
+            ("MLKP", lambda: mlkp_partition(g, k, seed=seed, constraints=cons)),
+        ):
+            res = fn()
+            m = res.metrics
+            rows.append(
+                SweepRow(
+                    study="constraint_sweep",
+                    params={"tightness": tight},
+                    algorithm=name,
+                    cut=m.cut,
+                    runtime=res.runtime,
+                    max_resource=m.max_resource,
+                    max_bandwidth=m.max_local_bandwidth,
+                    feasible=res.feasible,
+                    extra={
+                        "bw_violation": m.bandwidth_violation,
+                        "res_violation": m.resource_violation,
+                    },
+                )
+            )
+    return rows
+
+
+def exact_gap_suite(
+    n: int = 11,
+    k: int = 3,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+) -> list[SweepRow]:
+    """X5 — GP's optimality gap against the exact constrained optimum."""
+    rows: list[SweepRow] = []
+    for seed in seeds:
+        g, cons = tight_instance(n, k, seed=300 + seed, slack=1.4, bw_factor=1.6)
+        try:
+            opt = exact_partition(g, k, cons, enforce=True)
+        except InfeasibleError:
+            continue
+        gp = gp_partition(g, k, cons, GPConfig(max_cycles=10), seed=seed)
+        gap = (gp.cut - opt.cut) / opt.cut if opt.cut else 0.0
+        for res, tag in ((opt, "exact"), (gp, "GP")):
+            rows.append(
+                SweepRow(
+                    study="exact_gap",
+                    params={"seed": seed, "n": n, "k": k},
+                    algorithm=tag,
+                    cut=res.metrics.cut,
+                    runtime=res.runtime,
+                    max_resource=res.metrics.max_resource,
+                    max_bandwidth=res.metrics.max_local_bandwidth,
+                    feasible=res.feasible,
+                    extra={"gap": gap if tag == "GP" else 0.0},
+                )
+            )
+    return rows

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Usage (see ``python -m repro --help``):
+
+* ``python -m repro partition --input g.json --k 4 --bmax 16 --rmax 165``
+  — partition a graph (JSON, METIS ``.graph`` or incidence text) with any
+  of the four methods and print the paper-style report.
+* ``python -m repro tables [--experiment N]`` — regenerate the paper tables.
+* ``python -m repro figures --out DIR`` — regenerate Figures 2-13 artefacts.
+* ``python -m repro generate --n 12 --m 30 --out g.json`` — synthesise a
+  process-network instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import paper_experiment_table
+from repro.bench.figures import write_figure_artifacts
+from repro.core.api import partition_graph
+from repro.core.report import comparison_report
+from repro.graph.generators import random_process_network
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.graph.matrixio import parse_incidence_text
+from repro.graph.metisio import parse_metis
+from repro.graph.wgraph import WGraph
+from repro.partition.metrics import ConstraintSpec
+from repro.util.errors import ReproError
+from repro.viz.ascii_art import render_ascii
+from repro.viz.dot import to_dot
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(path: str) -> WGraph:
+    text = Path(path).read_text()
+    suffix = Path(path).suffix.lower()
+    if suffix == ".json":
+        return graph_from_json(text)
+    if suffix == ".graph":
+        return parse_metis(text)
+    if suffix in (".inc", ".txt"):
+        return parse_incidence_text(text)
+    # sniff: JSON object vs METIS header vs incidence
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return graph_from_json(text)
+    if stripped.startswith("#"):
+        return parse_incidence_text(text)
+    return parse_metis(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "K-Ways Partitioning of Polyhedral Process Networks "
+            "(IPDPSW 2015) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a process-network graph")
+    p.add_argument("--input", required=True, help=".json/.graph/.inc file")
+    p.add_argument("--k", type=int, required=True, help="number of FPGAs")
+    p.add_argument("--bmax", type=float, default=float("inf"))
+    p.add_argument("--rmax", type=float, default=float("inf"))
+    p.add_argument(
+        "--method",
+        default="gp",
+        choices=["gp", "mlkp", "spectral", "exact"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compare", action="store_true",
+                   help="also run the METIS-like baseline and compare")
+    p.add_argument("--dot", metavar="FILE", help="write partitioned DOT here")
+    p.add_argument("--assign-out", metavar="FILE",
+                   help="write the assignment as JSON here")
+
+    t = sub.add_parser("tables", help="regenerate the paper's tables")
+    t.add_argument("--experiment", type=int, choices=[1, 2, 3], default=None)
+
+    f = sub.add_parser("figures", help="regenerate Figures 2-13 artefacts")
+    f.add_argument("--out", default="artifacts", help="output directory")
+    f.add_argument("--html", action="store_true",
+                   help="also write one self-contained HTML report per experiment")
+
+    g = sub.add_parser("generate", help="synthesise a process network")
+    g.add_argument("--n", type=int, required=True)
+    g.add_argument("--m", type=int, required=True)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--node-weights", default="10,60",
+                   help="node weight range lo,hi")
+    g.add_argument("--edge-weights", default="1,8",
+                   help="edge weight range lo,hi")
+    g.add_argument("--out", required=True, help="output .json path")
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    g = _load_graph(args.input)
+    constraints = ConstraintSpec(bmax=args.bmax, rmax=args.rmax)
+    result = partition_graph(
+        g, args.k, bmax=args.bmax, rmax=args.rmax,
+        method=args.method, seed=args.seed,
+    )
+    results = [result]
+    if args.compare and args.method != "mlkp":
+        baseline = partition_graph(
+            g, args.k, bmax=args.bmax, rmax=args.rmax,
+            method="mlkp", seed=args.seed,
+        )
+        results.insert(0, baseline)
+    print(comparison_report(results, constraints))
+    print()
+    print(render_ascii(g, assign=result.assign, k=args.k,
+                       constraints=constraints,
+                       title=f"{result.algorithm} mapping"))
+    if args.dot:
+        Path(args.dot).write_text(
+            to_dot(g, assign=result.assign, k=args.k)
+        )
+        print(f"wrote {args.dot}")
+    if args.assign_out:
+        Path(args.assign_out).write_text(
+            json.dumps({
+                "k": args.k,
+                "assign": [int(c) for c in result.assign],
+                "feasible": result.feasible,
+                "cut": result.metrics.cut,
+            }, indent=1)
+        )
+        print(f"wrote {args.assign_out}")
+    return 0 if result.feasible or constraints.unconstrained else 2
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    experiments = [args.experiment] if args.experiment else [1, 2, 3]
+    for exp in experiments:
+        print(paper_experiment_table(exp))
+        print("=" * 78)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    paths = write_figure_artifacts(args.out)
+    if args.html:
+        from repro.viz.html_report import write_experiment_report
+
+        paths += write_experiment_report(args.out)
+    print(f"wrote {len(paths)} artefacts under {args.out}/")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    def parse_range(text: str) -> tuple[int, int]:
+        lo, hi = (int(x) for x in text.split(","))
+        return lo, hi
+
+    g = random_process_network(
+        args.n, args.m, seed=args.seed,
+        node_weight_range=parse_range(args.node_weights),
+        edge_weight_range=parse_range(args.edge_weights),
+    )
+    Path(args.out).write_text(graph_to_json(g))
+    print(f"wrote {args.out} (n={g.n}, m={g.m}, "
+          f"total resources {g.total_node_weight:g})")
+    return 0
+
+
+_COMMANDS = {
+    "partition": _cmd_partition,
+    "tables": _cmd_tables,
+    "figures": _cmd_figures,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

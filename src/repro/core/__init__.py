@@ -1,0 +1,22 @@
+"""High-level one-call API (system S11 in DESIGN.md).
+
+>>> from repro.core import partition_graph
+>>> result = partition_graph(g, k=4, bmax=16, rmax=165)
+>>> result.feasible
+True
+"""
+
+from repro.core.api import map_to_fpgas, partition_graph, partition_ppn
+from repro.core.report import comparison_report, result_table
+from repro.partition.gp import GPConfig
+from repro.partition.metrics import ConstraintSpec
+
+__all__ = [
+    "partition_graph",
+    "partition_ppn",
+    "map_to_fpgas",
+    "result_table",
+    "comparison_report",
+    "GPConfig",
+    "ConstraintSpec",
+]

@@ -1,0 +1,114 @@
+"""One-call entry points tying the substrates together.
+
+``partition_graph``
+    Graph + constraints → :class:`~repro.partition.base.PartitionResult`
+    via any of the four partitioners.
+
+``partition_ppn``
+    SANLP or derived PPN → mapping graph (token or sustained-bandwidth
+    weights) → partition.
+
+``map_to_fpgas``
+    Partition → :class:`~repro.fpga.mapping.Mapping` on a homogeneous
+    multi-FPGA system, validated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.mapping import Mapping
+from repro.fpga.system import MultiFPGASystem
+from repro.graph.wgraph import WGraph
+from repro.kpn.traffic import ppn_to_mapped_graph
+from repro.partition.base import PartitionResult
+from repro.partition.exact import exact_partition
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.mlkp import mlkp_partition
+from repro.partition.spectral import spectral_partition
+from repro.polyhedral.ppn import PPN, derive_ppn
+from repro.polyhedral.program import SANLP
+from repro.util.errors import PartitionError
+
+__all__ = ["partition_graph", "partition_ppn", "map_to_fpgas"]
+
+_METHODS = ("gp", "mlkp", "spectral", "exact")
+
+
+def partition_graph(
+    g: WGraph,
+    k: int,
+    bmax: float = float("inf"),
+    rmax: float = float("inf"),
+    method: str = "gp",
+    seed=None,
+    config: GPConfig | None = None,
+) -> PartitionResult:
+    """Partition *g* into *k* parts under the paper's two constraints.
+
+    *method*: ``"gp"`` (the paper's constrained partitioner, default),
+    ``"mlkp"`` (METIS-like, constraints audited only), ``"spectral"``,
+    or ``"exact"`` (≤20 nodes, constraints enforced).
+    """
+    constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
+    if method == "gp":
+        return gp_partition(g, k, constraints, config=config, seed=seed)
+    if method == "mlkp":
+        return mlkp_partition(g, k, seed=seed, constraints=constraints)
+    if method == "spectral":
+        return spectral_partition(g, k, constraints=constraints)
+    if method == "exact":
+        return exact_partition(g, k, constraints, enforce=not constraints.unconstrained)
+    raise PartitionError(
+        f"unknown method {method!r}; valid methods: {_METHODS}"
+    )
+
+
+def partition_ppn(
+    program_or_ppn: SANLP | PPN,
+    k: int,
+    bmax: float = float("inf"),
+    rmax: float = float("inf"),
+    method: str = "gp",
+    bandwidth_mode: str = "tokens",
+    bandwidth_scale: float = 1.0,
+    seed=None,
+    config: GPConfig | None = None,
+) -> tuple[PartitionResult, WGraph, list[str]]:
+    """Derive (if needed), weight, and partition a process network.
+
+    Returns ``(result, graph, names)`` — *names[i]* is the process mapped
+    to node *i*, so ``names[j] for j where assign[j]==c`` lists FPGA *c*'s
+    processes.
+    """
+    ppn = (
+        program_or_ppn
+        if isinstance(program_or_ppn, PPN)
+        else derive_ppn(program_or_ppn)
+    )
+    g, names = ppn_to_mapped_graph(
+        ppn, mode=bandwidth_mode, scale=bandwidth_scale
+    )
+    result = partition_graph(
+        g, k, bmax=bmax, rmax=rmax, method=method, seed=seed, config=config
+    )
+    return result, g, names
+
+
+def map_to_fpgas(
+    g: WGraph,
+    result: PartitionResult,
+    bmax: float,
+    rmax: float,
+    names: list[str] | None = None,
+    system: MultiFPGASystem | None = None,
+) -> Mapping:
+    """Bind a partition to a (default: homogeneous all-to-all) platform."""
+    if system is None:
+        system = MultiFPGASystem.homogeneous(result.k, rmax=rmax, bmax=bmax)
+    if system.k != result.k:
+        raise PartitionError(
+            f"system has {system.k} devices but partition has k={result.k}"
+        )
+    return Mapping(g, np.asarray(result.assign), system, names=names)

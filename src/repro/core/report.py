@@ -1,0 +1,58 @@
+"""Experiment report formatting in the paper's table layout.
+
+The paper's tables (EXPERIMENT I-III) have columns: Algorithms, Total
+Edge-Cuts, Total Time(S), Maximum Resource Allocation, Maximum Local
+bandwidth.  :func:`result_table` renders any set of
+:class:`~repro.partition.base.PartitionResult` that way;
+:func:`comparison_report` adds the constraint verdict lines the captions
+carry ("both constraints are met", "resource is violated ...").
+"""
+
+from __future__ import annotations
+
+from repro.partition.base import PartitionResult
+from repro.partition.metrics import ConstraintSpec
+from repro.util.tables import format_table
+
+__all__ = ["result_table", "comparison_report", "PAPER_COLUMNS"]
+
+PAPER_COLUMNS = [
+    "Algorithms",
+    "Total Edge-Cuts",
+    "Total Time(S)",
+    "Maximum Resource Allocation",
+    "Maximum Local bandwidth",
+]
+
+
+def result_table(results: list[PartitionResult], title: str | None = None) -> str:
+    """Fixed-width table in the paper's column order."""
+    rows = [r.table_row() for r in results]
+    return format_table(PAPER_COLUMNS, rows, title=title)
+
+
+def _verdict(r: PartitionResult, constraints: ConstraintSpec) -> str:
+    bw_ok = r.metrics.bandwidth_violation == 0.0
+    res_ok = r.metrics.resource_violation == 0.0
+    if bw_ok and res_ok:
+        return "both constraints are met"
+    if not bw_ok and not res_ok:
+        return "both constraints are violated"
+    if not bw_ok:
+        return "bandwidth is violated but resource is met"
+    return "resource is violated but bandwidth is met"
+
+
+def comparison_report(
+    results: list[PartitionResult],
+    constraints: ConstraintSpec,
+    title: str | None = None,
+) -> str:
+    """Paper-style table plus per-algorithm constraint verdicts."""
+    lines = [result_table(results, title=title)]
+    lines.append(
+        f"constraints: Bmax = {constraints.bmax:g}, Rmax = {constraints.rmax:g}"
+    )
+    for r in results:
+        lines.append(f"  {r.algorithm}: {_verdict(r, constraints)}")
+    return "\n".join(lines)

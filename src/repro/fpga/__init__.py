@@ -1,0 +1,21 @@
+"""Multi-FPGA platform model (system S8 in DESIGN.md).
+
+The paper's target: "between each FPGA involved in the system, only Bmax
+data can be transferred each unit of time, and each FPGA has an amount of
+resource Rmax" (Section I).  This package models that platform — resource
+vectors, devices, inter-FPGA links — and validates mappings against it.
+"""
+
+from repro.fpga.device import FPGADevice
+from repro.fpga.mapping import Mapping, MappingReport, mapping_from_result
+from repro.fpga.resources import ResourceVector
+from repro.fpga.system import MultiFPGASystem
+
+__all__ = [
+    "ResourceVector",
+    "FPGADevice",
+    "MultiFPGASystem",
+    "Mapping",
+    "MappingReport",
+    "mapping_from_result",
+]

@@ -1,0 +1,49 @@
+"""FPGA device model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.resources import ResourceVector
+from repro.util.errors import ReproError
+
+__all__ = ["FPGADevice", "KNOWN_DEVICES"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """One FPGA: a named resource capacity.
+
+    ``capacity`` may be the paper's scalar model
+    (``ResourceVector.scalar(Rmax)``) or a full vector.
+    """
+
+    name: str
+    capacity: ResourceVector = field(
+        default_factory=lambda: ResourceVector.scalar(1.0)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("device name must be non-empty")
+        if self.capacity.total <= 0:
+            raise ReproError(f"device {self.name!r} has no capacity")
+
+    def fits(self, load: ResourceVector) -> bool:
+        return load.fits_in(self.capacity)
+
+
+#: A few recognisable device envelopes for examples (coarse public figures).
+KNOWN_DEVICES = {
+    "xc7z020": FPGADevice(
+        "xc7z020", ResourceVector(luts=53_200, ffs=106_400, brams=140, dsps=220)
+    ),
+    "xc7vx485t": FPGADevice(
+        "xc7vx485t",
+        ResourceVector(luts=303_600, ffs=607_200, brams=1_030, dsps=2_800),
+    ),
+    "xcku115": FPGADevice(
+        "xcku115",
+        ResourceVector(luts=663_360, ffs=1_326_720, brams=2_160, dsps=5_520),
+    ),
+}

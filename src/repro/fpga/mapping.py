@@ -1,0 +1,171 @@
+"""Mapping of a partitioned process network onto a multi-FPGA system.
+
+A :class:`Mapping` binds a partition assignment to system slots and audits
+the paper's two constraint families:
+
+* every device's resource load within its capacity, and
+* every pair's inter-partition bandwidth within the link capacity.
+
+Violations are reported individually (device/link, load, capacity) so tools
+and tests can assert on the exact failure, not just a boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fpga.resources import ResourceVector
+from repro.fpga.system import MultiFPGASystem
+from repro.graph.wgraph import WGraph
+from repro.partition.base import PartitionResult
+from repro.partition.metrics import bandwidth_matrix, check_assignment
+from repro.util.errors import ReproError
+
+__all__ = ["Mapping", "MappingReport", "mapping_from_result"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken constraint."""
+
+    kind: str  # "resource" | "bandwidth"
+    where: str  # device name or "dev_i<->dev_j"
+    load: float
+    capacity: float
+
+    @property
+    def excess(self) -> float:
+        return self.load - self.capacity
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} violation at {self.where}: "
+            f"load {self.load:g} > capacity {self.capacity:g}"
+        )
+
+
+@dataclass
+class MappingReport:
+    """Outcome of :meth:`Mapping.validate`."""
+
+    valid: bool
+    violations: list[Violation] = field(default_factory=list)
+    device_loads: list[ResourceVector] = field(default_factory=list)
+    link_loads: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        if self.valid:
+            return "mapping valid: all resource and bandwidth constraints met"
+        lines = [f"mapping INVALID ({len(self.violations)} violations):"]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class Mapping:
+    """Assignment of graph nodes (processes) to system device slots."""
+
+    def __init__(
+        self,
+        graph: WGraph,
+        assign: np.ndarray,
+        system: MultiFPGASystem,
+        node_resources: list[ResourceVector] | None = None,
+        names: list[str] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.system = system
+        self.assign = check_assignment(graph, assign, system.k)
+        if node_resources is None:
+            # paper model: node weight = scalar resource
+            node_resources = [
+                ResourceVector.scalar(float(w)) for w in graph.node_weights
+            ]
+        if len(node_resources) != graph.n:
+            raise ReproError(
+                f"expected {graph.n} node resources, got {len(node_resources)}"
+            )
+        self.node_resources = list(node_resources)
+        if names is not None and len(names) != graph.n:
+            raise ReproError(f"expected {graph.n} names, got {len(names)}")
+        self.names = list(names) if names is not None else None
+
+    # ------------------------------------------------------------------ #
+    def device_load(self, slot: int) -> ResourceVector:
+        load = ResourceVector.zero()
+        for u in np.nonzero(self.assign == slot)[0]:
+            load = load + self.node_resources[int(u)]
+        return load
+
+    def processes_on(self, slot: int) -> list[str]:
+        nodes = np.nonzero(self.assign == slot)[0]
+        if self.names is None:
+            return [str(int(u)) for u in nodes]
+        return [self.names[int(u)] for u in nodes]
+
+    def validate(self) -> MappingReport:
+        sys_ = self.system
+        violations: list[Violation] = []
+        device_loads = [self.device_load(c) for c in range(sys_.k)]
+        for c, load in enumerate(device_loads):
+            cap = sys_.devices[c].capacity
+            if not load.fits_in(cap):
+                violations.append(
+                    Violation(
+                        kind="resource",
+                        where=sys_.devices[c].name,
+                        load=load.total,
+                        capacity=cap.total,
+                    )
+                )
+        bw = bandwidth_matrix(self.graph, self.assign, sys_.k)
+        link_loads: dict[tuple[int, int], float] = {}
+        for i in range(sys_.k):
+            for j in range(i + 1, sys_.k):
+                load = float(bw[i, j])
+                if load == 0.0:
+                    continue
+                link_loads[(i, j)] = load
+                cap = sys_.link_capacity(i, j)
+                if load > cap:
+                    violations.append(
+                        Violation(
+                            kind="bandwidth",
+                            where=(
+                                f"{sys_.devices[i].name}<->{sys_.devices[j].name}"
+                            ),
+                            load=load,
+                            capacity=cap,
+                        )
+                    )
+        return MappingReport(
+            valid=not violations,
+            violations=violations,
+            device_loads=device_loads,
+            link_loads=link_loads,
+        )
+
+    @property
+    def is_valid(self) -> bool:
+        return self.validate().valid
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping(n={self.graph.n} processes -> {self.system.k} FPGAs, "
+            f"valid={self.is_valid})"
+        )
+
+
+def mapping_from_result(
+    result: PartitionResult,
+    graph: WGraph,
+    system: MultiFPGASystem,
+    names: list[str] | None = None,
+) -> Mapping:
+    """Bind a :class:`PartitionResult` to a system (partition c -> slot c)."""
+    if result.k != system.k:
+        raise ReproError(
+            f"partition has k={result.k} but system has {system.k} devices"
+        )
+    return Mapping(graph, result.assign, system, names=names)

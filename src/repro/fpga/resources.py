@@ -1,0 +1,89 @@
+"""FPGA resource vectors.
+
+The paper tracks a single resource ("only one resource is considered at
+this time, for example LUTs") — :meth:`ResourceVector.scalar` covers that —
+but real devices budget LUTs, flip-flops, BRAMs and DSPs independently, so
+the vector form is supported throughout the platform model (a documented
+extension, exercised by the multi-resource example and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+__all__ = ["ResourceVector"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Immutable (luts, ffs, brams, dsps) resource bundle."""
+
+    luts: float = 0.0
+    ffs: float = 0.0
+    brams: float = 0.0
+    dsps: float = 0.0
+
+    FIELDS = ("luts", "ffs", "brams", "dsps")
+
+    def __post_init__(self) -> None:
+        for f in self.FIELDS:
+            v = getattr(self, f)
+            if v < 0:
+                raise ReproError(f"resource {f} must be >= 0, got {v}")
+
+    # -- constructors --------------------------------------------------- #
+    @staticmethod
+    def scalar(amount: float) -> "ResourceVector":
+        """Single-resource (LUT) bundle, the paper's model."""
+        return ResourceVector(luts=float(amount))
+
+    @staticmethod
+    def zero() -> "ResourceVector":
+        return ResourceVector()
+
+    # -- algebra ---------------------------------------------------------- #
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            *(getattr(self, f) + getattr(other, f) for f in self.FIELDS)
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        vals = [getattr(self, f) - getattr(other, f) for f in self.FIELDS]
+        if any(v < 0 for v in vals):
+            raise ReproError(f"resource subtraction underflow: {self} - {other}")
+        return ResourceVector(*vals)
+
+    def scale(self, factor: float) -> "ResourceVector":
+        if factor < 0:
+            raise ReproError(f"scale factor must be >= 0, got {factor}")
+        return ResourceVector(
+            *(getattr(self, f) * factor for f in self.FIELDS)
+        )
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """Component-wise ``<=``."""
+        return all(
+            getattr(self, f) <= getattr(capacity, f) for f in self.FIELDS
+        )
+
+    def headroom(self, capacity: "ResourceVector") -> float:
+        """Smallest per-component slack (negative if any overflows)."""
+        return min(
+            getattr(capacity, f) - getattr(self, f) for f in self.FIELDS
+        )
+
+    def overflow(self, capacity: "ResourceVector") -> float:
+        """Summed component-wise excess over *capacity* (0 when it fits)."""
+        return sum(
+            max(0.0, getattr(self, f) - getattr(capacity, f))
+            for f in self.FIELDS
+        )
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, f) for f in self.FIELDS)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.luts, self.ffs, self.brams, self.dsps)

@@ -1,0 +1,114 @@
+"""Multi-FPGA system: devices plus the inter-FPGA interconnect.
+
+The paper's platform is homogeneous and fully connected: every pair of
+FPGAs shares a link of capacity ``Bmax``.  The model generalises to
+heterogeneous devices and restricted topologies (ring/mesh/custom), where a
+missing link means *no* direct traffic is allowed between that pair — the
+validator treats absent links as zero-capacity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.fpga.device import FPGADevice
+from repro.fpga.resources import ResourceVector
+from repro.util.errors import ReproError
+
+__all__ = ["MultiFPGASystem"]
+
+
+class MultiFPGASystem:
+    """*k* FPGAs with pairwise link capacities.
+
+    Parameters
+    ----------
+    devices:
+        The FPGAs, in slot order (partition *c* maps to ``devices[c]``).
+    bmax:
+        Default pairwise link capacity (the paper's ``Bmax``).
+    links:
+        Optional explicit topology: iterable of ``(i, j)`` or
+        ``(i, j, capacity)``.  When given, only listed pairs have links
+        (capacity defaults to *bmax*); when omitted the system is
+        all-to-all at *bmax*.
+    """
+
+    def __init__(
+        self,
+        devices: list[FPGADevice],
+        bmax: float,
+        links: Iterable[tuple] | None = None,
+    ) -> None:
+        if not devices:
+            raise ReproError("a multi-FPGA system needs at least one device")
+        if bmax < 0:
+            raise ReproError(f"bmax must be >= 0, got {bmax}")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate device names: {names}")
+        self.devices = list(devices)
+        self.bmax = float(bmax)
+        self._links: dict[tuple[int, int], float] | None = None
+        if links is not None:
+            self._links = {}
+            for item in links:
+                if len(item) == 2:
+                    i, j = item
+                    cap = bmax
+                elif len(item) == 3:
+                    i, j, cap = item
+                else:
+                    raise ReproError(f"bad link spec {item!r}")
+                i, j = int(i), int(j)
+                if i == j or not (0 <= i < len(devices) and 0 <= j < len(devices)):
+                    raise ReproError(f"bad link endpoints ({i}, {j})")
+                if cap < 0:
+                    raise ReproError(f"negative link capacity on ({i}, {j})")
+                self._links[(min(i, j), max(i, j))] = float(cap)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        return len(self.devices)
+
+    @staticmethod
+    def homogeneous(
+        k: int, rmax: float, bmax: float, prefix: str = "fpga"
+    ) -> "MultiFPGASystem":
+        """The paper's platform: *k* identical FPGAs, all-to-all ``Bmax``."""
+        if k < 1:
+            raise ReproError(f"k must be >= 1, got {k}")
+        devices = [
+            FPGADevice(f"{prefix}{i}", ResourceVector.scalar(rmax))
+            for i in range(k)
+        ]
+        return MultiFPGASystem(devices, bmax)
+
+    @staticmethod
+    def ring(k: int, rmax: float, bmax: float) -> "MultiFPGASystem":
+        """Ring topology: device *i* links only to *i±1 (mod k)*."""
+        if k < 2:
+            raise ReproError("a ring needs at least 2 devices")
+        devices = [
+            FPGADevice(f"fpga{i}", ResourceVector.scalar(rmax)) for i in range(k)
+        ]
+        links = [(i, (i + 1) % k) for i in range(k)] if k > 2 else [(0, 1)]
+        return MultiFPGASystem(devices, bmax, links=links)
+
+    def link_capacity(self, i: int, j: int) -> float:
+        """Capacity of the direct link between slots *i* and *j* (0 if none)."""
+        if i == j:
+            return float("inf")  # on-chip traffic is free (Section V)
+        if not (0 <= i < self.k and 0 <= j < self.k):
+            raise ReproError(f"bad device slots ({i}, {j})")
+        if self._links is None:
+            return self.bmax
+        return self._links.get((min(i, j), max(i, j)), 0.0)
+
+    def has_link(self, i: int, j: int) -> bool:
+        return i != j and self.link_capacity(i, j) > 0
+
+    def __repr__(self) -> str:
+        topo = "all-to-all" if self._links is None else f"{len(self._links)} links"
+        return f"MultiFPGASystem(k={self.k}, bmax={self.bmax:g}, {topo})"

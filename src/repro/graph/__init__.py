@@ -1,0 +1,55 @@
+"""Weighted-graph substrate (system S1 in DESIGN.md).
+
+The paper's object of study is an undirected graph where
+
+* nodes are *processes*, weighted by the FPGA resources ``R_p`` needed to
+  implement them, and
+* edges are FIFO *channels*, weighted by the sustained bandwidth they carry.
+
+:class:`~repro.graph.wgraph.WGraph` is the shared representation used by every
+partitioner, the polyhedral front-end, the KPN simulator and the platform
+mapper.
+"""
+
+from repro.graph.builders import (
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+from repro.graph.generators import (
+    paper_graph,
+    planted_partition_network,
+    random_connected_graph,
+    random_process_network,
+)
+from repro.graph.io import graph_from_json, graph_to_json, load_graph, save_graph
+from repro.graph.matrixio import (
+    from_incidence_matrix,
+    incidence_matrix,
+    parse_incidence_text,
+    render_incidence_text,
+)
+from repro.graph.validation import check_graph
+from repro.graph.wgraph import WGraph
+
+__all__ = [
+    "WGraph",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "to_networkx",
+    "incidence_matrix",
+    "from_incidence_matrix",
+    "parse_incidence_text",
+    "render_incidence_text",
+    "graph_to_json",
+    "graph_from_json",
+    "save_graph",
+    "load_graph",
+    "random_connected_graph",
+    "random_process_network",
+    "planted_partition_network",
+    "paper_graph",
+    "check_graph",
+]

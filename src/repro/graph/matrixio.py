@@ -1,0 +1,137 @@
+"""Incidence-matrix representation and text round-trip.
+
+The paper feeds its tools with graphs "represented as incidence matrices ...
+given as inputs to MATLAB" (Section V).  We reproduce that interchange format:
+an ``n x m`` matrix ``B`` where column *j* has two non-zero entries, equal to
+the weight of edge *j*, at the rows of its two endpoints.  Node weights travel
+separately (MATLAB-side they were a companion vector).
+
+``parse_incidence_text`` accepts the whitespace-separated dump MATLAB's
+``dlmwrite``/``save -ascii`` produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.util.errors import GraphError
+
+__all__ = [
+    "incidence_matrix",
+    "from_incidence_matrix",
+    "render_incidence_text",
+    "parse_incidence_text",
+]
+
+
+def incidence_matrix(g: WGraph) -> np.ndarray:
+    """Weighted node-edge incidence matrix, shape ``(n, m)``.
+
+    Column *j* holds the weight of edge *j* at both endpoint rows; edge order
+    is the graph's canonical (sorted) order.  Zero-weight edges cannot be
+    represented (their column would be all-zero) and are rejected.
+    """
+    eu, ev, ew = g.edge_array
+    if np.any(ew == 0):
+        raise GraphError(
+            "zero-weight edges are unrepresentable in a weighted incidence "
+            "matrix; use the JSON format instead"
+        )
+    b = np.zeros((g.n, g.m), dtype=np.float64)
+    b[eu, np.arange(g.m)] = ew
+    b[ev, np.arange(g.m)] = ew
+    return b
+
+
+def from_incidence_matrix(
+    b: np.ndarray, node_weights=None
+) -> WGraph:
+    """Rebuild a :class:`WGraph` from a weighted incidence matrix.
+
+    Each column must contain exactly two equal positive entries.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2:
+        raise GraphError(f"incidence matrix must be 2-D, got shape {b.shape}")
+    n, m = b.shape
+    edges = []
+    for j in range(m):
+        rows = np.nonzero(b[:, j])[0]
+        if len(rows) != 2:
+            raise GraphError(
+                f"incidence column {j} has {len(rows)} non-zeros, expected 2"
+            )
+        u, v = int(rows[0]), int(rows[1])
+        wu, wv = float(b[u, j]), float(b[v, j])
+        if wu != wv:
+            raise GraphError(
+                f"incidence column {j} endpoint weights differ: {wu} vs {wv}"
+            )
+        edges.append((u, v, wu))
+    return WGraph(n, edges, node_weights=node_weights)
+
+
+def render_incidence_text(g: WGraph, include_node_weights: bool = True) -> str:
+    """Serialise as MATLAB-style ASCII: node count, node-weight row
+    (optional), then B.  Weights use full ``repr`` precision so the
+    round-trip is exact."""
+    lines = [f"# nodes {g.n}"]
+    if include_node_weights:
+        lines.append("# node_weights")
+        lines.append(" ".join(repr(float(w)) for w in g.node_weights))
+    lines.append("# incidence")
+    b = incidence_matrix(g)
+    for row in b:
+        lines.append(" ".join(repr(float(x)) for x in row))
+    return "\n".join(lines) + "\n"
+
+
+def parse_incidence_text(text: str) -> WGraph:
+    """Parse the output of :func:`render_incidence_text`.
+
+    Also accepts a bare matrix dump (no headers, no node weights): node
+    weights then default to 1.  The ``# nodes N`` header makes edgeless
+    graphs (zero-column matrices) representable.
+    """
+    node_weights = None
+    declared_n: int | None = None
+    rows: list[list[float]] = []
+    section = "incidence"
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            tag = line.lstrip("#").strip().lower()
+            if tag in ("node_weights", "incidence"):
+                section = tag
+                continue
+            if tag.startswith("nodes"):
+                try:
+                    declared_n = int(tag.split()[1])
+                except (IndexError, ValueError) as exc:
+                    raise GraphError(f"bad node-count header {line!r}") from exc
+                continue
+            raise GraphError(f"unknown section header {line!r}")
+        values = [float(tok) for tok in line.split()]
+        if section == "node_weights":
+            node_weights = values
+            section = "incidence"
+        else:
+            rows.append(values)
+    if not rows:
+        n = declared_n if declared_n is not None else (
+            len(node_weights) if node_weights else None
+        )
+        if n is None:
+            raise GraphError("no incidence rows found")
+        return WGraph(n, [], node_weights=node_weights)
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise GraphError("ragged incidence matrix")
+    if declared_n is not None and declared_n != len(rows):
+        raise GraphError(
+            f"node-count header says {declared_n}, matrix has {len(rows)} rows"
+        )
+    return from_incidence_matrix(np.asarray(rows), node_weights=node_weights)

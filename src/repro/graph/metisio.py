@@ -1,0 +1,146 @@
+"""METIS ``.graph`` file format read/write.
+
+The de-facto interchange format of the graph-partitioning community (and
+the input METIS 5.1.0 itself consumes).  Format (CHACO/METIS):
+
+* header: ``n m [fmt [ncon]]`` — *fmt* is a 3-digit flag string: hundreds =
+  vertex sizes (unsupported here), tens = vertex weights, units = edge
+  weights.  This library reads/writes ``fmt`` in {"0", "1", "10", "11"}
+  with ``ncon = 1``.
+* line *i* (1-based): ``[vweight] (neighbour [eweight])*`` — neighbours are
+  1-based; every edge appears twice (once per endpoint).
+* ``%``-prefixed lines are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graph.wgraph import WGraph
+from repro.util.errors import GraphError
+
+__all__ = ["render_metis", "parse_metis", "save_metis", "load_metis"]
+
+
+def render_metis(g: WGraph, comment: str | None = None) -> str:
+    """Serialise to METIS .graph text (weights emitted iff non-trivial).
+
+    METIS requires strictly positive integer weights; non-integral or
+    zero-valued weights are rejected rather than silently rounded.
+    """
+    has_vw = not all(w == 1 for w in g.node_weights)
+    _, _, ew = g.edge_array
+    has_ew = not all(w == 1 for w in ew)
+
+    def as_metis_int(x: float, what: str) -> int:
+        if x != int(x) or x < 1:
+            raise GraphError(
+                f"METIS format needs positive integer {what}, got {x}"
+            )
+        return int(x)
+
+    fmt = f"{int(has_vw)}{int(has_ew)}"
+    lines = []
+    if comment:
+        for c_line in comment.splitlines():
+            lines.append(f"% {c_line}")
+    header = f"{g.n} {g.m}"
+    if fmt != "00":
+        header += f" {fmt.lstrip('0') or '0'}"
+    lines.append(header)
+    for u in range(g.n):
+        parts: list[str] = []
+        if has_vw:
+            parts.append(str(as_metis_int(g.node_weights[u], "vertex weight")))
+        nbrs, ws = g.neighbor_weights(u)
+        order = sorted(range(len(nbrs)), key=lambda i: int(nbrs[i]))
+        for i in order:
+            parts.append(str(int(nbrs[i]) + 1))
+            if has_ew:
+                parts.append(str(as_metis_int(float(ws[i]), "edge weight")))
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def parse_metis(text: str) -> WGraph:
+    """Parse METIS .graph text into a :class:`WGraph`."""
+    # keep blank lines after the header: an isolated vertex's adjacency
+    # line is legitimately empty (trailing ones may be eaten by editors,
+    # so the parser pads the vertex-line count back up to n)
+    raw = [ln for ln in text.splitlines() if not ln.lstrip().startswith("%")]
+    while raw and not raw[0].strip():
+        raw.pop(0)
+    lines = [ln.strip() for ln in raw]
+    if not lines:
+        raise GraphError("empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphError(f"bad METIS header {lines[0]!r}")
+    try:
+        n, m = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphError(f"bad METIS header {lines[0]!r}") from exc
+    fmt = header[2] if len(header) > 2 else "0"
+    ncon = int(header[3]) if len(header) > 3 else 1
+    if len(fmt) > 3 or any(c not in "01" for c in fmt):
+        raise GraphError(f"unsupported METIS fmt {fmt!r}")
+    fmt = fmt.zfill(3)
+    if fmt[0] == "1":
+        raise GraphError("vertex sizes (fmt=1xx) are not supported")
+    has_vw = fmt[1] == "1"
+    has_ew = fmt[2] == "1"
+    if ncon != 1 and has_vw:
+        raise GraphError(f"only ncon=1 supported, got {ncon}")
+    body = lines[1:]
+    if len(body) < n and not any(ln for ln in body[n:]):
+        body = body + [""] * (n - len(body))  # restore stripped blank tails
+    if len(body) != n:
+        raise GraphError(f"expected {n} vertex lines, found {len(body)}")
+
+    node_weights = []
+    edges: dict[tuple[int, int], float] = {}
+    for u, line in enumerate(body):
+        tokens = line.split()
+        idx = 0
+        if has_vw:
+            if not tokens:
+                raise GraphError(f"missing vertex weight on line {u + 2}")
+            node_weights.append(float(tokens[0]))
+            idx = 1
+        else:
+            node_weights.append(1.0)
+        stride = 2 if has_ew else 1
+        rest = tokens[idx:]
+        if len(rest) % stride:
+            raise GraphError(f"ragged adjacency on vertex {u + 1}")
+        for j in range(0, len(rest), stride):
+            v = int(rest[j]) - 1
+            if not 0 <= v < n:
+                raise GraphError(f"neighbour {v + 1} out of range on vertex {u + 1}")
+            if v == u:
+                raise GraphError(f"self loop on vertex {u + 1}")
+            w = float(rest[j + 1]) if has_ew else 1.0
+            key = (min(u, v), max(u, v))
+            if key in edges:
+                if edges[key] != w:
+                    raise GraphError(
+                        f"edge {key} listed with inconsistent weights "
+                        f"{edges[key]} vs {w}"
+                    )
+            else:
+                edges[key] = w
+    if len(edges) != m:
+        raise GraphError(f"header claims {m} edges, found {len(edges)}")
+    return WGraph(
+        n,
+        [(u, v, w) for (u, v), w in edges.items()],
+        node_weights=node_weights,
+    )
+
+
+def save_metis(g: WGraph, path: str | Path, comment: str | None = None) -> None:
+    Path(path).write_text(render_metis(g, comment=comment))
+
+
+def load_metis(path: str | Path) -> WGraph:
+    return parse_metis(Path(path).read_text())

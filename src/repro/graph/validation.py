@@ -1,0 +1,63 @@
+"""Structural invariant checks for :class:`~repro.graph.wgraph.WGraph`.
+
+``check_graph`` re-derives every redundant view (CSR vs edge list vs dense
+adjacency) and cross-checks them.  It is cheap on the paper-sized graphs and
+is called from tests and from the experiment runner in strict mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.util.errors import ValidationError
+
+__all__ = ["check_graph"]
+
+
+def check_graph(g: WGraph) -> None:
+    """Raise :class:`ValidationError` if any internal invariant is broken."""
+    eu, ev, ew = g.edge_array
+    if not (len(eu) == len(ev) == len(ew) == g.m):
+        raise ValidationError("edge arrays disagree on m")
+    if g.m and (eu.min() < 0 or max(eu.max(), ev.max()) >= g.n):
+        raise ValidationError("edge endpoint out of range")
+    if np.any(eu == ev):
+        raise ValidationError("self loop present")
+    if np.any(ew < 0) or not np.all(np.isfinite(ew)):
+        raise ValidationError("bad edge weight")
+    if np.any(g.node_weights < 0) or not np.all(np.isfinite(g.node_weights)):
+        raise ValidationError("bad node weight")
+
+    # canonical order and uniqueness
+    keys = list(zip(eu.tolist(), ev.tolist()))
+    if any(u >= v for u, v in keys):
+        raise ValidationError("edge list not canonical (u < v violated)")
+    if len(set(keys)) != len(keys):
+        raise ValidationError("duplicate edges in canonical list")
+
+    # CSR consistency
+    indptr, indices, weights = g.csr
+    if indptr[0] != 0 or indptr[-1] != 2 * g.m:
+        raise ValidationError("CSR indptr endpoints wrong")
+    if np.any(np.diff(indptr) < 0):
+        raise ValidationError("CSR indptr not monotone")
+    seen: dict[tuple[int, int], float] = {}
+    for u in range(g.n):
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        for v, w in zip(indices[lo:hi], weights[lo:hi]):
+            key = (min(u, int(v)), max(u, int(v)))
+            if key in seen and seen[key] != float(w):
+                raise ValidationError(f"CSR weight mismatch on {key}")
+            seen[key] = float(w)
+    if len(seen) != g.m:
+        raise ValidationError("CSR edge set differs from edge list")
+    for (u, v), w in seen.items():
+        if g.edge_weight(u, v) != w:
+            raise ValidationError(f"edge_weight({u},{v}) disagrees with CSR")
+
+    # degree sums
+    if g.m:
+        total = sum(g.weighted_degree(u) for u in range(g.n))
+        if not np.isclose(total, 2 * g.total_edge_weight):
+            raise ValidationError("handshake lemma violated")

@@ -1,0 +1,22 @@
+"""Process-network simulation substrate (system S7 in DESIGN.md).
+
+The paper weights each channel with "an amount of sustained data
+transferred" (Section I).  This package supplies the measurement: a
+cycle-based self-timed execution of a PPN over bounded FIFOs, recording
+per-channel traffic, FIFO occupancy and completion time.  The sustained
+bandwidths annotate the mapping graph the partitioners consume
+(:func:`repro.kpn.traffic.ppn_to_mapped_graph`).
+"""
+
+from repro.kpn.fifo import Fifo
+from repro.kpn.simulator import DeadlockError, SimulationResult, simulate_ppn
+from repro.kpn.traffic import ppn_to_mapped_graph, sustained_bandwidth
+
+__all__ = [
+    "Fifo",
+    "simulate_ppn",
+    "SimulationResult",
+    "DeadlockError",
+    "sustained_bandwidth",
+    "ppn_to_mapped_graph",
+]

@@ -1,0 +1,77 @@
+"""Counted-token FIFO with occupancy statistics.
+
+The simulator tracks token *counts*, not payloads: bandwidth and buffering
+behaviour depend only on counts, and PPN flow dependences fix the
+producer/consumer pairing anyway (see
+:class:`repro.polyhedral.dependence.Dependence`).
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ReproError
+
+__all__ = ["Fifo", "FifoError"]
+
+
+class FifoError(ReproError):
+    """Illegal FIFO operation (overflow/underflow)."""
+
+
+class Fifo:
+    """Bounded (or unbounded) counted-token FIFO.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum token count; ``None`` = unbounded (pure KPN semantics).
+    """
+
+    __slots__ = ("capacity", "_tokens", "peak", "total_pushed", "total_popped")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise FifoError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._tokens = 0
+        self.peak = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    @property
+    def tokens(self) -> int:
+        return self._tokens
+
+    @property
+    def free(self) -> float:
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - self._tokens
+
+    def can_push(self, n: int = 1) -> bool:
+        return self.capacity is None or self._tokens + n <= self.capacity
+
+    def can_pop(self, n: int = 1) -> bool:
+        return self._tokens >= n
+
+    def push(self, n: int = 1) -> None:
+        if n < 0:
+            raise FifoError(f"cannot push {n} tokens")
+        if not self.can_push(n):
+            raise FifoError(
+                f"FIFO overflow: {self._tokens}+{n} > capacity {self.capacity}"
+            )
+        self._tokens += n
+        self.total_pushed += n
+        self.peak = max(self.peak, self._tokens)
+
+    def pop(self, n: int = 1) -> None:
+        if n < 0:
+            raise FifoError(f"cannot pop {n} tokens")
+        if not self.can_pop(n):
+            raise FifoError(f"FIFO underflow: want {n}, have {self._tokens}")
+        self._tokens -= n
+        self.total_popped += n
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"Fifo(tokens={self._tokens}, capacity={cap}, peak={self.peak})"

@@ -1,0 +1,258 @@
+"""Mapped-PPN execution with inter-FPGA link contention.
+
+The paper's future work is to "test this system on actual multi-FPGA based
+systems".  This module provides the simulated equivalent (per the
+substitution rules in DESIGN.md): execute a PPN *after mapping*, where every
+channel crossing a device pair shares that pair's link, which moves at most
+``link_capacity`` tokens per cycle.
+
+This closes the loop on the paper's premise: a mapping that violates
+``Bmax`` is not just formally infeasible — its saturated links throttle the
+network, measurably inflating the makespan.  Benchmark X7 quantifies that
+throughput gap between GP's bandwidth-feasible mappings and the baseline's
+violating ones.
+
+Model
+-----
+Each channel is split into a producer-side outbox and a consumer-side inbox.
+Per cycle:
+
+1. every process whose next firing has its input tokens (inbox) and outbox
+   space fires, popping inboxes and pushing outboxes;
+2. intra-device channels move outbox -> inbox instantly (on-chip traffic is
+   free, Section V);
+3. each inter-device link moves up to ``capacity`` tokens this cycle across
+   its channels, round-robin one token at a time (fair share).
+
+Link capacities default to the system's ``Bmax``; there is no link between
+unconnected devices (restricted topologies), so tokens for such pairs never
+move — the simulation deadlocks, faithfully: that mapping cannot run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fpga.system import MultiFPGASystem
+from repro.kpn.simulator import DeadlockError, simulate_ppn
+from repro.polyhedral.ppn import PPN
+from repro.util.errors import ReproError
+
+__all__ = ["simulate_mapped_ppn", "MappedSimulationResult", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Per-link outcome of a mapped simulation."""
+
+    pair: tuple[int, int]
+    capacity: float
+    total_tokens: int
+    busy_cycles: int
+    #: fraction of cycles the link moved at full capacity
+    saturation: float
+
+
+@dataclass
+class MappedSimulationResult:
+    """Outcome of :func:`simulate_mapped_ppn`."""
+
+    cycles: int
+    ideal_cycles: int
+    link_stats: list[LinkStats]
+    fired: dict[str, int]
+    deadlocked: bool = False
+    info: dict = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        """Makespan inflation versus the unmapped (contention-free) run."""
+        return self.cycles / max(self.ideal_cycles, 1)
+
+    @property
+    def max_link_saturation(self) -> float:
+        return max((ls.saturation for ls in self.link_stats), default=0.0)
+
+
+def simulate_mapped_ppn(
+    ppn: PPN,
+    assign: np.ndarray,
+    system: MultiFPGASystem,
+    max_cycles: int = 10_000_000,
+    ideal_cycles: int | None = None,
+    on_deadlock: str = "raise",
+) -> MappedSimulationResult:
+    """Execute *ppn* mapped by *assign* onto *system*.
+
+    Parameters
+    ----------
+    assign:
+        Process index -> device slot, shape ``(n_processes,)``.
+    ideal_cycles:
+        Contention-free makespan for the slowdown ratio; measured with
+        :func:`repro.kpn.simulator.simulate_ppn` when omitted.
+    on_deadlock:
+        ``"raise"`` or ``"return"`` (partial result, ``deadlocked=True``) —
+        a mapping whose traffic needs a missing link deadlocks by design.
+    """
+    if on_deadlock not in ("raise", "return"):
+        raise ReproError(f"on_deadlock must be raise/return, got {on_deadlock!r}")
+    assign = np.asarray(assign, dtype=np.int64)
+    if assign.shape != (ppn.n_processes,):
+        raise ReproError(
+            f"assign has shape {assign.shape}, expected ({ppn.n_processes},)"
+        )
+    if ppn.n_processes and (assign.min() < 0 or assign.max() >= system.k):
+        raise ReproError("assignment slot out of range for the system")
+
+    if ideal_cycles is None:
+        ideal_cycles = simulate_ppn(ppn, max_cycles=max_cycles).cycles
+
+    n_proc = ppn.n_processes
+    names = [p.name for p in ppn.processes]
+    index = ppn.process_index()
+    firings_total = np.array([p.firings for p in ppn.processes], dtype=np.int64)
+    fired = np.zeros(n_proc, dtype=np.int64)
+
+    n_ch = ppn.n_channels
+    outbox = [0] * n_ch
+    inbox = [0] * n_ch
+    in_channels: list[list[int]] = [[] for _ in range(n_proc)]
+    out_channels: list[list[int]] = [[] for _ in range(n_proc)]
+    ch_pair: list[tuple[int, int] | None] = [None] * n_ch
+    for ci, ch in enumerate(ppn.channels):
+        src, dst = index[ch.src], index[ch.dst]
+        out_channels[src].append(ci)
+        in_channels[dst].append(ci)
+        a, b = int(assign[src]), int(assign[dst])
+        ch_pair[ci] = None if a == b else (min(a, b), max(a, b))
+
+    links: dict[tuple[int, int], list[int]] = {}
+    for ci, pair in enumerate(ch_pair):
+        if pair is not None:
+            links.setdefault(pair, []).append(ci)
+    link_moved: dict[tuple[int, int], int] = {p: 0 for p in links}
+    link_busy: dict[tuple[int, int], int] = {p: 0 for p in links}
+    link_full: dict[tuple[int, int], int] = {p: 0 for p in links}
+    rr_offset: dict[tuple[int, int], int] = {p: 0 for p in links}
+
+    def need(p: int, j: int, ci: int) -> int:
+        dep = ppn.channels[ci].dependence
+        return int(dep.consumption[j]) if j < len(dep.consumption) else 0
+
+    def produce(p: int, j: int, ci: int) -> int:
+        dep = ppn.channels[ci].dependence
+        return int(dep.production[j]) if j < len(dep.production) else 0
+
+    def can_fire(p: int) -> bool:
+        j = int(fired[p])
+        if j >= firings_total[p]:
+            return False
+        for ci in in_channels[p]:
+            if inbox[ci] < need(p, j, ci):
+                return False
+        return True
+
+    cycle = 0
+    stall = 0
+    while not np.all(fired >= firings_total):
+        if cycle >= max_cycles:
+            raise ReproError(f"mapped simulation exceeded max_cycles={max_cycles}")
+        fireable = [p for p in range(n_proc) if can_fire(p)]
+        progressed = bool(fireable)
+        # fire: pops then pushes
+        for p in fireable:
+            j = int(fired[p])
+            for ci in in_channels[p]:
+                inbox[ci] -= need(p, j, ci)
+        for p in fireable:
+            j = int(fired[p])
+            for ci in out_channels[p]:
+                outbox[ci] += produce(p, j, ci)
+            fired[p] = j + 1
+        # transport phase
+        for ci, pair in enumerate(ch_pair):
+            if pair is None and outbox[ci]:
+                inbox[ci] += outbox[ci]
+                outbox[ci] = 0
+        for pair, chans in links.items():
+            cap = system.link_capacity(*pair)
+            if cap <= 0:
+                continue
+            budget = int(cap)
+            moved = 0
+            # fair round-robin, one token per channel per turn
+            start = rr_offset[pair]
+            idle_rounds = 0
+            i = 0
+            while budget > 0 and idle_rounds < len(chans):
+                ci = chans[(start + i) % len(chans)]
+                if outbox[ci] > 0:
+                    outbox[ci] -= 1
+                    inbox[ci] += 1
+                    budget -= 1
+                    moved += 1
+                    idle_rounds = 0
+                else:
+                    idle_rounds += 1
+                i += 1
+            rr_offset[pair] = (start + i) % len(chans)
+            if moved:
+                link_busy[pair] += 1
+                link_moved[pair] += moved
+                progressed = True
+                if moved >= int(cap):
+                    link_full[pair] += 1
+        cycle += 1
+        if not progressed:
+            stall += 1
+            if stall > 2:
+                blocked = {
+                    names[p]: "waiting on starved link"
+                    for p in range(n_proc)
+                    if fired[p] < firings_total[p]
+                }
+                if on_deadlock == "raise":
+                    raise DeadlockError(
+                        f"mapped execution deadlocked at cycle {cycle} "
+                        f"(likely traffic on a missing/zero-capacity link)",
+                        blocked=blocked,
+                        cycle=cycle,
+                    )
+                return _mk_result(
+                    ppn, cycle, ideal_cycles, links, link_moved, link_busy,
+                    link_full, system, fired, names, deadlocked=True,
+                )
+        else:
+            stall = 0
+
+    return _mk_result(
+        ppn, cycle, ideal_cycles, links, link_moved, link_busy, link_full,
+        system, fired, names, deadlocked=False,
+    )
+
+
+def _mk_result(
+    ppn, cycle, ideal_cycles, links, link_moved, link_busy, link_full,
+    system, fired, names, deadlocked,
+):
+    stats = [
+        LinkStats(
+            pair=pair,
+            capacity=system.link_capacity(*pair),
+            total_tokens=link_moved[pair],
+            busy_cycles=link_busy[pair],
+            saturation=link_full[pair] / max(cycle, 1),
+        )
+        for pair in sorted(links)
+    ]
+    return MappedSimulationResult(
+        cycles=cycle,
+        ideal_cycles=ideal_cycles,
+        link_stats=stats,
+        fired={names[p]: int(fired[p]) for p in range(len(names))},
+        deadlocked=deadlocked,
+        info={"k": system.k},
+    )

@@ -1,0 +1,215 @@
+"""Cycle-based self-timed execution of a Polyhedral Process Network.
+
+Semantics
+---------
+Every process fires its domain points in lexicographic order, at most one
+firing per cycle.  Firing *j* of process *p*:
+
+* requires, on each input channel, the tokens its dependence record says
+  firing *j* consumes (``consumption[j]``), and
+* requires space for ``production[j]`` tokens on each output channel
+  (bounded FIFOs), then
+* pops and pushes those tokens atomically at the cycle boundary.
+
+All fireable processes fire concurrently each cycle — the maximally-parallel
+self-timed schedule.  External inputs (reads nothing wrote) are always
+available.  With unbounded FIFOs a live PPN always completes; with bounded
+FIFOs undersized buffers cause an artificial deadlock, which the simulator
+detects and reports with the blocked state (useful for buffer sizing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kpn.fifo import Fifo
+from repro.polyhedral.ppn import PPN
+from repro.util.errors import ReproError
+
+__all__ = ["simulate_ppn", "SimulationResult", "DeadlockError", "ChannelStats"]
+
+
+class DeadlockError(ReproError):
+    """No process can fire, yet the network has not completed.
+
+    Carries ``blocked`` — a dict of process name → reason string — so buffer
+    sizing problems are diagnosable.
+    """
+
+    def __init__(self, message: str, blocked: dict[str, str], cycle: int):
+        super().__init__(message)
+        self.blocked = blocked
+        self.cycle = cycle
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel outcome of a simulation."""
+
+    src: str
+    dst: str
+    array: str
+    total_tokens: int
+    peak_occupancy: int
+    #: tokens / makespan — the sustained bandwidth the paper's model uses
+    sustained_bandwidth: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :func:`simulate_ppn`."""
+
+    cycles: int
+    channel_stats: list[ChannelStats]
+    #: cycle at which each process completed its last firing
+    completion: dict[str, int]
+    #: firings per process actually executed
+    fired: dict[str, int]
+    deadlocked: bool = False
+    info: dict = field(default_factory=dict)
+
+    def stats_for(self, src: str, dst: str, array: str) -> ChannelStats:
+        for cs in self.channel_stats:
+            if (cs.src, cs.dst, cs.array) == (src, dst, array):
+                return cs
+        raise KeyError(f"no channel {src}->{dst} on {array!r}")
+
+    @property
+    def total_traffic(self) -> int:
+        return sum(cs.total_tokens for cs in self.channel_stats)
+
+
+def simulate_ppn(
+    ppn: PPN,
+    fifo_capacity: int | None = None,
+    max_cycles: int = 10_000_000,
+    on_deadlock: str = "raise",
+) -> SimulationResult:
+    """Execute *ppn* to completion (or deadlock).
+
+    Parameters
+    ----------
+    fifo_capacity:
+        Uniform channel capacity in tokens; ``None`` = unbounded.
+    max_cycles:
+        Hard stop guarding against simulator bugs.
+    on_deadlock:
+        ``"raise"`` (default) raises :class:`DeadlockError`; ``"return"``
+        gives back a partial :class:`SimulationResult` with
+        ``deadlocked=True``.
+    """
+    if on_deadlock not in ("raise", "return"):
+        raise ReproError(f"on_deadlock must be raise/return, got {on_deadlock!r}")
+    n_proc = ppn.n_processes
+    names = [p.name for p in ppn.processes]
+    firings_total = np.array([p.firings for p in ppn.processes], dtype=np.int64)
+    fired = np.zeros(n_proc, dtype=np.int64)
+    index = ppn.process_index()
+
+    fifos = [Fifo(fifo_capacity) for _ in ppn.channels]
+    in_channels: list[list[int]] = [[] for _ in range(n_proc)]
+    out_channels: list[list[int]] = [[] for _ in range(n_proc)]
+    for ci, ch in enumerate(ppn.channels):
+        out_channels[index[ch.src]].append(ci)
+        in_channels[index[ch.dst]].append(ci)
+
+    completion = {name: 0 for name in names}
+    cycle = 0
+
+    def need(p: int, j: int, ci: int) -> int:
+        dep = ppn.channels[ci].dependence
+        return int(dep.consumption[j]) if j < len(dep.consumption) else 0
+
+    def produce(p: int, j: int, ci: int) -> int:
+        dep = ppn.channels[ci].dependence
+        return int(dep.production[j]) if j < len(dep.production) else 0
+
+    def blocked_reason(p: int) -> str | None:
+        """None if process p can fire its next firing now, else why not."""
+        j = int(fired[p])
+        if j >= firings_total[p]:
+            return "done"
+        for ci in in_channels[p]:
+            want = need(p, j, ci)
+            # self-loop tokens were pushed by this process's earlier firings
+            if want and not fifos[ci].can_pop(want):
+                ch = ppn.channels[ci]
+                return (
+                    f"waiting for {want} token(s) on {ch.src}->{ch.dst}"
+                    f"[{ch.array}] (has {fifos[ci].tokens})"
+                )
+        for ci in out_channels[p]:
+            put = produce(p, j, ci)
+            ch = ppn.channels[ci]
+            if put:
+                # a self-loop pops before pushing within the same firing
+                slack = need(p, j, ci) if ch.src == ch.dst else 0
+                if not fifos[ci].can_push(put - slack):
+                    return (
+                        f"no space for {put} token(s) on {ch.src}->{ch.dst}"
+                        f"[{ch.array}] (free {fifos[ci].free})"
+                    )
+        return None
+
+    while not np.all(fired >= firings_total):
+        if cycle >= max_cycles:
+            raise ReproError(f"simulation exceeded max_cycles={max_cycles}")
+        fireable = [p for p in range(n_proc) if blocked_reason(p) is None]
+        if not fireable:
+            blocked = {
+                names[p]: blocked_reason(p) or "?"
+                for p in range(n_proc)
+                if fired[p] < firings_total[p]
+            }
+            if on_deadlock == "raise":
+                raise DeadlockError(
+                    f"deadlock at cycle {cycle}: "
+                    + "; ".join(f"{k}: {v}" for k, v in blocked.items()),
+                    blocked=blocked,
+                    cycle=cycle,
+                )
+            return _result(ppn, fifos, completion, fired, names, cycle,
+                           deadlocked=True)
+        cycle += 1
+        # pops first (frees space), then pushes — standard two-phase update
+        for p in fireable:
+            j = int(fired[p])
+            for ci in in_channels[p]:
+                want = need(p, j, ci)
+                if want:
+                    fifos[ci].pop(want)
+        for p in fireable:
+            j = int(fired[p])
+            for ci in out_channels[p]:
+                put = produce(p, j, ci)
+                if put:
+                    fifos[ci].push(put)
+            fired[p] = j + 1
+            completion[names[p]] = cycle
+
+    return _result(ppn, fifos, completion, fired, names, cycle, deadlocked=False)
+
+
+def _result(ppn, fifos, completion, fired, names, cycle, deadlocked):
+    makespan = max(cycle, 1)
+    stats = [
+        ChannelStats(
+            src=ch.src,
+            dst=ch.dst,
+            array=ch.array,
+            total_tokens=fifos[ci].total_pushed,
+            peak_occupancy=fifos[ci].peak,
+            sustained_bandwidth=fifos[ci].total_pushed / makespan,
+        )
+        for ci, ch in enumerate(ppn.channels)
+    ]
+    return SimulationResult(
+        cycles=cycle,
+        channel_stats=stats,
+        completion=dict(completion),
+        fired={names[p]: int(fired[p]) for p in range(len(names))},
+        deadlocked=deadlocked,
+        info={"fifo_capacity": fifos[0].capacity if fifos else None},
+    )

@@ -1,0 +1,95 @@
+"""Bandwidth annotation: from simulated traffic to the mapping graph.
+
+Two channel-weighting modes feed the partitioners:
+
+``"tokens"``
+    Edge weight = total tokens transported (data volume).  Cheap — no
+    simulation needed — and what the paper's synthetic graphs encode.
+
+``"sustained"``
+    Edge weight = tokens / makespan x *scale*, measured by the KPN
+    simulator: the *sustained* bandwidth of Section I.  Captures rate, not
+    volume, so a long-lived trickle weighs less than a burst.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.wgraph import WGraph
+from repro.kpn.simulator import SimulationResult, simulate_ppn
+from repro.polyhedral.ppn import PPN
+from repro.util.errors import ReproError
+
+__all__ = ["sustained_bandwidth", "ppn_to_mapped_graph"]
+
+
+def sustained_bandwidth(
+    ppn: PPN, result: SimulationResult | None = None
+) -> dict[tuple[str, str, str], float]:
+    """Per-channel sustained bandwidth (tokens/cycle), keyed by
+    ``(src, dst, array)``.  Runs the simulator when *result* is omitted."""
+    if result is None:
+        result = simulate_ppn(ppn)
+    return {
+        (cs.src, cs.dst, cs.array): cs.sustained_bandwidth
+        for cs in result.channel_stats
+    }
+
+
+def ppn_to_mapped_graph(
+    ppn: PPN,
+    mode: str = "tokens",
+    scale: float = 1.0,
+    result: SimulationResult | None = None,
+    round_up: bool = True,
+) -> tuple[WGraph, list[str]]:
+    """Export *ppn* as the partitioners' weighted graph.
+
+    Parameters
+    ----------
+    mode:
+        ``"tokens"`` or ``"sustained"`` (see module docstring).
+    scale:
+        Multiplier applied to every edge weight (e.g. bytes per token, or
+        cycles per bandwidth window).
+    result:
+        Reuse an existing simulation (``mode="sustained"`` only).
+    round_up:
+        Ceil edge weights to integers, matching the paper's integral
+        bandwidth units.
+
+    Returns
+    -------
+    (graph, names):
+        ``names[i]`` is the process name of node *i*.
+    """
+    if mode == "tokens":
+        g, names = ppn.to_wgraph(bandwidth_scale=scale)
+        if round_up:
+            eu, ev, ew = g.edge_array
+            edges = [
+                (int(u), int(v), float(math.ceil(w)))
+                for u, v, w in zip(eu, ev, ew)
+            ]
+            g = WGraph(g.n, edges, node_weights=g.node_weights)
+        return g, names
+    if mode != "sustained":
+        raise ReproError(f"mode must be 'tokens' or 'sustained', got {mode!r}")
+
+    bw = sustained_bandwidth(ppn, result)
+    index = ppn.process_index()
+    merged: dict[tuple[int, int], float] = {}
+    for (src, dst, _array), rate in bw.items():
+        u, v = index[src], index[dst]
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        merged[key] = merged.get(key, 0.0) + rate * scale
+    edges = [
+        (u, v, float(math.ceil(w)) if round_up else w)
+        for (u, v), w in sorted(merged.items())
+    ]
+    node_weights = [p.resources for p in ppn.processes]
+    g = WGraph(ppn.n_processes, edges, node_weights=node_weights)
+    return g, [p.name for p in ppn.processes]

@@ -1,0 +1,40 @@
+"""Partitioning toolkit (systems S2-S5 in DESIGN.md).
+
+Contents
+--------
+* :mod:`repro.partition.base` — partition containers and results.
+* :mod:`repro.partition.metrics` — cut / pairwise-bandwidth / resource metrics
+  and the paper's two mapping constraints.
+* :mod:`repro.partition.coarsen` — the three matchings (random maximal, heavy
+  edge, K-means) and graph contraction (Section IV.A).
+* :mod:`repro.partition.initial` — greedy resource-aware initial partitioning
+  with restarts (Section IV.B).
+* :mod:`repro.partition.fm` / :mod:`repro.partition.kl` — local refinement.
+* :mod:`repro.partition.kway_refine` — k-way boundary refinement, both
+  cut-driven (METIS style) and constraint-driven (GP style).
+* :mod:`repro.partition.mlkp` — METIS-like unconstrained multilevel k-way
+  baseline.
+* :mod:`repro.partition.gp` — the paper's constrained partitioner.
+* :mod:`repro.partition.spectral`, :mod:`repro.partition.exact` — extra
+  baselines (spectral recursive bisection; exact branch & bound).
+"""
+
+from repro.partition.base import PartitionResult
+from repro.partition.metrics import (
+    ConstraintSpec,
+    PartitionMetrics,
+    bandwidth_matrix,
+    cut_value,
+    evaluate_partition,
+    part_weights,
+)
+
+__all__ = [
+    "PartitionResult",
+    "ConstraintSpec",
+    "PartitionMetrics",
+    "cut_value",
+    "bandwidth_matrix",
+    "part_weights",
+    "evaluate_partition",
+]

@@ -1,0 +1,317 @@
+"""Coarsening phase: matchings and graph contraction (paper Section IV.A).
+
+The paper uses three matching heuristics, "employed at different times,
+multiple times, in order to find the best matching for the given graph":
+
+* **Random Maximal Matching** — visit nodes in random order; match each
+  unmatched node with a random unmatched neighbour.
+* **Heavy Edge Matching (HEM)** — visit edges in descending weight order;
+  select edges whose endpoints are both unmatched.
+* **K-Means Matching** — cluster nodes by weight-based features, then match
+  near nodes inside each cluster (after Khan's multilevel TSP scheme [28]).
+
+Contraction merges each matched pair into one coarse node whose weight is the
+sum of the pair's weights; parallel edges produced by common neighbours are
+merged with summed weights (exactly the rules spelled out in IV.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.util.errors import PartitionError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "random_maximal_matching",
+    "heavy_edge_matching",
+    "kmeans_matching",
+    "matching_quality",
+    "contract",
+    "coarsen_once",
+    "CoarseLevel",
+    "Hierarchy",
+    "build_hierarchy",
+    "MATCHING_METHODS",
+]
+
+
+def _validate_matching(g: WGraph, match: np.ndarray) -> None:
+    if match.shape != (g.n,):
+        raise PartitionError(f"matching has shape {match.shape}, expected ({g.n},)")
+    for u in range(g.n):
+        v = int(match[u])
+        if not 0 <= v < g.n:
+            raise PartitionError(f"match[{u}]={v} out of range")
+        if v != u and int(match[v]) != u:
+            raise PartitionError(f"matching not symmetric at ({u}, {v})")
+
+
+def random_maximal_matching(g: WGraph, seed=None) -> np.ndarray:
+    """Random maximal matching: ``match[u] == v`` iff u,v are paired; u if single."""
+    rng = as_rng(seed)
+    match = np.arange(g.n, dtype=np.int64)
+    matched = np.zeros(g.n, dtype=bool)
+    for u in rng.permutation(g.n):
+        u = int(u)
+        if matched[u]:
+            continue
+        nbrs = g.neighbors(u)
+        free = nbrs[~matched[nbrs]]
+        if free.size == 0:
+            continue
+        v = int(free[rng.integers(0, free.size)])
+        match[u], match[v] = v, u
+        matched[u] = matched[v] = True
+    return match
+
+
+def heavy_edge_matching(g: WGraph, seed=None) -> np.ndarray:
+    """HEM per the paper: globally sort edges by descending weight, take edges
+    with both endpoints unmatched.  Ties are broken by a seeded shuffle so
+    repeated invocations explore different maximal matchings."""
+    rng = as_rng(seed)
+    match = np.arange(g.n, dtype=np.int64)
+    if g.m == 0:
+        return match
+    eu, ev, ew = g.edge_array
+    jitter = rng.permutation(g.m)  # deterministic tie-break among equal weights
+    order = np.lexsort((jitter, -ew))
+    matched = np.zeros(g.n, dtype=bool)
+    for i in order:
+        u, v = int(eu[i]), int(ev[i])
+        if not matched[u] and not matched[v]:
+            match[u], match[v] = v, u
+            matched[u] = matched[v] = True
+    return match
+
+
+def _node_features(g: WGraph) -> np.ndarray:
+    """Per-node feature vector for k-means matching: (own weight, mean
+    neighbour weight, weighted degree), standardised per column."""
+    n = g.n
+    feats = np.zeros((n, 3), dtype=np.float64)
+    feats[:, 0] = g.node_weights
+    for u in range(n):
+        nbrs, ws = g.neighbor_weights(u)
+        feats[u, 1] = g.node_weights[nbrs].mean() if nbrs.size else 0.0
+        feats[u, 2] = ws.sum()
+    std = feats.std(axis=0)
+    std[std == 0] = 1.0
+    return (feats - feats.mean(axis=0)) / std
+
+
+def _lloyd(feats: np.ndarray, k: int, rng: np.random.Generator, iters: int = 12):
+    """Tiny Lloyd's k-means (numpy); returns labels."""
+    n = feats.shape[0]
+    centers = feats[rng.choice(n, size=k, replace=False)]
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iters):
+        d = ((feats[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for c in range(k):
+            members = feats[labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+    return labels
+
+
+def kmeans_matching(g: WGraph, seed=None) -> np.ndarray:
+    """K-means matching: cluster nodes on weight-based features, then inside
+    each cluster greedily match *adjacent* pairs (heaviest connecting edge
+    first), falling back to nearest-feature pairs."""
+    rng = as_rng(seed)
+    match = np.arange(g.n, dtype=np.int64)
+    if g.n < 2:
+        return match
+    k = max(2, g.n // 4)
+    if k >= g.n:
+        k = max(1, g.n // 2)
+    feats = _node_features(g)
+    labels = _lloyd(feats, k, rng)
+    matched = np.zeros(g.n, dtype=bool)
+    for c in range(k):
+        members = np.nonzero(labels == c)[0]
+        member_set = set(members.tolist())
+        # adjacent pairs first, heaviest edge first
+        cand = []
+        for u in members:
+            nbrs, ws = g.neighbor_weights(int(u))
+            for v, w in zip(nbrs, ws):
+                if int(v) in member_set and u < v:
+                    cand.append((float(w), int(u), int(v)))
+        cand.sort(key=lambda t: (-t[0], t[1], t[2]))
+        for _, u, v in cand:
+            if not matched[u] and not matched[v]:
+                match[u], match[v] = v, u
+                matched[u] = matched[v] = True
+        # remaining members: pair by feature proximity
+        rest = [int(u) for u in members if not matched[u]]
+        while len(rest) >= 2:
+            u = rest.pop()
+            d = [(float(((feats[u] - feats[v]) ** 2).sum()), v) for v in rest]
+            d.sort()
+            v = d[0][1]
+            rest.remove(v)
+            match[u], match[v] = v, u
+            matched[u] = matched[v] = True
+    return match
+
+
+def matching_quality(g: WGraph, match: np.ndarray) -> float:
+    """Total weight of matched edges (higher = better coarsening: more edge
+    weight hidden inside coarse nodes, following the HEM rationale)."""
+    total = 0.0
+    for u in range(g.n):
+        v = int(match[u])
+        if v > u:
+            total += g.edge_weight(u, v)
+    return total
+
+
+def contract(g: WGraph, match: np.ndarray) -> tuple[WGraph, np.ndarray]:
+    """Contract matched pairs into coarse nodes.
+
+    Returns ``(coarse, node_map)`` with ``node_map[u]`` the coarse id of fine
+    node *u* — the paper's "map from the nodes in the un-coarsened graph to
+    those in the coarsened graph".
+    """
+    _validate_matching(g, match)
+    node_map = np.full(g.n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(g.n):
+        if node_map[u] >= 0:
+            continue
+        v = int(match[u])
+        node_map[u] = next_id
+        if v != u:
+            node_map[v] = next_id
+        next_id += 1
+    coarse_w = np.zeros(next_id, dtype=np.float64)
+    np.add.at(coarse_w, node_map, g.node_weights)
+    merged: dict[tuple[int, int], float] = {}
+    for u, v, w in g.edges():
+        cu, cv = int(node_map[u]), int(node_map[v])
+        if cu == cv:
+            continue  # edge hidden inside a coarse node
+        key = (cu, cv) if cu < cv else (cv, cu)
+        merged[key] = merged.get(key, 0.0) + w
+    edges = [(u, v, w) for (u, v), w in merged.items()]
+    return WGraph(next_id, edges, node_weights=coarse_w), node_map
+
+
+MATCHING_METHODS = {
+    "random": random_maximal_matching,
+    "hem": heavy_edge_matching,
+    "kmeans": kmeans_matching,
+}
+
+
+def coarsen_once(
+    g: WGraph,
+    seed=None,
+    methods: tuple[str, ...] = ("random", "hem", "kmeans"),
+) -> tuple[WGraph, np.ndarray, str]:
+    """One coarsening step: run every requested matching, keep the best.
+
+    "Each time we compare the results of the three heuristics with each other
+    and choose the best one" (Section IV.A).  Best = largest matched edge
+    weight, tie-broken by fewer coarse nodes then by method order.
+
+    Returns ``(coarse, node_map, method_name)``.
+    """
+    if not methods:
+        raise PartitionError("at least one matching method required")
+    rng = as_rng(seed)
+    best = None
+    for rank, name in enumerate(methods):
+        try:
+            fn = MATCHING_METHODS[name]
+        except KeyError:
+            raise PartitionError(
+                f"unknown matching method {name!r}; "
+                f"valid: {sorted(MATCHING_METHODS)}"
+            ) from None
+        match = fn(g, seed=rng)
+        quality = matching_quality(g, match)
+        n_coarse = g.n - int((match != np.arange(g.n)).sum() // 2)
+        key = (-quality, n_coarse, rank)
+        if best is None or key < best[0]:
+            best = (key, match, name)
+    _, match, name = best
+    coarse, node_map = contract(g, match)
+    return coarse, node_map, name
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the multilevel hierarchy."""
+
+    graph: WGraph
+    #: fine-node -> coarse-node map *into this level* (None for the original).
+    node_map: np.ndarray | None
+    method: str | None = None
+
+
+@dataclass
+class Hierarchy:
+    """Coarsening hierarchy; ``levels[0]`` is the input graph."""
+
+    levels: list[CoarseLevel] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def coarsest(self) -> WGraph:
+        return self.levels[-1].graph
+
+    def project(self, assign_coarse: np.ndarray, level: int) -> np.ndarray:
+        """Project an assignment on ``levels[level]`` one step down, to
+        ``levels[level-1]`` — the paper's "mapping vector is used to project
+        the coarse graph partition onto the finer graph"."""
+        if not 1 <= level < self.depth:
+            raise PartitionError(f"cannot project from level {level}")
+        node_map = self.levels[level].node_map
+        return np.asarray(assign_coarse, dtype=np.int64)[node_map]
+
+    def project_to_finest(self, assign_coarse: np.ndarray, level: int) -> np.ndarray:
+        out = np.asarray(assign_coarse, dtype=np.int64)
+        for lvl in range(level, 0, -1):
+            out = self.project(out, lvl)
+        return out
+
+
+def build_hierarchy(
+    g: WGraph,
+    coarsen_to: int = 100,
+    seed=None,
+    methods: tuple[str, ...] = ("random", "hem", "kmeans"),
+    min_shrink: float = 0.02,
+) -> Hierarchy:
+    """Coarsen *g* until it has at most *coarsen_to* nodes.
+
+    Stops early when a step shrinks the graph by less than ``min_shrink``
+    (no useful matching left, e.g. star graphs).  ``coarsen_to=100`` is the
+    paper's default ("the input graph is coarsened to a parametrized size
+    (default is 100)").
+    """
+    if coarsen_to < 1:
+        raise PartitionError(f"coarsen_to must be >= 1, got {coarsen_to}")
+    rng = as_rng(seed)
+    hier = Hierarchy(levels=[CoarseLevel(graph=g, node_map=None)])
+    current = g
+    while current.n > coarsen_to:
+        coarse, node_map, method = coarsen_once(current, seed=rng, methods=methods)
+        if coarse.n >= current.n * (1 - min_shrink):
+            break
+        hier.levels.append(CoarseLevel(graph=coarse, node_map=node_map, method=method))
+        current = coarse
+    return hier

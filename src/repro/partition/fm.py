@@ -1,0 +1,161 @@
+"""Fiduccia-Mattheyses two-way refinement (paper Section II.A.2).
+
+The FM discipline implemented here is the classic one the paper relies on:
+
+1. one node moves at a time (never pairs),
+2. every node moves at most once per pass ("locked" after moving),
+3. moves may be *negative-gain* — the pass continues past local minima and
+   the best prefix of the move sequence is kept,
+4. a gain priority structure gives near-linear passes.
+
+Balance is a *constraint*, not part of the objective: the best prefix is
+selected lexicographically by ``(weight-cap violation, cut)``, so a pass
+first restores the side-weight caps, then minimises the cut among compliant
+prefixes.  Without caps the caller gets a sensible default — each side is
+capped at half the total weight plus one node's worth of slack — because an
+unconstrained "bisection" would degenerate to moving every node to one side.
+
+Gains are tracked with a lazy max-heap instead of the original bucket array:
+edge weights here are floats (bandwidths), so the O(1) bucket indexing trick
+does not apply directly; the heap keeps the pass at O(m log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.partition.base import PartitionState
+from repro.partition.metrics import check_assignment, cut_value, part_weights
+from repro.util.errors import PartitionError
+
+__all__ = ["fm_pass_bisection", "fm_refine_bisection", "default_side_caps"]
+
+
+def default_side_caps(g: WGraph) -> tuple[float, float]:
+    """Default side-weight caps: half the total plus one max-node of slack."""
+    slack = float(g.node_weights.max()) if g.n else 0.0
+    cap = g.total_node_weight / 2.0 + slack
+    return (cap, cap)
+
+
+def _side_limits(
+    g: WGraph, max_weight: tuple[float, float] | None
+) -> tuple[float, float]:
+    if max_weight is None:
+        return default_side_caps(g)
+    lo, hi = max_weight
+    if lo < 0 or hi < 0:
+        raise PartitionError(f"side weight limits must be >= 0, got {max_weight}")
+    return (float(lo), float(hi))
+
+
+def _cap_violation(part_weight: np.ndarray, limits: tuple[float, float]) -> float:
+    return max(0.0, part_weight[0] - limits[0]) + max(
+        0.0, part_weight[1] - limits[1]
+    )
+
+
+def fm_pass_bisection(
+    g: WGraph,
+    assign: np.ndarray,
+    max_weight: tuple[float, float] | None = None,
+) -> tuple[np.ndarray, float]:
+    """One FM pass over a bisection.
+
+    Parameters
+    ----------
+    g, assign:
+        Graph and 0/1 assignment.
+    max_weight:
+        ``(limit_side0, limit_side1)`` caps on the node-weight sum of each
+        side; ``None`` uses :func:`default_side_caps`.  Moves into a side
+        that would exceed its cap are skipped, except that an over-cap side
+        may always shed weight.
+
+    Returns
+    -------
+    (new_assign, new_cut):
+        The prefix with the lexicographically best ``(cap violation, cut)``,
+        never worse than the input under that order.
+    """
+    a = check_assignment(g, assign, 2)
+    limits = _side_limits(g, max_weight)
+    state = PartitionState(g, a, 2)
+
+    heap: list[tuple[float, int, int]] = []  # (-gain, tiebreak, node)
+    for u in range(g.n):
+        heap.append((-state.gain(u, 1 - int(state.assign[u])), u, u))
+    heapq.heapify(heap)
+    locked = np.zeros(g.n, dtype=bool)
+
+    best_assign = state.assign.copy()
+    best_key = (_cap_violation(state.part_weight, limits), state.cut)
+    current_cut = state.cut
+    moved = 0
+
+    while heap:
+        neg_gain, _, u = heapq.heappop(heap)
+        if locked[u]:
+            continue
+        src = int(state.assign[u])
+        dest = 1 - src
+        true_gain = state.gain(u, dest)
+        if -neg_gain != true_gain:  # stale entry: reinsert with fresh gain
+            heapq.heappush(heap, (-true_gain, u + g.n * (moved + 1), u))
+            continue
+        w_u = float(g.node_weights[u])
+        dest_ok = state.part_weight[dest] + w_u <= limits[dest]
+        src_over = state.part_weight[src] > limits[src]
+        if not dest_ok and not src_over:
+            locked[u] = True  # cannot legally move this pass
+            continue
+        state.move(u, dest)
+        locked[u] = True
+        moved += 1
+        current_cut -= true_gain
+        key = (_cap_violation(state.part_weight, limits), current_cut)
+        if key < best_key:
+            best_key = key
+            best_assign = state.assign.copy()
+        # refresh neighbours' gains lazily
+        for v in state.g.neighbors(u):
+            v = int(v)
+            if not locked[v]:
+                gv = state.gain(v, 1 - int(state.assign[v]))
+                heapq.heappush(heap, (-gv, v + g.n * (moved + 1), v))
+
+    return best_assign, best_key[1]
+
+
+def fm_refine_bisection(
+    g: WGraph,
+    assign: np.ndarray,
+    max_weight: tuple[float, float] | None = None,
+    max_passes: int = 10,
+) -> np.ndarray:
+    """Run FM passes until no pass improves ``(cap violation, cut)``.
+
+    "The best bi-section observed during an iteration is used as input for
+    the next iteration" (Section II.A.2).
+    """
+    if max_passes < 1:
+        raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
+    a = check_assignment(g, assign, 2).copy()
+    limits = _side_limits(g, max_weight)
+    key = (
+        _cap_violation(part_weights(g, a, 2), limits),
+        cut_value(g, a),
+    )
+    for _ in range(max_passes):
+        new_a, _ = fm_pass_bisection(g, a, max_weight=limits)
+        new_key = (
+            _cap_violation(part_weights(g, new_a, 2), limits),
+            cut_value(g, new_a),
+        )
+        if new_key >= key:
+            break
+        a, key = new_a, new_key
+    return a

@@ -1,0 +1,42 @@
+"""The GP goodness function (paper Section IV).
+
+Intermediate clusterings are "compared a posteriori using a goodness
+function; the best (i.e. the one that is nearest to meeting the constraints)
+is chosen".  We realise *nearest to meeting the constraints* as a
+lexicographic key:
+
+1. total constraint violation (bandwidth excess + resource excess) — primary,
+2. bandwidth violation alone — the constraint FM explicitly targets,
+3. resource violation alone,
+4. global cut — tie-break among feasible (or equally-violating) candidates.
+
+Lower keys are better.  Feasible partitions therefore always beat infeasible
+ones, and among feasible ones the smallest cut wins.
+"""
+
+from __future__ import annotations
+
+from repro.partition.metrics import ConstraintSpec, PartitionMetrics
+
+__all__ = ["goodness_key", "is_better"]
+
+
+def goodness_key(
+    metrics: PartitionMetrics, constraints: ConstraintSpec
+) -> tuple[float, float, float, float]:
+    """Sort key; lower is better. *constraints* kept for signature symmetry —
+    the metrics were already evaluated against them."""
+    del constraints  # violations are baked into the metrics
+    return (
+        metrics.total_violation,
+        metrics.bandwidth_violation,
+        metrics.resource_violation,
+        metrics.cut,
+    )
+
+
+def is_better(
+    a: PartitionMetrics, b: PartitionMetrics, constraints: ConstraintSpec
+) -> bool:
+    """True iff *a* is strictly better than *b* under the goodness order."""
+    return goodness_key(a, constraints) < goodness_key(b, constraints)

@@ -1,0 +1,254 @@
+"""GP — the paper's constrained Multi-Level K-Way partitioner (Section IV).
+
+Pipeline (mirrors the paper's phases):
+
+1. **Coarsening** (IV.A): best-of-three matchings per level (random maximal,
+   heavy-edge, K-means) down to ``coarsen_to`` nodes (paper default 100).
+2. **Initial partitioning** (IV.B): greedy growing from the heaviest node,
+   resource-capped, with randomly re-seeded restarts (paper default 10),
+   leftover placement by biggest-free-space, then a constrained FM pass to
+   drive pairwise bandwidth under ``Bmax``.
+3. **Un-coarsening** (IV.C): project level by level; at each level several
+   refinement candidates ("different intermediate clusterings") are generated
+   and "compared a posteriori using a goodness function" — the nearest to
+   meeting the constraints wins.
+4. **Cyclic retry**: "if we do not meet constraints, we go back to the
+   coarsening phase and then partitioning phase (randomly), cyclically."
+   After ``max_cycles`` without a feasible partitioning the run reports
+   infeasibility (raise or return, caller's choice), matching the paper's
+   "either impossible or we have to give the tool more time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.partition.base import PartitionResult
+from repro.partition.coarsen import Hierarchy, build_hierarchy
+from repro.partition.goodness import goodness_key
+from repro.partition.initial import greedy_initial_partition
+from repro.partition.kway_refine import constrained_kway_fm
+from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.util.errors import InfeasibleError, PartitionError
+from repro.util.rng import as_rng, spawn_seeds
+from repro.util.stopwatch import Stopwatch
+
+__all__ = ["GPConfig", "gp_partition"]
+
+
+@dataclass(frozen=True)
+class GPConfig:
+    """Tuning knobs of the GP algorithm, with the paper's defaults.
+
+    Attributes
+    ----------
+    coarsen_to:
+        Coarsening stops at this many nodes ("default is 100").
+    restarts:
+        Initial-partitioning restarts ("10 is default").
+    max_cycles:
+        Maximum coarsen/partition/un-coarsen cycles before declaring the
+        instance infeasible ("a predetermined number of iterations").
+    level_candidates:
+        Intermediate clusterings generated per un-coarsening level and
+        compared with the goodness function.
+    refine_passes:
+        FM passes per refinement call.
+    vcycles:
+        Partition-preserving V-cycle refinement rounds applied to each
+        cycle's finest-level result (see :mod:`repro.partition.vcycle`);
+        0 disables (the default — the cyclic restarts already realise the
+        paper's outer loop; benchmark X8 measures this knob).
+    matchings:
+        Coarsening heuristics raced per level (Section IV.A's three).
+    on_infeasible:
+        ``"return"`` — give back the least-violating partition with
+        ``feasible=False``; ``"raise"`` — raise :class:`InfeasibleError`.
+    """
+
+    coarsen_to: int = 100
+    restarts: int = 10
+    max_cycles: int = 20
+    level_candidates: int = 3
+    refine_passes: int = 6
+    vcycles: int = 0
+    matchings: tuple[str, ...] = ("random", "hem", "kmeans")
+    on_infeasible: str = "return"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.coarsen_to < 1:
+            raise PartitionError("coarsen_to must be >= 1")
+        if self.vcycles < 0:
+            raise PartitionError("vcycles must be >= 0")
+        if self.restarts < 1:
+            raise PartitionError("restarts must be >= 1")
+        if self.max_cycles < 1:
+            raise PartitionError("max_cycles must be >= 1")
+        if self.level_candidates < 1:
+            raise PartitionError("level_candidates must be >= 1")
+        if self.refine_passes < 1:
+            raise PartitionError("refine_passes must be >= 1")
+        if self.on_infeasible not in ("return", "raise"):
+            raise PartitionError(
+                f"on_infeasible must be 'return' or 'raise', "
+                f"got {self.on_infeasible!r}"
+            )
+        if not self.matchings:
+            raise PartitionError("at least one matching method required")
+
+
+def _uncoarsen(
+    hier: Hierarchy,
+    assign_coarsest: np.ndarray,
+    k: int,
+    constraints: ConstraintSpec,
+    config: GPConfig,
+    seed,
+) -> np.ndarray:
+    """Project + refine from the coarsest level to the finest.
+
+    At each level, ``level_candidates`` independent refinement runs produce
+    different intermediate clusterings; the goodness function picks the one
+    "nearest to meeting the constraints" before descending further.
+    """
+    rng = as_rng(seed)
+    assign = np.asarray(assign_coarsest, dtype=np.int64)
+
+    def refine_best(graph: WGraph, a: np.ndarray) -> np.ndarray:
+        cand_seeds = spawn_seeds(rng, config.level_candidates)
+        best, best_key = None, None
+        for s in cand_seeds:
+            cand = constrained_kway_fm(
+                graph, a, k, constraints,
+                max_passes=config.refine_passes, seed=s,
+            )
+            key = goodness_key(
+                evaluate_partition(graph, cand, k, constraints), constraints
+            )
+            if best_key is None or key < best_key:
+                best, best_key = cand, key
+        return best
+
+    for level in range(hier.depth - 1, 0, -1):
+        assign = hier.project(assign, level)
+        assign = refine_best(hier.levels[level - 1].graph, assign)
+    if hier.depth == 1:
+        assign = refine_best(hier.levels[0].graph, assign)
+    return assign
+
+
+def gp_partition(
+    g: WGraph,
+    k: int,
+    constraints: ConstraintSpec,
+    config: GPConfig | None = None,
+    seed=None,
+) -> PartitionResult:
+    """Partition *g* into *k* parts meeting the paper's two constraints.
+
+    Parameters
+    ----------
+    g:
+        Process-network graph (node weights = resources, edge weights =
+        bandwidth).
+    k:
+        Number of partitions (FPGAs).
+    constraints:
+        ``Bmax`` / ``Rmax`` caps; either may be ``inf``.
+    config:
+        :class:`GPConfig`; paper defaults when omitted.
+    seed:
+        Overrides ``config.seed`` when given.
+
+    Returns
+    -------
+    PartitionResult
+        With ``info`` containing ``cycles`` (cycles consumed), ``levels``
+        (hierarchy depth of the last cycle) and ``feasible``.
+
+    Raises
+    ------
+    InfeasibleError
+        If no feasible partitioning is found within ``max_cycles`` and
+        ``config.on_infeasible == "raise"``.  The exception carries the
+        least-violating :class:`PartitionResult` in ``.best``.
+    """
+    config = config or GPConfig()
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if k > g.n:
+        raise PartitionError(f"k={k} exceeds node count {g.n}")
+    rng = as_rng(seed if seed is not None else config.seed)
+
+    sw = Stopwatch().start()
+    best_assign: np.ndarray | None = None
+    best_key = None
+    cycles_used = 0
+    levels_last = 1
+
+    for cycle in range(config.max_cycles):
+        cycles_used = cycle + 1
+        s_hier, s_init, s_unc, s_vc = spawn_seeds(rng, 4)
+        # Re-coarsening each cycle realises the paper's "go back to
+        # coarsening phase ... (randomly), cyclically".
+        # never coarsen below 2k nodes: a halving step from just above the
+        # threshold must still leave enough nodes to seed k partitions
+        hier = build_hierarchy(
+            g,
+            coarsen_to=max(config.coarsen_to, 2 * k),
+            seed=s_hier,
+            methods=config.matchings,
+        )
+        levels_last = hier.depth
+        assign_c = greedy_initial_partition(
+            hier.coarsest, k, constraints,
+            restarts=config.restarts, seed=s_init,
+        )
+        assign = _uncoarsen(hier, assign_c, k, constraints, config, s_unc)
+        if config.vcycles:
+            from repro.partition.vcycle import vcycle_refine
+
+            assign = vcycle_refine(
+                g, assign, k, constraints,
+                rounds=config.vcycles,
+                refine_passes=config.refine_passes,
+                seed=s_vc,
+            )
+        metrics = evaluate_partition(g, assign, k, constraints)
+        key = goodness_key(metrics, constraints)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_assign = assign
+        if metrics.feasible:
+            break
+    sw.stop()
+
+    assert best_assign is not None
+    metrics = evaluate_partition(g, best_assign, k, constraints)
+    result = PartitionResult(
+        assign=best_assign,
+        k=k,
+        metrics=metrics,
+        algorithm="GP",
+        runtime=sw.elapsed,
+        constraints=constraints,
+        info={
+            "cycles": cycles_used,
+            "levels": levels_last,
+            "max_cycles": config.max_cycles,
+        },
+    )
+    if not metrics.feasible and config.on_infeasible == "raise":
+        raise InfeasibleError(
+            f"no partitioning met Bmax={constraints.bmax}, "
+            f"Rmax={constraints.rmax} within {config.max_cycles} cycles "
+            f"(best violation: bandwidth {metrics.bandwidth_violation:g}, "
+            f"resource {metrics.resource_violation:g}); the instance is "
+            f"either impossible or needs more iterations",
+            best=result,
+        )
+    return result

@@ -1,0 +1,324 @@
+"""K-way refinement passes.
+
+Two flavours are provided:
+
+``greedy_kway_refine``
+    The unconstrained, cut-driven boundary refinement used by the METIS-like
+    baseline: move boundary nodes to the adjacent part with the largest
+    positive gain, subject to a balance cap.  Greedy — only improving moves.
+
+``constrained_kway_fm``
+    The paper's refinement: an FM-discipline pass whose move selection is
+    *lexicographic* — first reduce constraint violation (pairwise bandwidth
+    over ``Bmax``, resources over ``Rmax``), then reduce cut.  Worsening-cut
+    moves are accepted when violation does not increase (hill-climbing with
+    best-prefix recovery, Section II.A); each node moves at most once per
+    pass.  "Partitions will be changed and nodes will move between
+    partitions as far as constraints met" (Section IV.B).
+
+Both use the incremental :class:`~repro.partition.base.PartitionState`; the
+constrained pass keeps moves ordered with a lazy-validation max-priority heap
+(stale entries are re-keyed on pop), the float-weight analogue of the FM gain
+buckets, giving near-linear passes on bounded-degree process networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.partition.base import PartitionState
+from repro.partition.metrics import ConstraintSpec, check_assignment
+from repro.util.errors import PartitionError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "greedy_kway_refine",
+    "rebalance_pass",
+    "constrained_kway_fm",
+    "move_delta",
+]
+
+_EPS = 1e-12
+
+
+def rebalance_pass(
+    g: WGraph,
+    assign: np.ndarray,
+    k: int,
+    max_part_weight: float,
+    seed=None,
+) -> np.ndarray:
+    """Explicit balance phase (kmetis style).
+
+    While any part exceeds *max_part_weight*, evict the node whose move
+    damages the cut least into the lightest part that can take it.  Used by
+    the METIS-like baseline between projection and cut refinement; gives up
+    (returning the best effort) when no move can reduce the overflow —
+    e.g. single nodes heavier than the cap.
+    """
+    a = check_assignment(g, assign, k)
+    state = PartitionState(g, a, k)
+    rng = as_rng(seed)
+    counts = np.bincount(state.assign, minlength=k)
+    for _ in range(4 * g.n):  # generous bound; each move reduces overflow
+        over = np.nonzero(
+            (state.part_weight > max_part_weight) & (counts > 1)
+        )[0]  # single-member parts are never emptied (kmetis rule)
+        if over.size == 0:
+            break
+        src = int(over[int(np.argmax(state.part_weight[over]))])
+        members = np.nonzero(state.assign == src)[0]
+        rng.shuffle(members)
+        best = None  # (cut_damage, -weight, u, dest)
+        for u in members:
+            u = int(u)
+            w_u = float(g.node_weights[u])
+            conn = state.connection_vector(u)
+            for dest in range(k):
+                if dest == src:
+                    continue
+                if state.part_weight[dest] + w_u > max_part_weight:
+                    continue
+                damage = float(conn[src] - conn[dest])
+                key = (damage, -w_u, u, dest)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            break  # nothing fits anywhere: give up gracefully
+        _, _, u, dest = best
+        state.move(u, dest)
+        counts[src] -= 1
+        counts[dest] += 1
+    return state.assign
+
+
+def greedy_kway_refine(
+    g: WGraph,
+    assign: np.ndarray,
+    k: int,
+    max_part_weight: float = float("inf"),
+    max_passes: int = 8,
+    seed=None,
+) -> np.ndarray:
+    """Cut-driven greedy boundary refinement (METIS style).
+
+    Moves a boundary node to the *adjacent* part with the highest positive
+    gain, provided the destination stays under *max_part_weight*.  Among
+    equal-gain destinations the one improving balance wins.  Passes repeat
+    until no move fires.
+    """
+    if max_passes < 1:
+        raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
+    a = check_assignment(g, assign, k)
+    state = PartitionState(g, a, k)
+    rng = as_rng(seed)
+    part_count = np.bincount(state.assign, minlength=k)
+
+    for _ in range(max_passes):
+        boundary = state.boundary_nodes()
+        if boundary.size == 0:
+            break
+        rng.shuffle(boundary)
+        moved = 0
+        for u in boundary:
+            u = int(u)
+            src = int(state.assign[u])
+            if part_count[src] <= 1:
+                continue  # kmetis rule: never empty a part
+            conn = state.connection_vector(u)
+            w_u = float(g.node_weights[u])
+            best_dest, best_gain = -1, _EPS
+            for dest in np.nonzero(conn > 0)[0]:
+                dest = int(dest)
+                if dest == src:
+                    continue
+                if state.part_weight[dest] + w_u > max_part_weight:
+                    continue
+                gain = float(conn[dest] - conn[src])
+                if gain > best_gain + _EPS:
+                    best_dest, best_gain = dest, gain
+                elif (
+                    best_dest >= 0
+                    and abs(gain - best_gain) <= _EPS
+                    and state.part_weight[dest] < state.part_weight[best_dest]
+                ):
+                    best_dest = dest
+            if best_dest >= 0:
+                state.move(u, best_dest)
+                part_count[src] -= 1
+                part_count[best_dest] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return state.assign
+
+
+def move_delta(
+    state: PartitionState,
+    u: int,
+    dest: int,
+    constraints: ConstraintSpec,
+    conn: np.ndarray | None = None,
+) -> tuple[float, float]:
+    """Effect of moving *u* to *dest*: ``(violation_delta, cut_delta)``.
+
+    Negative values are improvements.  Computed incrementally from the
+    state's bandwidth matrix and part weights in O(k).
+    """
+    src = int(state.assign[u])
+    if dest == src:
+        return (0.0, 0.0)
+    if conn is None:
+        conn = state.connection_vector(u)
+    w_u = float(state.g.node_weights[u])
+    rmax, bmax = constraints.rmax, constraints.bmax
+
+    dv = 0.0
+    if np.isfinite(rmax):
+        w_src, w_dest = state.part_weight[src], state.part_weight[dest]
+        dv += max(0.0, w_src - w_u - rmax) - max(0.0, w_src - rmax)
+        dv += max(0.0, w_dest + w_u - rmax) - max(0.0, w_dest - rmax)
+
+    if np.isfinite(bmax):
+        for c in range(state.k):
+            if c == src or c == dest or conn[c] == 0.0:
+                continue
+            old_sc = state.bw[src, c]
+            old_dc = state.bw[dest, c]
+            dv += max(0.0, old_sc - conn[c] - bmax) - max(0.0, old_sc - bmax)
+            dv += max(0.0, old_dc + conn[c] - bmax) - max(0.0, old_dc - bmax)
+        old_sd = state.bw[src, dest]
+        new_sd = old_sd - conn[dest] + conn[src]
+        dv += max(0.0, new_sd - bmax) - max(0.0, old_sd - bmax)
+
+    cut_delta = float(conn[src] - conn[dest])
+    return (float(dv), cut_delta)
+
+
+def _best_move(
+    state: PartitionState, u: int, constraints: ConstraintSpec
+) -> tuple[float, float, int] | None:
+    """Best ``(violation_delta, cut_delta, dest)`` for node *u*, or None."""
+    src = int(state.assign[u])
+    conn = state.connection_vector(u)
+    dests = {int(c) for c in np.nonzero(conn > 0)[0] if int(c) != src}
+    if (
+        np.isfinite(constraints.rmax)
+        and state.part_weight[src] > constraints.rmax
+    ):
+        # over-full part: any escape destination is worth considering
+        dests.update(c for c in range(state.k) if c != src)
+    best = None
+    for dest in sorted(dests):
+        dv, dc = move_delta(state, u, dest, constraints, conn=conn)
+        key = (dv, dc, dest)
+        if best is None or key < best:
+            best = key
+    return best
+
+
+def constrained_kway_fm(
+    g: WGraph,
+    assign: np.ndarray,
+    k: int,
+    constraints: ConstraintSpec,
+    max_passes: int = 6,
+    seed=None,
+    abort_after: int | None = None,
+) -> np.ndarray:
+    """Constraint-driven FM k-way refinement (the GP local search).
+
+    Per pass, nodes move at most once, ordered by a lazy-validation heap on
+    ``(violation_delta, cut_delta)``.  Moves that would *increase* violation
+    are never taken; cut-worsening moves with non-increasing violation are
+    taken FM-style (best state by ``(total violation, cut)`` is restored at
+    the end).  *abort_after* bounds consecutive non-improving moves per pass
+    (defaults to ``max(50, n // 10)``), the standard early-exit that keeps
+    passes cheap on large graphs.
+    """
+    if max_passes < 1:
+        raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
+    a = check_assignment(g, assign, k)
+    state = PartitionState(g, a, k)
+    rng = as_rng(seed)
+    if abort_after is None:
+        abort_after = max(50, g.n // 10)
+
+    def total_violation() -> float:
+        v = 0.0
+        if np.isfinite(constraints.rmax):
+            v += float(np.maximum(state.part_weight - constraints.rmax, 0.0).sum())
+        if np.isfinite(constraints.bmax):
+            v += float(
+                np.triu(np.maximum(state.bw - constraints.bmax, 0.0), k=1).sum()
+            )
+        return v
+
+    best_assign = state.assign.copy()
+    best_key = (total_violation(), state.cut)
+
+    tick = count()
+    for _ in range(max_passes):
+        locked = np.zeros(g.n, dtype=bool)
+        start_key = (total_violation(), state.cut)
+
+        heap: list[tuple[float, float, int, int, int]] = []
+
+        def push(u: int) -> None:
+            mv = _best_move(state, u, constraints)
+            if mv is not None:
+                dv, dc, dest = mv
+                heapq.heappush(heap, (dv, dc, next(tick), u, dest))
+
+        seeds = state.boundary_nodes()
+        if np.isfinite(constraints.rmax):
+            over = np.nonzero(state.part_weight > constraints.rmax)[0]
+            if over.size:
+                extra = np.nonzero(np.isin(state.assign, over))[0]
+                seeds = np.union1d(seeds, extra)
+        seeds = seeds.astype(np.int64)
+        rng.shuffle(seeds)
+        for u in seeds:
+            push(int(u))
+
+        stagnant = 0
+        while heap:
+            dv, dc, _, u, dest = heapq.heappop(heap)
+            if locked[u]:
+                continue
+            fresh = _best_move(state, u, constraints)
+            if fresh is None:
+                continue
+            if (fresh[0], fresh[1], fresh[2]) != (dv, dc, dest):
+                heapq.heappush(heap, (fresh[0], fresh[1], next(tick), u, fresh[2]))
+                continue
+            if dv > _EPS:
+                break  # every remaining move strictly worsens violation
+            if dv > -_EPS and dc > _EPS and stagnant >= abort_after:
+                break
+            state.move(u, dest)
+            locked[u] = True
+            key_now = (total_violation(), state.cut)
+            if key_now < best_key:
+                best_key = key_now
+                best_assign = state.assign.copy()
+                stagnant = 0
+            else:
+                stagnant += 1
+            if stagnant > abort_after:
+                break
+            for v in g.neighbors(u):
+                v = int(v)
+                if not locked[v]:
+                    push(v)
+
+        if best_key < start_key:
+            # FM discipline: next pass starts from the best prefix seen
+            state = PartitionState(g, best_assign, k)
+        else:
+            break  # the pass found nothing better anywhere
+    return best_assign

@@ -1,0 +1,110 @@
+"""Portfolio partitioning: race configurations, keep the goodness winner.
+
+GP's quality depends on its knobs (matchings, restarts, V-cycles, seeds).
+The cheapest robust strategy — and what practitioners actually run — is a
+small portfolio: several configurations on the same instance, best result
+by the goodness order wins.  The portfolio never returns anything worse
+than its best member, so it safely wraps GP in pipelines that must not
+regress (at the cost of portfolio-size × runtime).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graph.wgraph import WGraph
+from repro.partition.base import PartitionResult
+from repro.partition.goodness import goodness_key
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.util.errors import InfeasibleError, PartitionError
+from repro.util.rng import spawn_seeds
+from repro.util.stopwatch import Stopwatch
+
+__all__ = ["default_portfolio", "portfolio_partition"]
+
+
+def default_portfolio() -> list[GPConfig]:
+    """A spread of four complementary GP configurations."""
+    return [
+        GPConfig(),  # paper defaults
+        GPConfig(restarts=20, level_candidates=4),  # wider initial search
+        GPConfig(vcycles=2),  # deeper refinement
+        GPConfig(matchings=("hem",), restarts=5, max_cycles=30),  # many cheap cycles
+    ]
+
+
+def portfolio_partition(
+    g: WGraph,
+    k: int,
+    constraints: ConstraintSpec,
+    configs: Sequence[GPConfig] | None = None,
+    seed=None,
+    on_infeasible: str = "return",
+    stop_on_feasible: bool = False,
+) -> PartitionResult:
+    """Run every configuration; return the goodness-best result.
+
+    Parameters
+    ----------
+    configs:
+        The portfolio; :func:`default_portfolio` when omitted.
+    stop_on_feasible:
+        Return the first feasible result instead of racing the full
+        portfolio (latency over quality).
+    on_infeasible:
+        ``"return"`` or ``"raise"`` — applied to the portfolio outcome,
+        regardless of member configs' own settings.
+    """
+    if on_infeasible not in ("return", "raise"):
+        raise PartitionError(
+            f"on_infeasible must be return/raise, got {on_infeasible!r}"
+        )
+    configs = list(configs) if configs is not None else default_portfolio()
+    if not configs:
+        raise PartitionError("portfolio must contain at least one config")
+    seeds = spawn_seeds(seed, len(configs))
+
+    sw = Stopwatch().start()
+    best: PartitionResult | None = None
+    best_key = None
+    runs = []
+    for cfg, s in zip(configs, seeds):
+        # members never raise; the portfolio applies its own policy at the end
+        member_cfg = (
+            cfg
+            if cfg.on_infeasible == "return"
+            else GPConfig(**{**cfg.__dict__, "on_infeasible": "return"})
+        )
+        res = gp_partition(g, k, constraints, member_cfg, seed=s)
+        runs.append(
+            {
+                "config": member_cfg,
+                "feasible": res.feasible,
+                "cut": res.metrics.cut,
+            }
+        )
+        key = goodness_key(res.metrics, constraints)
+        if best_key is None or key < best_key:
+            best, best_key = res, key
+        if stop_on_feasible and res.feasible:
+            break
+    sw.stop()
+
+    assert best is not None
+    result = PartitionResult(
+        assign=best.assign,
+        k=k,
+        metrics=best.metrics,
+        algorithm="GP-portfolio",
+        runtime=sw.elapsed,
+        constraints=constraints,
+        info={"members": len(runs), "runs": runs, "winner": best.info},
+    )
+    if not result.feasible and on_infeasible == "raise":
+        raise InfeasibleError(
+            f"no portfolio member found a feasible partitioning "
+            f"({len(runs)} configurations tried)",
+            best=result,
+        )
+    return result

@@ -1,0 +1,45 @@
+"""Polyhedral front-end (system S6 in DESIGN.md).
+
+The paper partitions *Polyhedral Process Networks* — process networks derived
+from Static Affine Nested Loop Programs (SANLPs) by tools in the
+Compaan/Daedalus lineage ("graphs represent Process Networks generated via
+suitable tools", Section V).  This subpackage supplies that front-end:
+
+* :mod:`repro.polyhedral.affine` — affine expressions over loop iterators,
+  with a small parser ("i - 1", "2*i + j").
+* :mod:`repro.polyhedral.domain` — rectangular/triangular integer iteration
+  domains with exact enumeration and counting.
+* :mod:`repro.polyhedral.program` — statements, array accesses and SANLPs.
+* :mod:`repro.polyhedral.dependence` — exact (enumeration-based) dataflow
+  analysis computing last-writer flow dependences.
+* :mod:`repro.polyhedral.ppn` — PPN derivation: one process per statement,
+  one FIFO channel per (producer, consumer, array) dependence, annotated
+  with firing counts, token counts and resource estimates; exported to the
+  partitioner as a :class:`~repro.graph.wgraph.WGraph`.
+* :mod:`repro.polyhedral.gallery` — canned SANLPs (stencils, matmul, FIR,
+  Sobel, producer/consumer chains) used by examples and benchmarks.
+"""
+
+from repro.polyhedral.affine import AffineExpr, parse_affine
+from repro.polyhedral.domain import IterationDomain, domain
+from repro.polyhedral.dependence import Dependence, find_dependences
+from repro.polyhedral.ppn import PPN, Channel, Process, derive_ppn
+from repro.polyhedral.program import SANLP, ArrayAccess, Statement, read, write
+
+__all__ = [
+    "AffineExpr",
+    "parse_affine",
+    "IterationDomain",
+    "domain",
+    "SANLP",
+    "Statement",
+    "ArrayAccess",
+    "read",
+    "write",
+    "Dependence",
+    "find_dependences",
+    "PPN",
+    "Process",
+    "Channel",
+    "derive_ppn",
+]

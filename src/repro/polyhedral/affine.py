@@ -1,0 +1,260 @@
+"""Affine expressions over loop iterators and parameters.
+
+An :class:`AffineExpr` is ``sum_i c_i * x_i + c0`` with integer coefficients
+over named variables.  It is the index/bound language of the polyhedral
+model: loop bounds, array subscripts and domain guards are all affine.
+
+A small parser accepts the usual textual form so programs read naturally::
+
+    parse_affine("2*i + j - 1")
+    parse_affine("N - i")
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.util.errors import ReproError
+
+__all__ = ["AffineExpr", "parse_affine", "AffineParseError"]
+
+
+class AffineParseError(ReproError):
+    """Raised for text that is not an affine expression."""
+
+
+class AffineExpr:
+    """Immutable integer-affine expression ``sum c_i * var_i + const``."""
+
+    __slots__ = ("_coeffs", "_const")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        clean = {}
+        for var, c in (coeffs or {}).items():
+            if not isinstance(var, str) or not var:
+                raise AffineParseError(f"bad variable name {var!r}")
+            c = int(c)
+            if c != 0:
+                clean[var] = c
+        self._coeffs: dict[str, int] = clean
+        self._const = int(const)
+
+    # -- constructors ---------------------------------------------------- #
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        return AffineExpr({name: 1})
+
+    @staticmethod
+    def const_expr(value: int) -> "AffineExpr":
+        return AffineExpr({}, value)
+
+    # -- accessors -------------------------------------------------------- #
+    @property
+    def coeffs(self) -> dict[str, int]:
+        return dict(self._coeffs)
+
+    @property
+    def const(self) -> int:
+        return self._const
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def coeff(self, var: str) -> int:
+        return self._coeffs.get(var, 0)
+
+    # -- algebra ----------------------------------------------------------- #
+    def __add__(self, other: "AffineExpr | int") -> "AffineExpr":
+        other = _as_expr(other)
+        coeffs = dict(self._coeffs)
+        for var, c in other._coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + c
+        return AffineExpr(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({v: -c for v, c in self._coeffs.items()}, -self._const)
+
+    def __sub__(self, other: "AffineExpr | int") -> "AffineExpr":
+        return self + (-_as_expr(other))
+
+    def __rsub__(self, other: int) -> "AffineExpr":
+        return _as_expr(other) - self
+
+    def __mul__(self, scalar: int) -> "AffineExpr":
+        if isinstance(scalar, AffineExpr):
+            if scalar.is_constant:
+                scalar = scalar.const
+            elif self.is_constant:
+                return scalar * self._const
+            else:
+                raise AffineParseError("product of two non-constant expressions")
+        scalar = int(scalar)
+        return AffineExpr(
+            {v: c * scalar for v, c in self._coeffs.items()}, self._const * scalar
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation -------------------------------------------------------- #
+    def eval(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a full variable binding."""
+        total = self._const
+        for var, c in self._coeffs.items():
+            try:
+                total += c * int(env[var])
+            except KeyError:
+                raise AffineParseError(
+                    f"unbound variable {var!r} in {self}"
+                ) from None
+        return total
+
+    def substitute(self, env: Mapping[str, "AffineExpr | int"]) -> "AffineExpr":
+        """Replace variables by expressions (partial substitution allowed)."""
+        out = AffineExpr({}, self._const)
+        for var, c in self._coeffs.items():
+            if var in env:
+                out = out + _as_expr(env[var]) * c
+            else:
+                out = out + AffineExpr({var: c})
+        return out
+
+    # -- misc ---------------------------------------------------------------- #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = AffineExpr.const_expr(other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._const == other._const
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._coeffs.items()), self._const))
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for var in sorted(self._coeffs):
+            c = self._coeffs[var]
+            if c == 1:
+                term = var
+            elif c == -1:
+                term = f"-{var}"
+            else:
+                term = f"{c}*{var}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._const or not parts:
+            if parts:
+                sign = "+" if self._const >= 0 else "-"
+                parts.append(f"{sign} {abs(self._const)}")
+            else:
+                parts.append(str(self._const))
+        return " ".join(parts)
+
+
+def _as_expr(x: "AffineExpr | int | str") -> AffineExpr:
+    if isinstance(x, AffineExpr):
+        return x
+    if isinstance(x, int):
+        return AffineExpr.const_expr(x)
+    if isinstance(x, str):
+        return parse_affine(x)
+    raise AffineParseError(f"cannot coerce {x!r} to an affine expression")
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<var>[A-Za-z_][A-Za-z_0-9]*)|(?P<op>[+\-*()]))"
+)
+
+
+def parse_affine(text: str | int | AffineExpr) -> AffineExpr:
+    """Parse ``"2*i + j - 1"`` style affine expressions.
+
+    Grammar: terms joined by ``+``/``-``; a term is ``[int *] var``, ``int``,
+    or a parenthesised expression optionally scaled by an integer.
+    """
+    if isinstance(text, AffineExpr):
+        return text
+    if isinstance(text, int):
+        return AffineExpr.const_expr(text)
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise AffineParseError(
+                    f"unexpected character {text[pos]!r} in {text!r}"
+                )
+            break
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+
+    idx = 0
+
+    def peek() -> str | None:
+        return tokens[idx] if idx < len(tokens) else None
+
+    def take() -> str:
+        nonlocal idx
+        tok = tokens[idx]
+        idx += 1
+        return tok
+
+    def parse_expr() -> AffineExpr:
+        out = parse_term()
+        while peek() in ("+", "-"):
+            op = take()
+            rhs = parse_term()
+            out = out + rhs if op == "+" else out - rhs
+        return out
+
+    def parse_term() -> AffineExpr:
+        sign = 1
+        while peek() in ("+", "-"):
+            if take() == "-":
+                sign = -sign
+        out = parse_factor()
+        while peek() == "*":
+            take()
+            rhs = parse_factor()
+            out = out * rhs
+        return out * sign
+
+    def parse_factor() -> AffineExpr:
+        tok = peek()
+        if tok is None:
+            raise AffineParseError(f"unexpected end of expression in {text!r}")
+        if tok == "(":
+            take()
+            out = parse_expr()
+            if peek() != ")":
+                raise AffineParseError(f"missing ')' in {text!r}")
+            take()
+            return out
+        take()
+        if tok.isdigit():
+            return AffineExpr.const_expr(int(tok))
+        if tok in ("+", "-", "*", ")"):
+            raise AffineParseError(f"unexpected {tok!r} in {text!r}")
+        return AffineExpr.var(tok)
+
+    if not tokens:
+        raise AffineParseError("empty affine expression")
+    out = parse_expr()
+    if idx != len(tokens):
+        raise AffineParseError(f"trailing tokens in {text!r}")
+    return out

@@ -1,0 +1,151 @@
+"""PPN channel classification (after Turjan/Kienhuis/Deprettere).
+
+The PPN derivation literature classifies each flow dependence by *how* its
+tokens can be transported, because the hardware cost differs sharply:
+
+``IOM`` (in-order, multiplicity 1)
+    A plain FIFO: tokens leave in production order, each consumed once.
+
+``IOM+`` (in-order, with multiplicity)
+    FIFO plus a controller that re-reads the head token (a value consumed
+    several times in a row).
+
+``OOM`` (out-of-order, multiplicity 1)
+    Needs a *reordering* channel — addressable memory sized to the maximum
+    reordering window, far costlier than a FIFO.
+
+``OOM+`` (out-of-order with multiplicity)
+    Reordering memory plus multiplicity control — the most expensive kind.
+
+``classify_channel`` derives the class from the dependence's exact
+(producer firing, consumer firing) pairs; ``channel_cost_model`` turns the
+class into a resource surcharge, which :func:`annotate_ppn_costs` folds
+into process resource estimates (the consumer hosts the channel controller,
+matching how PPN backends place them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.polyhedral.dependence import Dependence
+from repro.polyhedral.ppn import PPN
+from repro.util.errors import ReproError
+
+__all__ = [
+    "ChannelClass",
+    "classify_channel",
+    "classify_ppn",
+    "channel_cost_model",
+    "annotate_ppn_costs",
+]
+
+
+@dataclass(frozen=True)
+class ChannelClass:
+    """Classification of one channel."""
+
+    in_order: bool
+    has_multiplicity: bool
+    #: longest reordering window (max distance a token waits past its turn);
+    #: 0 for in-order channels
+    reorder_window: int
+
+    @property
+    def name(self) -> str:
+        base = "IOM" if self.in_order else "OOM"
+        return base + ("+" if self.has_multiplicity else "")
+
+
+def classify_channel(dep: Dependence) -> ChannelClass:
+    """Classify a dependence from its exact firing pairs."""
+    # multiplicity: some producer firing feeds more than one consumer firing
+    has_mult = any(int(c) > 1 for c in dep.production) or any(
+        int(c) > 1 for c in dep.consumption
+    )
+    # pairs are stored in production order; consumption order of those
+    # tokens is the sequence of consumer firings
+    consumer_seq = [rf for _, rf in dep.pairs]
+    in_order = consumer_seq == sorted(consumer_seq)
+    window = 0
+    if not in_order:
+        # how far out of place a token can be: for each position, the
+        # number of later-produced tokens that must be consumed first
+        seen_min = []
+        running_min = float("inf")
+        for rf in reversed(consumer_seq):
+            running_min = min(running_min, rf)
+            seen_min.append(running_min)
+        seen_min.reverse()
+        for i, rf in enumerate(consumer_seq):
+            if i + 1 < len(consumer_seq) and seen_min[i + 1] < rf:
+                # tokens after position i with earlier consumption
+                ahead = sum(1 for later in consumer_seq[i + 1 :] if later < rf)
+                window = max(window, ahead)
+    return ChannelClass(
+        in_order=in_order,
+        has_multiplicity=has_mult,
+        reorder_window=window,
+    )
+
+
+def classify_ppn(ppn: PPN) -> dict[tuple[str, str, str], ChannelClass]:
+    """Classify every channel, keyed ``(src, dst, array)``."""
+    return {
+        (ch.src, ch.dst, ch.array): classify_channel(ch.dependence)
+        for ch in ppn.channels
+    }
+
+
+def channel_cost_model(
+    cls: ChannelClass,
+    fifo_cost: float = 2.0,
+    multiplicity_cost: float = 3.0,
+    reorder_base: float = 8.0,
+    reorder_per_slot: float = 0.5,
+) -> float:
+    """Resource surcharge of one channel controller.
+
+    FIFO channels cost ``fifo_cost``; multiplicity adds a re-read
+    controller; out-of-order channels replace the FIFO with addressable
+    reordering memory sized to the window.
+    """
+    if cls.in_order:
+        cost = fifo_cost
+    else:
+        cost = reorder_base + reorder_per_slot * cls.reorder_window
+    if cls.has_multiplicity:
+        cost += multiplicity_cost
+    return cost
+
+
+def annotate_ppn_costs(ppn: PPN, **cost_kwargs) -> PPN:
+    """New PPN whose process resources include channel-controller costs.
+
+    The *consumer* process hosts each channel's read controller (the PPN
+    backend convention), so its resource estimate absorbs the surcharge.
+    """
+    classes = classify_ppn(ppn)
+    surcharge: dict[str, float] = {p.name: 0.0 for p in ppn.processes}
+    for (src, dst, array), cls in classes.items():
+        if dst not in surcharge:
+            raise ReproError(f"channel consumer {dst!r} unknown")
+        surcharge[dst] += channel_cost_model(cls, **cost_kwargs)
+    from repro.polyhedral.ppn import Process
+
+    processes = [
+        Process(
+            name=p.name,
+            statement=p.statement,
+            firings=p.firings,
+            resources=p.resources + surcharge[p.name],
+            work=p.work,
+        )
+        for p in ppn.processes
+    ]
+    return PPN(
+        ppn.name,
+        processes,
+        list(ppn.channels),
+        external_inputs=list(ppn.external_inputs),
+    )

@@ -1,0 +1,139 @@
+"""Exact dataflow (flow-dependence) analysis for SANLPs.
+
+PPN derivation needs, for every read access, the identity of the statement
+instance that produced the value — the *last write* to that array element
+preceding the read in sequential execution order (Feautrier's dataflow
+analysis).  Full-strength toolchains solve this with parametric integer
+programming; for the bounded domains this library targets we compute it
+**exactly by enumeration** of the sequential trace, which doubles as the
+ground-truth oracle the property tests compare against.
+
+The result is aggregated per (producer statement, consumer statement, array)
+triple into :class:`Dependence` records carrying:
+
+* ``token_count`` — number of (write instance, read instance) pairs, i.e.
+  the data volume the corresponding FIFO channel transports;
+* ``production`` / ``consumption`` — per-firing token counts for producer
+  and consumer (indexed by firing order), which drive the KPN simulator;
+* ``in_order`` — whether tokens are consumed in production order (a plain
+  FIFO suffices; otherwise a reordering channel would be needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.polyhedral.program import SANLP
+from repro.util.errors import ReproError
+
+__all__ = ["Dependence", "ExternalInput", "find_dependences", "DependenceError"]
+
+
+class DependenceError(ReproError):
+    """Dataflow analysis failure (e.g. read of a never-written element)."""
+
+
+@dataclass
+class Dependence:
+    """Aggregated flow dependence (one FIFO channel of the PPN)."""
+
+    producer: str
+    consumer: str
+    array: str
+    token_count: int
+    #: tokens produced by the i-th firing of the producer on this channel
+    production: np.ndarray = field(repr=False)
+    #: tokens consumed by the j-th firing of the consumer on this channel
+    consumption: np.ndarray = field(repr=False)
+    #: (producer_firing, consumer_firing) pairs, production order
+    pairs: list[tuple[int, int]] = field(repr=False, default_factory=list)
+    in_order: bool = True
+
+    @property
+    def is_selfloop(self) -> bool:
+        return self.producer == self.consumer
+
+
+@dataclass
+class ExternalInput:
+    """Reads of array elements no statement wrote (program inputs)."""
+
+    consumer: str
+    array: str
+    token_count: int
+
+
+def find_dependences(
+    prog: SANLP, allow_external_inputs: bool = True
+) -> tuple[list[Dependence], list[ExternalInput]]:
+    """Compute all flow dependences of *prog* by exact trace enumeration.
+
+    Returns ``(dependences, external_inputs)``.  With
+    ``allow_external_inputs=False``, a read of a never-written element
+    raises :class:`DependenceError` (single-assignment checking).
+    """
+    # last_writer: element -> (stmt_index, firing_index)
+    last_writer: dict[tuple[str, tuple[int, ...]], tuple[int, int]] = {}
+    firing_counter = [0] * len(prog.statements)
+    # channel key -> list of (producer_firing, consumer_firing)
+    channel_pairs: dict[tuple[int, int, str], list[tuple[int, int]]] = {}
+    external: dict[tuple[int, str], int] = {}
+
+    for si, point, env in prog.execution_trace():
+        stmt = prog.statements[si]
+        firing = firing_counter[si]
+        # reads happen before the statement's own writes (RHS before LHS)
+        for acc in stmt.reads:
+            elem = acc.element(env)
+            writer = last_writer.get(elem)
+            if writer is None:
+                if not allow_external_inputs:
+                    raise DependenceError(
+                        f"{stmt.name} reads {acc.array}{list(elem[1])} "
+                        f"which no statement wrote"
+                    )
+                key_ext = (si, acc.array)
+                external[key_ext] = external.get(key_ext, 0) + 1
+                continue
+            wi, wf = writer
+            key = (wi, si, acc.array)
+            channel_pairs.setdefault(key, []).append((wf, firing))
+        for acc in stmt.writes:
+            last_writer[acc.element(env)] = (si, firing)
+        firing_counter[si] = firing + 1
+
+    deps: list[Dependence] = []
+    for (wi, ri, array), pairs in sorted(channel_pairs.items()):
+        producer = prog.statements[wi]
+        consumer = prog.statements[ri]
+        production = np.zeros(producer.firings, dtype=np.int64)
+        consumption = np.zeros(consumer.firings, dtype=np.int64)
+        for wf, rf in pairs:
+            production[wf] += 1
+            consumption[rf] += 1
+        # tokens depart in production order; FIFO works iff the consumer
+        # needs them in that same order.
+        by_production = sorted(pairs, key=lambda p: (p[0], p[1]))
+        consumer_order = [rf for _, rf in by_production]
+        in_order = consumer_order == sorted(consumer_order)
+        deps.append(
+            Dependence(
+                producer=producer.name,
+                consumer=consumer.name,
+                array=array,
+                token_count=len(pairs),
+                production=production,
+                consumption=consumption,
+                pairs=by_production,
+                in_order=in_order,
+            )
+        )
+    externals = [
+        ExternalInput(
+            consumer=prog.statements[si].name, array=array, token_count=count
+        )
+        for (si, array), count in sorted(external.items())
+    ]
+    return deps, externals

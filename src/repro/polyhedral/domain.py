@@ -1,0 +1,174 @@
+"""Integer iteration domains of affine loop nests.
+
+An :class:`IterationDomain` is an ordered nest of loops, each with affine
+lower/upper bounds in the *outer* iterators and program parameters, plus
+optional affine guard constraints (``expr >= 0``).  This is the polyhedral
+sets subset SANLPs need — triangular/trapezoidal nests and guarded bodies —
+with **exact** point enumeration and counting (the role Barvinok/isl play in
+the full-strength toolchains).
+
+Points enumerate in lexicographic order, which is the sequential execution
+order of the loop nest and therefore the order dependence analysis needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.polyhedral.affine import AffineExpr, parse_affine
+from repro.util.errors import ReproError
+
+__all__ = ["LoopSpec", "IterationDomain", "domain"]
+
+_ENUM_LIMIT = 2_000_000  # safety valve against runaway enumerations
+
+
+class DomainError(ReproError):
+    """Malformed iteration domain."""
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One loop level: ``for var in [lower, upper]`` (inclusive bounds)."""
+
+    var: str
+    lower: AffineExpr
+    upper: AffineExpr
+
+
+class IterationDomain:
+    """Ordered affine loop nest with optional guards.
+
+    Parameters
+    ----------
+    loops:
+        Sequence of ``(var, lower, upper)`` with bounds affine in outer
+        iterators and parameters; inclusive on both ends.
+    guards:
+        Extra affine constraints ``expr >= 0`` filtering the box.
+    params:
+        Parameter bindings (``{"N": 16}``); every free variable in bounds
+        and guards must be an outer iterator or a bound parameter.
+    """
+
+    def __init__(
+        self,
+        loops: Sequence[tuple[str, AffineExpr | int | str, AffineExpr | int | str]],
+        guards: Sequence[AffineExpr | str] = (),
+        params: Mapping[str, int] | None = None,
+    ) -> None:
+        self.params: dict[str, int] = {k: int(v) for k, v in (params or {}).items()}
+        self.loops: list[LoopSpec] = []
+        seen: set[str] = set(self.params)
+        for var, lo, hi in loops:
+            if not isinstance(var, str) or not var:
+                raise DomainError(f"bad iterator name {var!r}")
+            if var in seen:
+                raise DomainError(f"iterator {var!r} shadows an outer name")
+            lo_e, hi_e = parse_affine(lo), parse_affine(hi)
+            for e in (lo_e, hi_e):
+                free = e.variables - seen
+                if free:
+                    raise DomainError(
+                        f"bound {e} of loop {var!r} uses unbound names {sorted(free)}"
+                    )
+            self.loops.append(LoopSpec(var, lo_e, hi_e))
+            seen.add(var)
+        self.guards: list[AffineExpr] = [parse_affine(c) for c in guards]
+        for c in self.guards:
+            free = c.variables - seen
+            if free:
+                raise DomainError(f"guard {c} uses unbound names {sorted(free)}")
+        self._cached_count: int | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def iterators(self) -> tuple[str, ...]:
+        return tuple(spec.var for spec in self.loops)
+
+    @property
+    def dim(self) -> int:
+        return len(self.loops)
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Enumerate integer points in lexicographic (execution) order."""
+        env = dict(self.params)
+        yield from self._enumerate(0, env, [])
+
+    def _enumerate(
+        self, level: int, env: dict[str, int], prefix: list[int]
+    ) -> Iterator[tuple[int, ...]]:
+        if level == len(self.loops):
+            if all(c.eval(env) >= 0 for c in self.guards):
+                yield tuple(prefix)
+            return
+        spec = self.loops[level]
+        lo = spec.lower.eval(env)
+        hi = spec.upper.eval(env)
+        for value in range(lo, hi + 1):
+            env[spec.var] = value
+            prefix.append(value)
+            yield from self._enumerate(level + 1, env, prefix)
+            prefix.pop()
+            del env[spec.var]
+
+    def count(self) -> int:
+        """Exact number of integer points (cached)."""
+        if self._cached_count is None:
+            n = 0
+            for _ in self.points():
+                n += 1
+                if n > _ENUM_LIMIT:
+                    raise DomainError(
+                        f"domain larger than enumeration limit {_ENUM_LIMIT}"
+                    )
+            self._cached_count = n
+        return self._cached_count
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Membership test (bounds + guards) without enumeration."""
+        if len(point) != self.dim:
+            return False
+        env = dict(self.params)
+        for spec, value in zip(self.loops, point):
+            lo = spec.lower.eval(env)
+            hi = spec.upper.eval(env)
+            if not lo <= value <= hi:
+                return False
+            env[spec.var] = int(value)
+        return all(c.eval(env) >= 0 for c in self.guards)
+
+    def env_at(self, point: Sequence[int]) -> dict[str, int]:
+        """Full binding (params + iterators) at *point*."""
+        if len(point) != self.dim:
+            raise DomainError(
+                f"point arity {len(point)} != domain dim {self.dim}"
+            )
+        env = dict(self.params)
+        env.update({spec.var: int(v) for spec, v in zip(self.loops, point)})
+        return env
+
+    def is_empty(self) -> bool:
+        for _ in self.points():
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        loops = ", ".join(
+            f"{s.var}=[{s.lower}..{s.upper}]" for s in self.loops
+        )
+        guards = f" if {', '.join(map(str, self.guards))}" if self.guards else ""
+        return f"IterationDomain({loops}{guards})"
+
+
+def domain(
+    *loops: tuple[str, AffineExpr | int | str, AffineExpr | int | str],
+    guards: Sequence[AffineExpr | str] = (),
+    **params: int,
+) -> IterationDomain:
+    """Convenience constructor::
+
+        domain(("i", 0, "N - 1"), ("j", 0, "i"), N=8)
+    """
+    return IterationDomain(loops, guards=guards, params=params)

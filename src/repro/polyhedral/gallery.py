@@ -1,0 +1,378 @@
+"""Gallery of canned SANLPs — the classic PPN workloads.
+
+These are the applications the Compaan/Daedalus literature (and the paper's
+introduction) motivates: streaming filters, stencils and linear algebra.
+Each builder returns a fully-bound :class:`~repro.polyhedral.program.SANLP`
+whose PPN exercises a distinct topology:
+
+========================  ===========================================
+``producer_consumer``     2-process pipeline (the hello-world PPN)
+``chain``                 N-stage pipeline
+``fir_filter``            FIR with tapped delay line (fan-in)
+``jacobi1d``              1-D stencil over time (diamond dependences)
+``matmul``                blocked matrix multiply (reduction chains)
+``sobel``                 3x3 edge detection (multi-producer fan-in)
+``split_merge``           fork-join (task parallel split/merge)
+========================  ===========================================
+"""
+
+from __future__ import annotations
+
+from repro.polyhedral.domain import domain
+from repro.polyhedral.program import SANLP, Statement, read, write
+from repro.util.errors import ReproError
+
+__all__ = [
+    "producer_consumer",
+    "chain",
+    "fir_filter",
+    "jacobi1d",
+    "matmul",
+    "sobel",
+    "split_merge",
+    "lu",
+    "GALLERY",
+]
+
+
+def producer_consumer(n: int = 64) -> SANLP:
+    """Producer -> consumer over an ``n``-element stream."""
+    prog = SANLP("producer_consumer", params={"N": n})
+    prog.add_statement(
+        Statement(
+            "produce",
+            domain(("i", 0, "N - 1"), N=n),
+            writes=[write("a", "i")],
+            work=3,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "consume",
+            domain(("i", 0, "N - 1"), N=n),
+            reads=[read("a", "i")],
+            writes=[write("b", "i")],
+            work=5,
+        )
+    )
+    return prog
+
+
+def chain(stages: int = 8, n: int = 64) -> SANLP:
+    """A ``stages``-deep pipeline: s0 -> s1 -> ... over an n-stream."""
+    if stages < 2:
+        raise ReproError("chain needs at least 2 stages")
+    prog = SANLP(f"chain{stages}", params={"N": n})
+    prog.add_statement(
+        Statement(
+            "s0",
+            domain(("i", 0, "N - 1"), N=n),
+            writes=[write("t0", "i")],
+            work=2,
+        )
+    )
+    for s in range(1, stages):
+        prog.add_statement(
+            Statement(
+                f"s{s}",
+                domain(("i", 0, "N - 1"), N=n),
+                reads=[read(f"t{s - 1}", "i")],
+                writes=[write(f"t{s}", "i")],
+                work=2 + (s % 3),
+            )
+        )
+    return prog
+
+
+def fir_filter(taps: int = 4, n: int = 64) -> SANLP:
+    """FIR filter: src feeds *taps* multiply stages folded by an adder tree
+    (modelled as one accumulate process reading all tap outputs)."""
+    if taps < 1:
+        raise ReproError("fir needs at least one tap")
+    prog = SANLP(f"fir{taps}", params={"N": n, "T": taps})
+    prog.add_statement(
+        Statement(
+            "src",
+            domain(("i", 0, "N - 1"), N=n),
+            writes=[write("x", "i")],
+            work=1,
+        )
+    )
+    for t in range(taps):
+        prog.add_statement(
+            Statement(
+                f"mul{t}",
+                domain(("i", t, "N - 1"), N=n),
+                reads=[read("x", f"i - {t}")],
+                writes=[write(f"p{t}", "i")],
+                work=4,
+            )
+        )
+    prog.add_statement(
+        Statement(
+            "acc",
+            domain(("i", taps - 1, "N - 1"), N=n),
+            reads=[read(f"p{t}", "i") for t in range(taps)],
+            writes=[write("y", "i")],
+            work=2 * taps,
+        )
+    )
+    return prog
+
+
+def jacobi1d(timesteps: int = 8, n: int = 32) -> SANLP:
+    """1-D Jacobi stencil: ``A[t][i] = f(A[t-1][i-1..i+1])``.
+
+    Boundary columns are carried forward by two halo-copy processes (affine
+    guards express the two-point boundary union poorly, so it is split into
+    explicit statements, as PPN front-ends do)."""
+    prog = SANLP("jacobi1d", params={"T": timesteps, "N": n})
+    prog.add_statement(
+        Statement(
+            "init",
+            domain(("i", 0, "N - 1"), N=n),
+            writes=[write("A", 0, "i")],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "halo_left",
+            domain(("t", 1, "T"), T=timesteps, N=n),
+            reads=[read("A", "t - 1", 0)],
+            writes=[write("A", "t", 0)],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "halo_right",
+            domain(("t", 1, "T"), T=timesteps, N=n),
+            reads=[read("A", "t - 1", "N - 1")],
+            writes=[write("A", "t", "N - 1")],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "step",
+            domain(("t", 1, "T"), ("i", 1, "N - 2"), T=timesteps, N=n),
+            reads=[
+                read("A", "t - 1", "i - 1"),
+                read("A", "t - 1", "i"),
+                read("A", "t - 1", "i + 1"),
+            ],
+            writes=[write("A", "t", "i")],
+            work=5,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "sink",
+            domain(("i", 1, "N - 2"), T=timesteps, N=n),
+            reads=[read("A", "T", "i")],
+            work=1,
+        )
+    )
+    return prog
+
+
+def matmul(n: int = 6) -> SANLP:
+    """Dense matmul C = A*B with explicit reduction chain over k."""
+    prog = SANLP("matmul", params={"N": n})
+    prog.add_statement(
+        Statement(
+            "loadA",
+            domain(("i", 0, "N - 1"), ("k", 0, "N - 1"), N=n),
+            writes=[write("A", "i", "k")],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "loadB",
+            domain(("k", 0, "N - 1"), ("j", 0, "N - 1"), N=n),
+            writes=[write("B", "k", "j")],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "zero",
+            domain(("i", 0, "N - 1"), ("j", 0, "N - 1"), N=n),
+            writes=[write("C", "i", "j", 0)],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "mac",
+            domain(("i", 0, "N - 1"), ("j", 0, "N - 1"), ("k", 0, "N - 1"), N=n),
+            reads=[
+                read("A", "i", "k"),
+                read("B", "k", "j"),
+                read("C", "i", "j", "k"),
+            ],
+            writes=[write("C", "i", "j", "k + 1")],
+            work=6,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "store",
+            domain(("i", 0, "N - 1"), ("j", 0, "N - 1"), N=n),
+            reads=[read("C", "i", "j", "N")],
+            work=1,
+        )
+    )
+    return prog
+
+
+def sobel(rows: int = 10, cols: int = 10) -> SANLP:
+    """Sobel edge detection: image source, two 3x3 gradient stages, merge."""
+    prog = SANLP("sobel", params={"R": rows, "C": cols})
+    prog.add_statement(
+        Statement(
+            "pixel",
+            domain(("r", 0, "R - 1"), ("c", 0, "C - 1"), R=rows, C=cols),
+            writes=[write("img", "r", "c")],
+            work=1,
+        )
+    )
+    window = [
+        read("img", f"r + {dr}", f"c + {dc}")
+        for dr in (-1, 0, 1)
+        for dc in (-1, 0, 1)
+        if not (dr == 0 and dc == 0)
+    ]
+    inner = domain(
+        ("r", 1, "R - 2"), ("c", 1, "C - 2"), R=rows, C=cols
+    )
+    prog.add_statement(
+        Statement("gx", inner, reads=list(window), writes=[write("GX", "r", "c")], work=8)
+    )
+    inner2 = domain(
+        ("r", 1, "R - 2"), ("c", 1, "C - 2"), R=rows, C=cols
+    )
+    prog.add_statement(
+        Statement("gy", inner2, reads=list(window), writes=[write("GY", "r", "c")], work=8)
+    )
+    prog.add_statement(
+        Statement(
+            "mag",
+            domain(("r", 1, "R - 2"), ("c", 1, "C - 2"), R=rows, C=cols),
+            reads=[read("GX", "r", "c"), read("GY", "r", "c")],
+            writes=[write("out", "r", "c")],
+            work=6,
+        )
+    )
+    return prog
+
+
+def split_merge(branches: int = 4, n: int = 64) -> SANLP:
+    """Fork-join: a splitter feeds *branches* parallel workers, one merger."""
+    if branches < 2:
+        raise ReproError("split_merge needs at least 2 branches")
+    prog = SANLP(f"split_merge{branches}", params={"N": n, "B": branches})
+    prog.add_statement(
+        Statement(
+            "split",
+            domain(("i", 0, "N - 1"), N=n),
+            writes=[write("s", "i")],
+            work=1,
+        )
+    )
+    # worker b handles the strided slice i ≡ b (mod B); strided domains are
+    # expressed with a scaled iterator: i = B*q + b.
+    per = n // branches
+    for b in range(branches):
+        prog.add_statement(
+            Statement(
+                f"work{b}",
+                domain(("q", 0, per - 1), N=n),
+                reads=[read("s", f"{branches}*q + {b}")],
+                writes=[write(f"w{b}", "q")],
+                work=6,
+            )
+        )
+    prog.add_statement(
+        Statement(
+            "merge",
+            domain(("q", 0, per - 1), N=n),
+            reads=[read(f"w{b}", "q") for b in range(branches)],
+            writes=[write("out", "q")],
+            work=branches,
+        )
+    )
+    return prog
+
+
+def lu(n: int = 6) -> SANLP:
+    """LU factorisation without pivoting — triangular domains throughout.
+
+    Arrays are indexed by elimination step *k* for single assignment:
+    ``A[k][i][j]`` is the working matrix entering step *k*; step *k*
+    produces the multipliers ``L[k][i] = A[k][i][k] / A[k][k][k]`` (the
+    pivot read is a *broadcast* — one value consumed by every row, an
+    IOM+/OOM+ channel) and the trailing update ``A[k+1][i][j]``.
+    """
+    if n < 2:
+        raise ReproError("lu needs at least a 2x2 matrix")
+    prog = SANLP("lu", params={"N": n})
+    prog.add_statement(
+        Statement(
+            "init",
+            domain(("i", 0, "N - 1"), ("j", 0, "N - 1"), N=n),
+            writes=[write("A", 0, "i", "j")],
+            work=1,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "div",
+            domain(("k", 0, "N - 2"), ("i", "k + 1", "N - 1"), N=n),
+            reads=[read("A", "k", "i", "k"), read("A", "k", "k", "k")],
+            writes=[write("L", "k", "i")],
+            work=4,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "update",
+            domain(
+                ("k", 0, "N - 2"),
+                ("i", "k + 1", "N - 1"),
+                ("j", "k + 1", "N - 1"),
+                N=n,
+            ),
+            reads=[
+                read("A", "k", "i", "j"),
+                read("L", "k", "i"),
+                read("A", "k", "k", "j"),
+            ],
+            writes=[write("A", "k + 1", "i", "j")],
+            work=6,
+        )
+    )
+    prog.add_statement(
+        Statement(
+            "sink_u",
+            domain(("i", 0, "N - 1"), ("j", "i", "N - 1"), N=n),
+            reads=[read("A", "i", "i", "j")],
+            work=1,
+        )
+    )
+    return prog
+
+
+#: name -> zero-argument builder with defaults (used by benchmarks/examples)
+GALLERY = {
+    "producer_consumer": producer_consumer,
+    "chain": chain,
+    "fir_filter": fir_filter,
+    "jacobi1d": jacobi1d,
+    "matmul": matmul,
+    "sobel": sobel,
+    "split_merge": split_merge,
+    "lu": lu,
+}

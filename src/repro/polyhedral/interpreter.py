@@ -1,0 +1,97 @@
+"""Reference interpreter for SANLPs — functional execution with real values.
+
+The dependence analysis and the KPN simulator reason about token *counts*;
+this interpreter executes the program's *values*: each statement gets a
+kernel ``f(env, *read_values) -> value`` and arrays are real stores.  It is
+the executable semantics everything else is validated against:
+
+* a PPN computes the same function as the sequential program (Kahn
+  determinacy) — tested by comparing interpreter output against a dataflow
+  replay of the derived network;
+* dependence analysis is exactly the last-writer relation the interpreter
+  realises.
+
+Kernels default to a tagging function that records provenance
+(``("stmt", point, reads...)`` tuples), which makes equality checks between
+execution strategies exact without floating-point noise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.polyhedral.program import SANLP
+from repro.util.errors import ReproError
+
+__all__ = ["interpret", "InterpreterError", "provenance_kernel"]
+
+Kernel = Callable[..., object]
+
+
+class InterpreterError(ReproError):
+    """Execution failure (read of an undefined element, missing kernel)."""
+
+
+def provenance_kernel(stmt_name: str) -> Kernel:
+    """Default kernel: returns a provenance tuple of its inputs."""
+
+    def kernel(env: Mapping[str, int], *reads: object) -> object:
+        point = tuple(sorted((k, v) for k, v in env.items()))
+        return (stmt_name, point, tuple(reads))
+
+    return kernel
+
+
+def interpret(
+    prog: SANLP,
+    kernels: Mapping[str, Kernel] | None = None,
+    inputs: Mapping[tuple[str, tuple[int, ...]], object] | None = None,
+    strict: bool = True,
+) -> dict[tuple[str, tuple[int, ...]], object]:
+    """Execute *prog* sequentially; return the final array store.
+
+    Parameters
+    ----------
+    kernels:
+        ``statement name -> kernel``; missing entries get the provenance
+        kernel.  A kernel receives the iteration environment and the read
+        values (in the statement's read-access order) and returns one value
+        written to every write access of that execution.
+    inputs:
+        Initial store contents ``(array, indices) -> value`` for elements
+        read before any write (external inputs).
+    strict:
+        When True, reading an element that is neither written nor provided
+        raises; when False such reads yield ``None``.
+
+    Returns
+    -------
+    The final store: ``(array, indices) -> value``.
+    """
+    kernels = dict(kernels or {})
+    store: dict[tuple[str, tuple[int, ...]], object] = dict(inputs or {})
+
+    for si, _point, env in prog.execution_trace():
+        stmt = prog.statements[si]
+        kernel = kernels.get(stmt.name) or provenance_kernel(stmt.name)
+        reads = []
+        for acc in stmt.reads:
+            elem = acc.element(env)
+            if elem not in store:
+                if strict:
+                    raise InterpreterError(
+                        f"{stmt.name} reads undefined element "
+                        f"{elem[0]}{list(elem[1])} at {dict(env)}"
+                    )
+                reads.append(None)
+            else:
+                reads.append(store[elem])
+        try:
+            value = kernel(env, *reads)
+        except Exception as exc:  # surface kernel bugs with context
+            raise InterpreterError(
+                f"kernel of {stmt.name} failed at {dict(env)}: {exc}"
+            ) from exc
+        for acc in stmt.writes:
+            store[acc.element(env)] = value
+    return store

@@ -1,0 +1,197 @@
+"""Polyhedral Process Network derivation.
+
+From a SANLP we derive the PPN exactly the way the Compaan/pn lineage does:
+
+* one **process** per statement, firing once per domain point,
+* one **FIFO channel** per (producer, consumer, array) flow dependence,
+  carrying ``token_count`` tokens over the program execution,
+* per-process **resource estimates** (the ``R_p`` node weights of the
+  paper's mapping problem) from a simple operator-cost model, and
+* per-channel **bandwidth weights** — tokens scaled to a common execution
+  window, the "amount of sustained data transferred" of Section I.
+
+``PPN.to_wgraph()`` exports the network in the exact shape the partitioners
+consume: undirected (bandwidth is full-duplex symmetric in the paper's
+model), parallel channels between the same pair merged by summing, self
+loops dropped (intra-process traffic never crosses an FPGA boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.wgraph import WGraph
+from repro.polyhedral.dependence import Dependence, ExternalInput, find_dependences
+from repro.polyhedral.program import SANLP
+from repro.util.errors import ReproError
+
+__all__ = ["Process", "Channel", "PPN", "ResourceModel", "derive_ppn"]
+
+
+class PPNError(ReproError):
+    """Malformed process network."""
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Linear FPGA-area model for a process.
+
+    ``resources = base + work_cost * work + port_cost * (#reads + #writes)``
+
+    The defaults give LUT-flavoured numbers in the range the paper's
+    experiment graphs use (tens of units per process).  Only one resource
+    kind is modelled, matching "only one resource is considered at this
+    time, for example LUTs" (Section V); :mod:`repro.fpga.resources`
+    generalises to vectors.
+    """
+
+    base: float = 8.0
+    work_cost: float = 4.0
+    port_cost: float = 2.0
+
+    def estimate(self, work: float, n_ports: int) -> float:
+        return self.base + self.work_cost * work + self.port_cost * n_ports
+
+
+@dataclass
+class Process:
+    """A PPN process: a statement plus its firing count and resources."""
+
+    name: str
+    statement: str
+    firings: int
+    resources: float
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.firings < 0:
+            raise PPNError(f"negative firing count on {self.name}")
+        if self.resources < 0:
+            raise PPNError(f"negative resources on {self.name}")
+
+
+@dataclass
+class Channel:
+    """A PPN FIFO channel (one flow dependence)."""
+
+    src: str
+    dst: str
+    array: str
+    token_count: int
+    dependence: Dependence = field(repr=False)
+
+    @property
+    def is_selfloop(self) -> bool:
+        return self.src == self.dst
+
+
+class PPN:
+    """Polyhedral Process Network: processes + FIFO channels."""
+
+    def __init__(
+        self,
+        name: str,
+        processes: list[Process],
+        channels: list[Channel],
+        external_inputs: list[ExternalInput] | None = None,
+    ) -> None:
+        self.name = name
+        self.processes = list(processes)
+        self.channels = list(channels)
+        self.external_inputs = list(external_inputs or [])
+        names = [p.name for p in self.processes]
+        if len(set(names)) != len(names):
+            raise PPNError("duplicate process names")
+        known = set(names)
+        for ch in self.channels:
+            if ch.src not in known or ch.dst not in known:
+                raise PPNError(f"channel {ch.src}->{ch.dst} references unknown process")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_processes(self) -> int:
+        return len(self.processes)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    def process(self, name: str) -> Process:
+        for p in self.processes:
+            if p.name == name:
+                return p
+        raise PPNError(f"no process named {name!r}")
+
+    def process_index(self) -> dict[str, int]:
+        return {p.name: i for i, p in enumerate(self.processes)}
+
+    def total_tokens(self) -> int:
+        return sum(ch.token_count for ch in self.channels)
+
+    def to_wgraph(
+        self,
+        bandwidth_scale: float = 1.0,
+        include_selfloops: bool = False,
+    ) -> tuple[WGraph, list[str]]:
+        """Export as the partitioners' weighted graph.
+
+        Returns ``(graph, names)`` where ``names[i]`` is the process name of
+        node *i*.  Edge weight = summed token counts of all channels between
+        the pair, times *bandwidth_scale*.  Self-loop channels are dropped
+        unless *include_selfloops* (they would be rejected by
+        :class:`WGraph` — intra-process traffic is free in the paper model);
+        asking to include them is therefore an error kept for explicitness.
+        """
+        if include_selfloops:
+            raise PPNError(
+                "self-loop channels cannot be represented in the mapping "
+                "graph; intra-process traffic never crosses FPGAs"
+            )
+        index = self.process_index()
+        merged: dict[tuple[int, int], float] = {}
+        for ch in self.channels:
+            if ch.is_selfloop:
+                continue
+            u, v = index[ch.src], index[ch.dst]
+            key = (min(u, v), max(u, v))
+            merged[key] = merged.get(key, 0.0) + ch.token_count * bandwidth_scale
+        edges = [(u, v, w) for (u, v), w in sorted(merged.items())]
+        node_weights = [p.resources for p in self.processes]
+        g = WGraph(self.n_processes, edges, node_weights=node_weights)
+        return g, [p.name for p in self.processes]
+
+    def __repr__(self) -> str:
+        return (
+            f"PPN({self.name!r}, processes={self.n_processes}, "
+            f"channels={self.n_channels}, tokens={self.total_tokens()})"
+        )
+
+
+def derive_ppn(
+    prog: SANLP,
+    resource_model: ResourceModel | None = None,
+) -> PPN:
+    """Derive the PPN of *prog* (exact dependence analysis + cost model)."""
+    model = resource_model or ResourceModel()
+    deps, externals = find_dependences(prog)
+    processes = [
+        Process(
+            name=s.name,
+            statement=s.name,
+            firings=s.firings,
+            resources=model.estimate(s.work, len(s.reads) + len(s.writes)),
+            work=s.work,
+        )
+        for s in prog.statements
+    ]
+    channels = [
+        Channel(
+            src=d.producer,
+            dst=d.consumer,
+            array=d.array,
+            token_count=d.token_count,
+            dependence=d,
+        )
+        for d in deps
+    ]
+    return PPN(prog.name, processes, channels, external_inputs=externals)

@@ -1,0 +1,177 @@
+"""Static Affine Nested Loop Programs (SANLPs).
+
+A SANLP is the input language of PPN derivation tools (Compaan, pn,
+Daedalus): a sequence of statements, each executing over an affine iteration
+domain, reading and writing array elements through affine subscripts.  The
+statements execute in textual order, each sweeping its own domain in
+lexicographic order — the classic sequence-of-loop-nests form.
+
+Example (a producer/consumer pair)::
+
+    prog = SANLP("pc", params={"N": 64})
+    prog.add_statement(Statement(
+        "produce", domain(("i", 0, "N - 1"), N=64),
+        writes=[write("a", "i")],
+        work=4,
+    ))
+    prog.add_statement(Statement(
+        "consume", domain(("i", 0, "N - 1"), N=64),
+        reads=[read("a", "i")],
+        work=7,
+    ))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.polyhedral.affine import AffineExpr, parse_affine
+from repro.polyhedral.domain import IterationDomain
+from repro.util.errors import ReproError
+
+__all__ = ["ArrayAccess", "Statement", "SANLP", "read", "write"]
+
+
+class ProgramError(ReproError):
+    """Malformed SANLP."""
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One affine array reference, e.g. ``A[i, j-1]``.
+
+    ``kind`` is ``"read"`` or ``"write"``; subscripts are affine in the
+    enclosing statement's iterators and the program parameters.
+    """
+
+    array: str
+    subscripts: tuple[AffineExpr, ...]
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ProgramError(f"access kind must be read/write, got {self.kind!r}")
+        if not self.array:
+            raise ProgramError("array name must be non-empty")
+
+    def element(self, env) -> tuple[str, tuple[int, ...]]:
+        """Concrete array element referenced under binding *env*."""
+        return self.array, tuple(s.eval(env) for s in self.subscripts)
+
+    def __str__(self) -> str:
+        subs = ", ".join(map(str, self.subscripts))
+        return f"{self.array}[{subs}]"
+
+
+def read(array: str, *subscripts: AffineExpr | int | str) -> ArrayAccess:
+    """Shorthand for a read access: ``read("a", "i-1", "j")``."""
+    return ArrayAccess(array, tuple(parse_affine(s) for s in subscripts), "read")
+
+
+def write(array: str, *subscripts: AffineExpr | int | str) -> ArrayAccess:
+    """Shorthand for a write access."""
+    return ArrayAccess(array, tuple(parse_affine(s) for s in subscripts), "write")
+
+
+@dataclass
+class Statement:
+    """One statement of a SANLP.
+
+    Attributes
+    ----------
+    name:
+        Unique statement label (becomes the PPN process name).
+    domain:
+        Iteration domain (execution count = ``domain.count()``).
+    writes / reads:
+        Affine array accesses performed each execution.
+    work:
+        Abstract operation count per execution — feeds the FPGA resource
+        estimator (Section V's "amount of resources required to implement
+        such process", e.g. LUTs).
+    """
+
+    name: str
+    domain: IterationDomain
+    writes: Sequence[ArrayAccess] = field(default_factory=tuple)
+    reads: Sequence[ArrayAccess] = field(default_factory=tuple)
+    work: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("statement name must be non-empty")
+        self.writes = tuple(self.writes)
+        self.reads = tuple(self.reads)
+        for acc in self.writes:
+            if acc.kind != "write":
+                raise ProgramError(f"{acc} listed in writes but is a {acc.kind}")
+        for acc in self.reads:
+            if acc.kind != "read":
+                raise ProgramError(f"{acc} listed in reads but is a {acc.kind}")
+        if self.work < 0:
+            raise ProgramError(f"work must be >= 0, got {self.work}")
+        bound = set(self.domain.iterators) | set(self.domain.params)
+        for acc in (*self.writes, *self.reads):
+            for sub in acc.subscripts:
+                free = sub.variables - bound
+                if free:
+                    raise ProgramError(
+                        f"subscript {sub} of {acc} in {self.name!r} uses "
+                        f"unbound names {sorted(free)}"
+                    )
+
+    @property
+    def firings(self) -> int:
+        """Number of executions (domain cardinality)."""
+        return self.domain.count()
+
+
+class SANLP:
+    """A static affine nested loop program: ordered statements + parameters."""
+
+    def __init__(self, name: str, params: dict[str, int] | None = None) -> None:
+        if not name:
+            raise ProgramError("program name must be non-empty")
+        self.name = name
+        self.params = {k: int(v) for k, v in (params or {}).items()}
+        self.statements: list[Statement] = []
+
+    def add_statement(self, stmt: Statement) -> "SANLP":
+        if any(s.name == stmt.name for s in self.statements):
+            raise ProgramError(f"duplicate statement name {stmt.name!r}")
+        self.statements.append(stmt)
+        return self
+
+    def statement(self, name: str) -> Statement:
+        for s in self.statements:
+            if s.name == name:
+                return s
+        raise ProgramError(f"no statement named {name!r}")
+
+    @property
+    def arrays(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.statements:
+            for acc in (*s.writes, *s.reads):
+                seen.setdefault(acc.array, None)
+        return list(seen)
+
+    def total_firings(self) -> int:
+        return sum(s.firings for s in self.statements)
+
+    def execution_trace(self):
+        """Yield ``(stmt_index, point, env)`` in sequential execution order.
+
+        Statements run in textual order, each sweeping its domain in
+        lexicographic order — the reference semantics dependence analysis
+        is defined against.
+        """
+        for si, stmt in enumerate(self.statements):
+            for point in stmt.domain.points():
+                yield si, point, stmt.domain.env_at(point)
+
+    def __repr__(self) -> str:
+        return (
+            f"SANLP({self.name!r}, statements={[s.name for s in self.statements]})"
+        )

@@ -1,0 +1,187 @@
+"""SANLP transformations that reshape the derived process network.
+
+The paper's premise is that "the number of nodes is usually proportional
+with the parallel portions of computation" — PPN tools control that number
+with source-level transformations before derivation.  Two are provided:
+
+``unroll_statement``
+    Partial unrolling of a statement's *outermost* loop by factor *f*:
+    the statement becomes *f* statements, each covering the residue class
+    ``i ≡ r (mod f)`` via the substitution ``i = f*q + r``.  The derived
+    PPN gains processes (more parallelism, more channels) while computing
+    the same function — the knob benchmark X9 sweeps.
+
+``fuse_statements``
+    The inverse direction for two statements over identical domains with
+    disjoint writes: a single statement performing both (process merging).
+
+Both return *new* programs; the originals are untouched.  Correctness is
+checked in tests by interpreting the transformed and original programs and
+comparing stores (the interpreter is the executable semantics).
+"""
+
+from __future__ import annotations
+
+from repro.polyhedral.affine import AffineExpr, parse_affine
+from repro.polyhedral.domain import IterationDomain
+from repro.polyhedral.program import SANLP, ArrayAccess, Statement
+from repro.util.errors import ReproError
+
+__all__ = ["unroll_statement", "fuse_statements"]
+
+
+class TransformError(ReproError):
+    """Transformation precondition violated."""
+
+
+def _substitute_access(acc: ArrayAccess, env: dict[str, AffineExpr]) -> ArrayAccess:
+    return ArrayAccess(
+        acc.array,
+        tuple(s.substitute(env) for s in acc.subscripts),
+        acc.kind,
+    )
+
+
+def unroll_statement(prog: SANLP, name: str, factor: int) -> SANLP:
+    """Unroll *name*'s outermost loop by *factor*.
+
+    Preconditions: the outermost loop must have **constant** bounds (after
+    parameter substitution) and its trip count must be divisible by
+    *factor* — the standard full-residue unrolling PPN front-ends apply.
+    """
+    if factor < 1:
+        raise TransformError(f"factor must be >= 1, got {factor}")
+    stmt = prog.statement(name)
+    if factor == 1:
+        return prog
+    if stmt.domain.dim == 0:
+        raise TransformError(f"{name!r} has no loops to unroll")
+    outer = stmt.domain.loops[0]
+    params = dict(stmt.domain.params)
+    lo_free = outer.lower.variables - set(params)
+    hi_free = outer.upper.variables - set(params)
+    if lo_free or hi_free:
+        raise TransformError(
+            f"outermost bound of {name!r} must be constant after parameter "
+            f"substitution (free: {sorted(lo_free | hi_free)})"
+        )
+    lo = outer.lower.eval(params)
+    hi = outer.upper.eval(params)
+    trip = hi - lo + 1
+    if trip % factor:
+        raise TransformError(
+            f"trip count {trip} of {name!r} not divisible by factor {factor}"
+        )
+    per = trip // factor
+
+    out = SANLP(prog.name, params=dict(prog.params))
+    for s in prog.statements:
+        if s.name != name:
+            out.add_statement(s)
+            continue
+        q = f"{outer.var}_q"
+        for r in range(factor):
+            # i = factor*q + (lo + r), q in [0, per-1]
+            repl = {
+                outer.var: parse_affine(f"{factor}*{q} + {lo + r}")
+            }
+            inner_loops = [
+                (
+                    spec.var,
+                    spec.lower.substitute(repl),
+                    spec.upper.substitute(repl),
+                )
+                for spec in s.domain.loops[1:]
+            ]
+            new_domain = IterationDomain(
+                [(q, 0, per - 1), *inner_loops],
+                guards=[c.substitute(repl) for c in s.domain.guards],
+                params=params,
+            )
+            out.add_statement(
+                Statement(
+                    f"{s.name}_u{r}",
+                    new_domain,
+                    writes=[_substitute_access(a, repl) for a in s.writes],
+                    reads=[_substitute_access(a, repl) for a in s.reads],
+                    work=s.work,
+                )
+            )
+    return out
+
+
+def fuse_statements(prog: SANLP, first: str, second: str, fused_name: str | None = None) -> SANLP:
+    """Fuse two adjacent statements over identical domains (process merge).
+
+    Preconditions: *first* and *second* are textually adjacent (no statement
+    between them), have structurally identical domains, write disjoint
+    arrays, and *second* does not read anything *first* writes at a
+    *different* iteration point (only the aligned flow ``first[i] ->
+    second[i]`` survives fusion; misaligned reads would change semantics).
+    """
+    idx1 = next(
+        (i for i, s in enumerate(prog.statements) if s.name == first), None
+    )
+    idx2 = next(
+        (i for i, s in enumerate(prog.statements) if s.name == second), None
+    )
+    if idx1 is None or idx2 is None:
+        raise TransformError(f"unknown statement in fuse({first!r}, {second!r})")
+    if idx2 != idx1 + 1:
+        raise TransformError(f"{first!r} and {second!r} are not adjacent")
+    s1, s2 = prog.statements[idx1], prog.statements[idx2]
+
+    d1, d2 = s1.domain, s2.domain
+    same_domain = (
+        d1.iterators == d2.iterators
+        and d1.params == d2.params
+        and len(d1.loops) == len(d2.loops)
+        and all(
+            a.lower == b.lower and a.upper == b.upper
+            for a, b in zip(d1.loops, d2.loops)
+        )
+        and d1.guards == d2.guards
+    )
+    if not same_domain:
+        raise TransformError(
+            f"domains of {first!r} and {second!r} differ; cannot fuse"
+        )
+    w1 = {a.array for a in s1.writes}
+    w2 = {a.array for a in s2.writes}
+    if w1 & w2:
+        raise TransformError(f"fused statements both write {sorted(w1 & w2)}")
+    identity = {v: AffineExpr.var(v) for v in d1.iterators}
+    aligned_writes = {
+        (a.array, tuple(str(s) for s in a.subscripts)) for a in s1.writes
+    }
+    for acc in s2.reads:
+        if acc.array in w1:
+            key = (acc.array, tuple(str(s) for s in acc.subscripts))
+            if key not in aligned_writes:
+                raise TransformError(
+                    f"{second!r} reads {acc} produced at a different point "
+                    f"by {first!r}; fusion would reorder it"
+                )
+    del identity  # alignment established structurally
+
+    # second's aligned reads of first's writes become internal: drop them
+    internal = {a.array for a in s1.writes}
+    fused_reads = list(s1.reads) + [
+        a for a in s2.reads if a.array not in internal
+    ]
+    fused = Statement(
+        fused_name or f"{first}__{second}",
+        d1,
+        writes=list(s1.writes) + list(s2.writes),
+        reads=fused_reads,
+        work=s1.work + s2.work,
+    )
+    out = SANLP(prog.name, params=dict(prog.params))
+    for i, s in enumerate(prog.statements):
+        if i == idx1:
+            out.add_statement(fused)
+        elif i == idx2:
+            continue
+        else:
+            out.add_statement(s)
+    return out

@@ -1,0 +1,116 @@
+"""Static validation of SANLPs.
+
+PPN derivation (Compaan/pn) requires programs in *single-assignment* form —
+every array element written exactly once — otherwise the last-writer
+relation silently drops dataflow.  ``check_single_assignment`` verifies
+that property exactly (by trace enumeration, like the dependence analysis);
+``program_report`` bundles the full static health check front-ends run
+before derivation:
+
+* duplicate writes (single-assignment violations),
+* reads of never-written elements (external inputs — fine, but listed),
+* statements with empty domains (dead code),
+* arrays written but never read (dead stores / program outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.polyhedral.program import SANLP
+from repro.util.errors import ReproError
+
+__all__ = [
+    "SingleAssignmentError",
+    "check_single_assignment",
+    "ProgramReport",
+    "program_report",
+]
+
+
+class SingleAssignmentError(ReproError):
+    """An array element is written more than once."""
+
+
+def check_single_assignment(prog: SANLP) -> None:
+    """Raise :class:`SingleAssignmentError` on the first duplicate write."""
+    writers: dict[tuple[str, tuple[int, ...]], tuple[str, tuple[int, ...]]] = {}
+    for si, point, env in prog.execution_trace():
+        stmt = prog.statements[si]
+        for acc in stmt.writes:
+            elem = acc.element(env)
+            prev = writers.get(elem)
+            if prev is not None:
+                raise SingleAssignmentError(
+                    f"{elem[0]}{list(elem[1])} written by {prev[0]} at "
+                    f"{list(prev[1])} and again by {stmt.name} at {list(point)}"
+                )
+            writers[elem] = (stmt.name, point)
+
+
+@dataclass
+class ProgramReport:
+    """Outcome of :func:`program_report`."""
+
+    single_assignment: bool
+    #: first duplicate write, if any: (array, indices, first writer, second)
+    duplicate_write: tuple | None
+    #: statement name -> firing count, for empty-domain detection
+    firings: dict[str, int] = field(default_factory=dict)
+    empty_statements: list[str] = field(default_factory=list)
+    #: arrays read before/without any write, with read counts
+    external_arrays: dict[str, int] = field(default_factory=dict)
+    #: arrays written but never read (outputs or dead stores)
+    unread_arrays: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.single_assignment and not self.empty_statements
+
+    def summary(self) -> str:
+        lines = [
+            f"single assignment: {'ok' if self.single_assignment else 'VIOLATED'}"
+        ]
+        if self.duplicate_write:
+            arr, idx, w1, w2 = self.duplicate_write
+            lines.append(f"  duplicate write: {arr}{list(idx)} by {w1} then {w2}")
+        if self.empty_statements:
+            lines.append(f"empty statements: {self.empty_statements}")
+        if self.external_arrays:
+            lines.append(f"external inputs: {self.external_arrays}")
+        if self.unread_arrays:
+            lines.append(f"unread arrays (outputs): {self.unread_arrays}")
+        return "\n".join(lines)
+
+
+def program_report(prog: SANLP) -> ProgramReport:
+    """Run every static check; never raises (findings are reported)."""
+    writers: dict[tuple[str, tuple[int, ...]], str] = {}
+    duplicate: tuple | None = None
+    external: dict[str, int] = {}
+    read_arrays: set[str] = set()
+    written_arrays: set[str] = set()
+
+    for si, _point, env in prog.execution_trace():
+        stmt = prog.statements[si]
+        for acc in stmt.reads:
+            elem = acc.element(env)
+            read_arrays.add(acc.array)
+            if elem not in writers:
+                external[acc.array] = external.get(acc.array, 0) + 1
+        for acc in stmt.writes:
+            elem = acc.element(env)
+            written_arrays.add(acc.array)
+            if elem in writers and duplicate is None:
+                duplicate = (elem[0], elem[1], writers[elem], stmt.name)
+            writers[elem] = stmt.name
+
+    firings = {s.name: s.firings for s in prog.statements}
+    return ProgramReport(
+        single_assignment=duplicate is None,
+        duplicate_write=duplicate,
+        firings=firings,
+        empty_statements=[n for n, f in firings.items() if f == 0],
+        external_arrays=external,
+        unread_arrays=sorted(written_arrays - read_arrays),
+    )

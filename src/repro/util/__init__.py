@@ -1,0 +1,24 @@
+"""Small shared utilities: RNG handling, timing, errors, table formatting."""
+
+from repro.util.errors import (
+    GraphError,
+    InfeasibleError,
+    PartitionError,
+    ReproError,
+    ValidationError,
+)
+from repro.util.rng import as_rng, spawn_seeds
+from repro.util.stopwatch import Stopwatch
+from repro.util.tables import format_table
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "PartitionError",
+    "InfeasibleError",
+    "ValidationError",
+    "as_rng",
+    "spawn_seeds",
+    "Stopwatch",
+    "format_table",
+]

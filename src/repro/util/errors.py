@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input: bad node ids, negative weights, self loops, ..."""
+
+
+class ValidationError(ReproError):
+    """An internal invariant check failed (see :mod:`repro.graph.validation`)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partitioning request (e.g. K larger than the node count)."""
+
+
+class InfeasibleError(ReproError):
+    """No partitioning satisfying the requested constraints was found.
+
+    Mirrors the paper's terminal condition: "a message will signal that
+    partitioning with these constraints is either impossible or we have to
+    give the tool more time (i.e.: iterations)".
+
+    Attributes
+    ----------
+    best:
+        The best (least-violating) partition found before giving up, or
+        ``None``.  Kept so callers can inspect how close the search came.
+    """
+
+    def __init__(self, message: str, best=None):
+        super().__init__(message)
+        self.best = best

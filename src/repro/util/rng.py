@@ -1,0 +1,37 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be an ``int``, a :class:`numpy.random.Generator`, or ``None``.  ``as_rng``
+normalises all three into a Generator; ``spawn_seeds`` derives independent
+child seeds so that sub-algorithms (e.g. the ten greedy restarts of the
+initial-partitioning phase) are reproducible yet decorrelated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_seeds"]
+
+_DEFAULT_SEED = 0xC0FFEE
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` maps to a fixed library-default seed (the library is fully
+    deterministic unless the caller opts into entropy explicitly).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int | np.random.Generator | None, n: int) -> list[int]:
+    """Derive *n* independent 63-bit child seeds from *seed*."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    rng = as_rng(seed)
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=n)]

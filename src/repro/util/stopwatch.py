@@ -1,0 +1,50 @@
+"""Wall-clock stopwatch used by the experiment runner.
+
+The paper reports "Total Time(S)" per algorithm; :class:`Stopwatch` provides
+the measurement primitive with a context-manager interface::
+
+    with Stopwatch() as sw:
+        run()
+    print(sw.elapsed)
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer (perf_counter based)."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

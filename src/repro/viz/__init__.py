@@ -1,0 +1,19 @@
+"""Visualisation (system S9 in DESIGN.md).
+
+Regenerates the paper's Figures 2-13 without matplotlib: a deterministic
+force-directed layout (:mod:`repro.viz.layout`), Graphviz DOT export
+(:mod:`repro.viz.dot`), a minimal standalone SVG writer
+(:mod:`repro.viz.svg`) and an ASCII rendering (:mod:`repro.viz.ascii_art`)
+for terminals and logs.
+
+Figure conventions follow the paper: node radius proportional to resource
+weight, edge labels carrying bandwidth weights, one colour per partition.
+"""
+
+from repro.viz.ascii_art import render_ascii
+from repro.viz.dot import to_dot
+from repro.viz.layout import force_layout
+from repro.viz.svg import render_svg
+
+__all__ = ["force_layout", "to_dot", "render_svg", "render_ascii"]
+# repro.viz.html_report is imported lazily (it pulls in the bench harness)

@@ -1,0 +1,93 @@
+"""ASCII rendering of partitioned process networks.
+
+Terminal/log-friendly counterpart of the paper's figures: per-partition
+member lists with resource totals, the pairwise bandwidth matrix, and the
+crossing-edge list — everything the figures convey, as text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.partition.metrics import (
+    ConstraintSpec,
+    bandwidth_matrix,
+    check_assignment,
+    part_weights,
+)
+from repro.util.tables import format_table
+
+__all__ = ["render_ascii"]
+
+
+def render_ascii(
+    g: WGraph,
+    assign: np.ndarray | None = None,
+    k: int | None = None,
+    names: list[str] | None = None,
+    constraints: ConstraintSpec | None = None,
+    title: str | None = None,
+) -> str:
+    """Text rendering; with *assign*, includes the partition breakdown."""
+    label = (lambda u: names[u]) if names else (lambda u: f"p{u}")
+    out: list[str] = []
+    if title:
+        out += [title, "=" * len(title)]
+    out.append(
+        f"graph: {g.n} nodes, {g.m} edges, "
+        f"total resources {g.total_node_weight:g}, "
+        f"total bandwidth {g.total_edge_weight:g}"
+    )
+    if assign is None:
+        rows = [
+            [label(u), f"{g.node_weights[u]:g}",
+             " ".join(f"{label(int(v))}:{w:g}"
+                      for v, w in zip(*g.neighbor_weights(u)))]
+            for u in range(g.n)
+        ]
+        out.append(format_table(["node", "res", "channels"], rows))
+        return "\n".join(out) + "\n"
+
+    if k is None:
+        k = int(np.max(assign)) + 1 if g.n else 1
+    a = check_assignment(g, assign, k)
+    weights = part_weights(g, a, k)
+    bw = bandwidth_matrix(g, a, k)
+    rmax = constraints.rmax if constraints else float("inf")
+    bmax = constraints.bmax if constraints else float("inf")
+
+    rows = []
+    for c in range(k):
+        members = " ".join(label(int(u)) for u in np.nonzero(a == c)[0])
+        flag = " (!)" if weights[c] > rmax else ""
+        rows.append([f"P{c}", f"{weights[c]:g}{flag}", members])
+    out.append(format_table(["part", "resources", "processes"], rows))
+
+    header = ["bw"] + [f"P{c}" for c in range(k)]
+    mat_rows = []
+    for c in range(k):
+        row = [f"P{c}"]
+        for d in range(k):
+            if c == d:
+                row.append("-")
+            else:
+                flag = "!" if bw[c, d] > bmax else ""
+                row.append(f"{bw[c, d]:g}{flag}")
+        mat_rows.append(row)
+    out.append(format_table(header, mat_rows))
+
+    crossing = [
+        f"{label(u)}--{label(v)} ({w:g})"
+        for u, v, w in g.edges()
+        if a[u] != a[v]
+    ]
+    out.append(f"crossing edges ({len(crossing)}): " + ", ".join(crossing))
+    if constraints:
+        ok_r = bool(np.all(weights <= rmax))
+        ok_b = bool(bw.max() <= bmax) if k > 1 else True
+        out.append(
+            f"constraints: Rmax={rmax:g} {'met' if ok_r else 'VIOLATED'}, "
+            f"Bmax={bmax:g} {'met' if ok_b else 'VIOLATED'}"
+        )
+    return "\n".join(out) + "\n"

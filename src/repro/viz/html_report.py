@@ -1,0 +1,95 @@
+"""Self-contained HTML experiment reports.
+
+Bundles one experiment's four figure views (inline SVG), the paper-format
+table and the constraint verdicts into a single dependency-free ``.html``
+file — the artefact a reviewer actually opens.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentOutcome, run_paper_experiment
+from repro.bench.figures import figure_artifacts
+from repro.core.report import comparison_report
+
+__all__ = ["experiment_html", "write_experiment_report"]
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 1100px; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto;
+      border-left: 3px solid #3182bd; }
+.figures { display: grid; grid-template-columns: 1fr 1fr; gap: 1em; }
+.figure { border: 1px solid #ddd; padding: 0.5em; }
+.figure svg { width: 100%; height: auto; }
+.caption { font-size: 0.85em; color: #555; margin-top: 0.4em; }
+.verdict-ok { color: #31a354; font-weight: bold; }
+.verdict-bad { color: #e6550d; font-weight: bold; }
+"""
+
+
+def experiment_html(experiment: int) -> str:
+    """Render experiment 1, 2 or 3 as a standalone HTML document."""
+    outcome: ExperimentOutcome = run_paper_experiment(experiment)
+    arts = figure_artifacts(experiment)
+    report = comparison_report(
+        outcome.results,
+        outcome.constraints,
+        title=outcome.spec.name,
+    )
+    checks = outcome.reproduces_paper_shape()
+
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(outcome.spec.name)} — reproduction</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(outcome.spec.name)} "
+        f"(n={outcome.graph.n}, m={outcome.graph.m}, K={outcome.spec.k}, "
+        f"Bmax={outcome.spec.bmax:g}, Rmax={outcome.spec.rmax:g})</h1>",
+        "<h2>Measured table (paper format)</h2>",
+        f"<pre>{html.escape(report)}</pre>",
+        "<h2>Paper reported</h2>",
+        "<pre>",
+    ]
+    for row in outcome.paper:
+        parts.append(html.escape(
+            f"{row.tool:6s} cut={row.cut:g} time={row.time_s:g}s "
+            f"max_res={row.max_resource:g} max_bw={row.max_bandwidth:g}"
+        ))
+    parts.append("</pre>")
+    parts.append("<h2>Shape checks</h2><ul>")
+    for name, ok in checks.items():
+        cls = "verdict-ok" if ok else "verdict-bad"
+        word = "holds" if ok else "FAILS"
+        parts.append(
+            f"<li><span class='{cls}'>{word}</span> — {html.escape(name)}</li>"
+        )
+    parts.append("</ul>")
+    parts.append("<h2>Figures</h2><div class='figures'>")
+    for art in arts:
+        parts.append("<div class='figure'>")
+        parts.append(art.svg)  # standalone <svg> element, inlined as-is
+        parts.append(
+            f"<div class='caption'>Fig. {art.figure} — "
+            f"{html.escape(art.name.replace('_', ' '))}</div></div>"
+        )
+    parts.append("</div></body></html>")
+    return "\n".join(parts)
+
+
+def write_experiment_report(
+    out_dir: str | Path, experiments: tuple[int, ...] = (1, 2, 3)
+) -> list[Path]:
+    """Write ``experimentN.html`` per experiment; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for exp in experiments:
+        path = out / f"experiment{exp}.html"
+        path.write_text(experiment_html(exp))
+        paths.append(path)
+    return paths

@@ -1,0 +1,112 @@
+"""Minimal standalone SVG renderer (no external dependencies).
+
+Produces self-contained ``.svg`` figures in the paper's style from a graph,
+an optional partition assignment, and layout coordinates.  Used by the
+figure-regeneration benchmark to emit ``artifacts/fig*.svg``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.partition.metrics import check_assignment
+from repro.util.errors import ReproError
+from repro.viz.dot import PALETTE
+from repro.viz.layout import force_layout
+
+__all__ = ["render_svg"]
+
+
+def render_svg(
+    g: WGraph,
+    assign: np.ndarray | None = None,
+    k: int | None = None,
+    names: list[str] | None = None,
+    pos: np.ndarray | None = None,
+    size: int = 640,
+    title: str | None = None,
+    seed=0,
+) -> str:
+    """Render *g* to an SVG string.
+
+    Node radius is proportional to resource weight; with *assign*, nodes
+    are filled per partition and crossing edges dashed.
+    """
+    if names is not None and len(names) != g.n:
+        raise ReproError(f"expected {g.n} names, got {len(names)}")
+    if pos is None:
+        pos = force_layout(g, seed=seed)
+    pos = np.asarray(pos, dtype=np.float64)
+    if pos.shape != (g.n, 2):
+        raise ReproError(f"layout has shape {pos.shape}, expected ({g.n}, 2)")
+    if assign is not None:
+        if k is None:
+            k = int(np.max(assign)) + 1 if g.n else 1
+        assign = check_assignment(g, assign, k)
+
+    margin = 40
+    span = size - 2 * margin
+
+    def xy(u: int) -> tuple[float, float]:
+        return (
+            margin + float(pos[u, 0]) * span,
+            margin + float(pos[u, 1]) * span,
+        )
+
+    w_max = float(g.node_weights.max()) if g.n else 1.0
+
+    def radius(u: int) -> float:
+        if w_max <= 0:
+            return 12.0
+        return 10.0 + 18.0 * float(g.node_weights[u]) / w_max
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{size / 2}" y="20" text-anchor="middle" '
+            f'font-family="Helvetica" font-size="14">{title}</text>'
+        )
+    # edges under nodes
+    for u, v, w in g.edges():
+        x1, y1 = xy(u)
+        x2, y2 = xy(v)
+        dashed = assign is not None and assign[u] != assign[v]
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        out.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="#888" stroke-width="1.5"{dash}/>'
+        )
+        mx, my = (x1 + x2) / 2, (y1 + y2) / 2
+        out.append(
+            f'<text x="{mx:.1f}" y="{my:.1f}" font-family="Helvetica" '
+            f'font-size="10" fill="#444">{w:g}</text>'
+        )
+    for u in range(g.n):
+        x, y = xy(u)
+        r = radius(u)
+        fill = (
+            PALETTE[int(assign[u]) % len(PALETTE)]
+            if assign is not None
+            else "#d9d9d9"
+        )
+        out.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}" '
+            f'stroke="#333" stroke-width="1"/>'
+        )
+        name = names[u] if names else f"p{u}"
+        out.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="middle" dy="3" '
+            f'font-family="Helvetica" font-size="11">{name}</text>'
+        )
+        out.append(
+            f'<text x="{x:.1f}" y="{y + r + 11:.1f}" text-anchor="middle" '
+            f'font-family="Helvetica" font-size="9" fill="#555">'
+            f"{g.node_weights[u]:g}</text>"
+        )
+    out.append("</svg>")
+    return "\n".join(out) + "\n"

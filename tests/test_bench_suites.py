@@ -1,0 +1,83 @@
+"""Tests for the extended-study suite machinery (repro.bench.suites).
+
+The benchmarks run these at full size; here they run shrunken so the unit
+suite also covers the study code paths and their invariants.
+"""
+
+import pytest
+
+from repro.bench.suites import (
+    SweepRow,
+    constraint_sweep,
+    exact_gap_suite,
+    matching_ablation,
+    restart_ablation,
+    scaling_suite,
+    tight_instance,
+)
+
+
+class TestTightInstance:
+    def test_constraints_are_tight_but_positive(self):
+        g, cons = tight_instance(40, 4, seed=0)
+        assert cons.rmax > g.total_node_weight / 4  # above ideal
+        assert cons.rmax < g.total_node_weight  # but binding
+        assert 0 < cons.bmax < g.total_edge_weight
+
+    def test_deterministic(self):
+        g1, c1 = tight_instance(30, 3, seed=5)
+        g2, c2 = tight_instance(30, 3, seed=5)
+        assert g1 == g2 and c1 == c2
+
+
+class TestSweeps:
+    def test_scaling_suite_rows(self):
+        rows = scaling_suite(sizes=(30, 60), k=3, include_spectral=False)
+        assert len(rows) == 4  # 2 sizes x 2 algorithms
+        algos = {r.algorithm for r in rows}
+        assert algos == {"GP", "MLKP"}
+        for r in rows:
+            assert r.runtime >= 0
+            assert r.cut >= 0
+            assert len(r.as_list()) == 8
+
+    def test_scaling_suite_with_spectral(self):
+        rows = scaling_suite(sizes=(30,), k=3, include_spectral=True)
+        assert {r.algorithm for r in rows} == {"GP", "MLKP", "spectral"}
+
+    def test_matching_ablation_variants(self):
+        rows = matching_ablation(n=40, k=3, seeds=(0,))
+        variants = {r.algorithm for r in rows}
+        assert variants == {"random-only", "hem-only", "kmeans-only", "best-of-3"}
+        for r in rows:
+            assert "cycles" in r.extra
+
+    def test_restart_ablation_grid(self):
+        rows = restart_ablation(restarts_grid=(1, 5), n=30, k=3, seeds=(0,))
+        assert {r.params["restarts"] for r in rows} == {1, 5}
+
+    def test_constraint_sweep_monotone_structure(self):
+        rows = constraint_sweep(n=30, k=3, tightness_grid=(2.0, 1.2))
+        gp = [r for r in rows if r.algorithm == "GP"]
+        mlkp = [r for r in rows if r.algorithm == "MLKP"]
+        assert len(gp) == len(mlkp) == 2
+        for r in rows:
+            assert {"bw_violation", "res_violation"} <= set(r.extra)
+
+    def test_exact_gap_suite_invariant(self):
+        rows = exact_gap_suite(n=9, k=2, seeds=(0, 1))
+        by_seed = {}
+        for r in rows:
+            by_seed.setdefault(r.params["seed"], {})[r.algorithm] = r
+        for seed, pair in by_seed.items():
+            assert pair["exact"].cut <= pair["GP"].cut + 1e-9
+            assert pair["exact"].feasible
+
+    def test_sweeprow_as_list_shape(self):
+        row = SweepRow(
+            study="s", params={"x": 1}, algorithm="a",
+            cut=1.0, runtime=0.5, max_resource=2.0,
+            max_bandwidth=3.0, feasible=True,
+        )
+        cells = row.as_list()
+        assert cells[0] == "s" and cells[-1] is True

@@ -1,0 +1,165 @@
+"""Tests for the high-level API, reports, experiments and figure artefacts."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    paper_experiment_table,
+    run_paper_experiment,
+)
+from repro.bench.figures import FIGURE_BASE, figure_artifacts, write_figure_artifacts
+from repro.bench.paper_values import PAPER_TABLES
+from repro.core import (
+    ConstraintSpec,
+    GPConfig,
+    comparison_report,
+    map_to_fpgas,
+    partition_graph,
+    partition_ppn,
+    result_table,
+)
+from repro.graph import paper_graph, random_process_network
+from repro.polyhedral import derive_ppn
+from repro.polyhedral.gallery import chain, producer_consumer
+from repro.util.errors import PartitionError, ReproError
+
+
+class TestPartitionGraph:
+    def test_methods_dispatch(self):
+        g = random_process_network(12, 24, seed=0)
+        for method in ("gp", "mlkp", "spectral"):
+            res = partition_graph(g, 3, method=method, seed=0)
+            assert res.assign.shape == (12,)
+        res = partition_graph(g, 3, method="exact")
+        assert res.assign.shape == (12,)
+
+    def test_unknown_method(self):
+        g = random_process_network(8, 14, seed=0)
+        with pytest.raises(PartitionError):
+            partition_graph(g, 2, method="magic")
+
+    def test_constraints_forwarded(self):
+        g, spec = paper_graph(1)
+        res = partition_graph(
+            g, spec.k, bmax=spec.bmax, rmax=spec.rmax, method="gp", seed=0
+        )
+        assert res.feasible
+
+    def test_config_forwarded(self):
+        g = random_process_network(10, 20, seed=1)
+        cfg = GPConfig(max_cycles=1, restarts=1)
+        res = partition_graph(g, 2, method="gp", config=cfg, seed=0)
+        assert res.info["max_cycles"] == 1
+
+
+class TestPartitionPPN:
+    def test_from_program(self):
+        result, g, names = partition_ppn(chain(6, 32), 2, seed=0)
+        assert g.n == 6
+        assert set(names) == {f"s{i}" for i in range(6)}
+        assert result.assign.shape == (6,)
+
+    def test_from_derived_ppn(self):
+        ppn = derive_ppn(chain(4, 16))
+        result, g, names = partition_ppn(ppn, 2, seed=0)
+        assert g.n == 4
+
+    def test_sustained_mode(self):
+        result, g, names = partition_ppn(
+            producer_consumer(32), 2, bandwidth_mode="sustained",
+            bandwidth_scale=10.0, seed=0,
+        )
+        assert g.m == 1
+
+    def test_mapping_roundtrip(self):
+        prog = chain(6, 32)
+        rmax = 1e6
+        result, g, names = partition_ppn(prog, 2, bmax=1e6, rmax=rmax, seed=0)
+        mapping = map_to_fpgas(g, result, bmax=1e6, rmax=rmax, names=names)
+        assert mapping.is_valid
+        both = mapping.processes_on(0) + mapping.processes_on(1)
+        assert sorted(both) == sorted(names)
+
+    def test_map_k_mismatch(self):
+        result, g, names = partition_ppn(chain(4, 8), 2, seed=0)
+        from repro.fpga import MultiFPGASystem
+
+        sys3 = MultiFPGASystem.homogeneous(3, rmax=100, bmax=10)
+        with pytest.raises(PartitionError):
+            map_to_fpgas(g, result, bmax=10, rmax=100, system=sys3)
+
+
+class TestReports:
+    def test_result_table_columns(self):
+        g = random_process_network(10, 18, seed=0)
+        res = partition_graph(g, 2, method="mlkp", seed=0)
+        out = result_table([res], title="t")
+        assert "Total Edge-Cuts" in out
+        assert "MLKP" in out
+
+    def test_comparison_report_verdicts(self):
+        g, spec = paper_graph(1)
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        gp = partition_graph(g, spec.k, bmax=spec.bmax, rmax=spec.rmax, seed=0)
+        mlkp = partition_graph(
+            g, spec.k, bmax=spec.bmax, rmax=spec.rmax, method="mlkp", seed=0
+        )
+        out = comparison_report([mlkp, gp], cons)
+        assert "GP: both constraints are met" in out
+        assert "violated" in out
+
+
+class TestPaperExperiments:
+    @pytest.mark.parametrize("exp", [1, 2, 3])
+    def test_shape_checks_hold(self, exp):
+        outcome = run_paper_experiment(exp)
+        checks = outcome.reproduces_paper_shape()
+        assert all(checks.values()), f"failed checks: {checks}"
+
+    @pytest.mark.parametrize("exp", [1, 2, 3])
+    def test_deterministic(self, exp):
+        a = run_paper_experiment(exp)
+        b = run_paper_experiment(exp)
+        assert np.array_equal(a.gp.assign, b.gp.assign)
+        assert np.array_equal(a.mlkp.assign, b.mlkp.assign)
+
+    def test_table_text_mentions_paper_values(self):
+        out = paper_experiment_table(1)
+        assert "paper reported" in out
+        assert "max_res=172" in out  # the published METIS row
+
+    def test_paper_values_table(self):
+        assert PAPER_TABLES[3][1].time_s == 7.76
+        assert PAPER_TABLES[1][0].max_bandwidth == 20
+
+    def test_experiment2_incidental_cut_win(self):
+        outcome = run_paper_experiment(2)
+        assert outcome.gp.cut < outcome.mlkp.cut
+
+
+class TestFigureArtifacts:
+    def test_twelve_figures(self):
+        names = set()
+        for exp in (1, 2, 3):
+            for art in figure_artifacts(exp):
+                names.add(art.figure)
+        assert names == set(range(2, 14))
+
+    def test_write_creates_files(self, tmp_path):
+        paths = write_figure_artifacts(tmp_path, experiments=(1,))
+        assert len(paths) == 12
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_figure_numbering_matches_paper(self):
+        # experiment 2's figures are 6-9 in the paper
+        arts = figure_artifacts(2)
+        assert [a.figure for a in arts] == [6, 7, 8, 9]
+        assert FIGURE_BASE == {1: 2, 2: 6, 3: 10}
+
+    def test_gp_view_meets_constraints_in_text(self):
+        for exp in (1, 2, 3):
+            gp_view = next(
+                a for a in figure_artifacts(exp) if a.name == "gp_partitioning"
+            )
+            assert "VIOLATED" not in gp_view.text

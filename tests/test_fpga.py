@@ -1,0 +1,205 @@
+"""Tests for the multi-FPGA platform model and mapping validator."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import (
+    FPGADevice,
+    Mapping,
+    MultiFPGASystem,
+    ResourceVector,
+    mapping_from_result,
+)
+from repro.graph import WGraph, paper_graph
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.mlkp import mlkp_partition
+from repro.util.errors import ReproError
+
+
+class TestResourceVector:
+    def test_add_sub(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert (a + b).as_tuple() == (11, 22, 33, 44)
+        assert (b - a).as_tuple() == (9, 18, 27, 36)
+
+    def test_sub_underflow_rejected(self):
+        with pytest.raises(ReproError):
+            ResourceVector(1) - ResourceVector(2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            ResourceVector(luts=-1)
+
+    def test_scalar_constructor(self):
+        v = ResourceVector.scalar(42)
+        assert v.luts == 42 and v.ffs == 0
+
+    def test_fits_in(self):
+        assert ResourceVector(5, 5).fits_in(ResourceVector(5, 6))
+        assert not ResourceVector(5, 7).fits_in(ResourceVector(5, 6))
+
+    def test_headroom_and_overflow(self):
+        load = ResourceVector(8, 2)
+        cap = ResourceVector(10, 1)
+        assert load.headroom(cap) == -1
+        assert load.overflow(cap) == 1
+        assert ResourceVector(1).overflow(cap) == 0
+
+    def test_scale(self):
+        assert ResourceVector(2, 4).scale(0.5).as_tuple() == (1, 2, 0, 0)
+        with pytest.raises(ReproError):
+            ResourceVector(1).scale(-1)
+
+    def test_total(self):
+        assert ResourceVector(1, 2, 3, 4).total == 10
+
+
+class TestDevices:
+    def test_device_fits(self):
+        d = FPGADevice("x", ResourceVector.scalar(100))
+        assert d.fits(ResourceVector.scalar(100))
+        assert not d.fits(ResourceVector.scalar(101))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            FPGADevice("", ResourceVector.scalar(1))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            FPGADevice("x", ResourceVector.zero())
+
+
+class TestSystem:
+    def test_homogeneous(self):
+        sys_ = MultiFPGASystem.homogeneous(4, rmax=100, bmax=16)
+        assert sys_.k == 4
+        assert sys_.link_capacity(0, 3) == 16
+        assert sys_.has_link(1, 2)
+
+    def test_on_chip_free(self):
+        sys_ = MultiFPGASystem.homogeneous(2, 10, 5)
+        assert sys_.link_capacity(0, 0) == float("inf")
+
+    def test_ring_topology(self):
+        sys_ = MultiFPGASystem.ring(4, rmax=100, bmax=16)
+        assert sys_.has_link(0, 1) and sys_.has_link(3, 0)
+        assert not sys_.has_link(0, 2)
+        assert sys_.link_capacity(0, 2) == 0.0
+
+    def test_explicit_link_capacities(self):
+        devs = [FPGADevice(f"f{i}", ResourceVector.scalar(10)) for i in range(3)]
+        sys_ = MultiFPGASystem(devs, bmax=5, links=[(0, 1), (1, 2, 9)])
+        assert sys_.link_capacity(0, 1) == 5
+        assert sys_.link_capacity(1, 2) == 9
+        assert sys_.link_capacity(0, 2) == 0
+
+    def test_validation(self):
+        devs = [FPGADevice("a", ResourceVector.scalar(1))]
+        with pytest.raises(ReproError):
+            MultiFPGASystem([], bmax=1)
+        with pytest.raises(ReproError):
+            MultiFPGASystem(devs, bmax=-1)
+        with pytest.raises(ReproError):
+            MultiFPGASystem(devs * 2, bmax=1)  # duplicate names
+        with pytest.raises(ReproError):
+            MultiFPGASystem(devs, bmax=1, links=[(0, 0)])
+        with pytest.raises(ReproError):
+            sys0 = MultiFPGASystem(devs, bmax=1)
+            sys0.link_capacity(0, 5)
+
+
+def tiny_graph():
+    return WGraph(
+        4,
+        [(0, 1, 4.0), (1, 2, 6.0), (2, 3, 2.0), (0, 3, 3.0)],
+        node_weights=[10, 20, 15, 5],
+    )
+
+
+class TestMapping:
+    def test_valid_mapping(self):
+        g = tiny_graph()
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=40, bmax=10)
+        m = Mapping(g, [0, 0, 1, 1], sys_)
+        report = m.validate()
+        assert report.valid
+        assert report.device_loads[0].luts == 30
+
+    def test_resource_violation_reported(self):
+        g = tiny_graph()
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=20, bmax=100)
+        m = Mapping(g, [0, 0, 1, 1], sys_)
+        report = m.validate()
+        assert not report.valid
+        kinds = {v.kind for v in report.violations}
+        assert kinds == {"resource"}
+        assert "INVALID" in report.summary()
+
+    def test_bandwidth_violation_reported(self):
+        g = tiny_graph()
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=100, bmax=5)
+        m = Mapping(g, [0, 0, 1, 1], sys_)
+        report = m.validate()
+        # pair bw = 6 (edge 1-2) + 3 (edge 0-3) = 9 > 5
+        assert not report.valid
+        v = report.violations[0]
+        assert v.kind == "bandwidth" and v.load == 9.0 and v.excess == 4.0
+
+    def test_missing_link_is_zero_capacity(self):
+        g = tiny_graph()
+        devs = [FPGADevice(f"f{i}", ResourceVector.scalar(100)) for i in range(3)]
+        sys_ = MultiFPGASystem(devs, bmax=100, links=[(0, 1), (1, 2)])
+        m = Mapping(g, [0, 1, 2, 0], sys_)  # edge 0-3 inside part 0; 2-3 crosses (2,0)
+        report = m.validate()
+        assert any(v.kind == "bandwidth" and v.capacity == 0.0 for v in report.violations)
+
+    def test_processes_on_names(self):
+        g = tiny_graph()
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=100, bmax=100)
+        m = Mapping(g, [0, 1, 0, 1], sys_, names=["a", "b", "c", "d"])
+        assert m.processes_on(0) == ["a", "c"]
+
+    def test_name_length_checked(self):
+        g = tiny_graph()
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=100, bmax=100)
+        with pytest.raises(ReproError):
+            Mapping(g, [0, 1, 0, 1], sys_, names=["a"])
+
+    def test_vector_resources(self):
+        g = tiny_graph()
+        devs = [
+            FPGADevice("big", ResourceVector(luts=100, dsps=2)),
+            FPGADevice("small", ResourceVector(luts=100, dsps=0)),
+        ]
+        sys_ = MultiFPGASystem(devs, bmax=100)
+        res = [
+            ResourceVector(luts=10, dsps=1),
+            ResourceVector(luts=20, dsps=1),
+            ResourceVector(luts=15),
+            ResourceVector(luts=5),
+        ]
+        ok = Mapping(g, [0, 0, 1, 1], sys_, node_resources=res)
+        assert ok.is_valid
+        bad = Mapping(g, [1, 1, 0, 0], sys_, node_resources=res)
+        assert not bad.is_valid  # dsps don't fit on "small"
+
+    def test_gp_mapping_validates_mlkp_does_not(self):
+        """End-to-end: on the paper instance, GP's mapping passes platform
+        validation while the METIS-like baseline's fails."""
+        g, spec = paper_graph(1)
+        sys_ = MultiFPGASystem.homogeneous(spec.k, rmax=spec.rmax, bmax=spec.bmax)
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        gp = gp_partition(g, spec.k, cons, GPConfig(max_cycles=20), seed=0)
+        mlkp = mlkp_partition(g, spec.k, seed=0, constraints=cons)
+        assert mapping_from_result(gp, g, sys_).is_valid
+        assert not mapping_from_result(mlkp, g, sys_).is_valid
+
+    def test_k_mismatch_rejected(self):
+        g, spec = paper_graph(1)
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        res = mlkp_partition(g, spec.k, seed=0, constraints=cons)
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=spec.rmax, bmax=spec.bmax)
+        with pytest.raises(ReproError):
+            mapping_from_result(res, g, sys_)

@@ -1,0 +1,154 @@
+"""Tests for graph builders, matrix IO and JSON IO."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    WGraph,
+    from_adjacency,
+    from_incidence_matrix,
+    from_networkx,
+    graph_from_json,
+    graph_to_json,
+    incidence_matrix,
+    load_graph,
+    parse_incidence_text,
+    render_incidence_text,
+    save_graph,
+    to_networkx,
+)
+from repro.util.errors import GraphError
+
+
+def sample():
+    return WGraph(
+        4,
+        [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (0, 3, 5.0)],
+        node_weights=[10, 20, 30, 40],
+    )
+
+
+class TestAdjacency:
+    def test_roundtrip(self):
+        g = sample()
+        g2 = from_adjacency(g.adjacency_matrix(), node_weights=g.node_weights)
+        assert g2 == g
+
+    def test_asymmetric_rejected(self):
+        a = np.zeros((2, 2))
+        a[0, 1] = 1.0
+        with pytest.raises(GraphError):
+            from_adjacency(a)
+
+    def test_nonzero_diagonal_rejected(self):
+        a = np.eye(2)
+        with pytest.raises(GraphError):
+            from_adjacency(a)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(GraphError):
+            from_adjacency(np.zeros((2, 3)))
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        g = sample()
+        nxg = to_networkx(g)
+        g2, labels = from_networkx(nxg)
+        assert labels == [0, 1, 2, 3]
+        assert g2 == g
+
+    def test_defaults_for_missing_attrs(self):
+        nxg = nx.path_graph(3)
+        g, _ = from_networkx(nxg)
+        assert g.node_weights.tolist() == [1, 1, 1]
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_string_labels(self):
+        nxg = nx.Graph()
+        nxg.add_edge("b", "a", weight=2.0)
+        g, labels = from_networkx(nxg)
+        assert labels == ["a", "b"]
+        assert g.edge_weight(0, 1) == 2.0
+
+
+class TestIncidence:
+    def test_matrix_shape_and_weights(self):
+        g = sample()
+        b = incidence_matrix(g)
+        assert b.shape == (4, 4)
+        # each column has exactly two equal nonzeros
+        for j in range(b.shape[1]):
+            nz = b[:, j][b[:, j] != 0]
+            assert len(nz) == 2 and nz[0] == nz[1]
+
+    def test_roundtrip(self):
+        g = sample()
+        g2 = from_incidence_matrix(incidence_matrix(g), node_weights=g.node_weights)
+        assert g2 == g
+
+    def test_text_roundtrip(self):
+        g = sample()
+        g2 = parse_incidence_text(render_incidence_text(g))
+        assert g2 == g
+
+    def test_text_without_node_weights(self):
+        g = sample()
+        text = render_incidence_text(g, include_node_weights=False)
+        g2 = parse_incidence_text(text)
+        assert g2.node_weights.tolist() == [1, 1, 1, 1]
+        assert list(g2.edges()) == list(g.edges())
+
+    def test_bad_column_rejected(self):
+        b = np.zeros((3, 1))
+        b[0, 0] = 1.0  # only one endpoint
+        with pytest.raises(GraphError):
+            from_incidence_matrix(b)
+
+    def test_mismatched_endpoint_weights_rejected(self):
+        b = np.zeros((3, 1))
+        b[0, 0] = 1.0
+        b[1, 0] = 2.0
+        with pytest.raises(GraphError):
+            from_incidence_matrix(b)
+
+    def test_ragged_text_rejected(self):
+        with pytest.raises(GraphError):
+            parse_incidence_text("1 1\n1\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(GraphError):
+            parse_incidence_text("\n")
+
+    def test_unknown_header_rejected(self):
+        with pytest.raises(GraphError):
+            parse_incidence_text("# bogus\n1 1\n")
+
+
+class TestJson:
+    def test_roundtrip(self):
+        g = sample()
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = sample()
+        p = tmp_path / "g.json"
+        save_graph(g, p)
+        assert load_graph(p) == g
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_json("{not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"format": "other"}')
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"format": "repro-wgraph-v1", "n": 2}')

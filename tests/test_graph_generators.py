@@ -1,0 +1,175 @@
+"""Tests for synthetic graph generators, incl. hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    check_graph,
+    paper_graph,
+    planted_partition_network,
+    random_connected_graph,
+    random_process_network,
+)
+from repro.graph.generators import PAPER_SPECS
+from repro.util.errors import GraphError
+
+
+class TestRandomConnected:
+    def test_exact_counts(self):
+        g = random_connected_graph(10, 20, seed=1)
+        assert g.n == 10 and g.m == 20
+
+    def test_connected(self):
+        for seed in range(5):
+            assert random_connected_graph(15, 14, seed=seed).is_connected()
+
+    def test_deterministic(self):
+        a = random_connected_graph(8, 12, seed=3)
+        b = random_connected_graph(8, 12, seed=3)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = random_connected_graph(8, 12, seed=3)
+        b = random_connected_graph(8, 12, seed=4)
+        assert a != b
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(5, 3, seed=0)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(4, 7, seed=0)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(0, 0, seed=0)
+
+    def test_total_node_weight_target(self):
+        g = random_connected_graph(
+            10, 15, seed=2, node_weight_range=(5, 50), total_node_weight=200
+        )
+        assert g.total_node_weight == 200
+
+    def test_weight_ranges_respected(self):
+        g = random_connected_graph(
+            12, 20, seed=5, node_weight_range=(3, 9), edge_weight_range=(2, 4)
+        )
+        assert g.node_weights.min() >= 3 and g.node_weights.max() <= 9
+        _, _, ew = g.edge_array
+        assert ew.min() >= 2 and ew.max() <= 4
+
+    @given(
+        n=st.integers(2, 20),
+        extra=st.integers(0, 15),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_connected_and_valid(self, n, extra, seed):
+        m = min(n - 1 + extra, n * (n - 1) // 2)
+        g = random_connected_graph(n, m, seed=seed)
+        assert g.is_connected()
+        assert g.m == m
+        check_graph(g)
+
+
+class TestRandomProcessNetwork:
+    def test_counts_and_connectivity(self):
+        g = random_process_network(12, 33, seed=0)
+        assert g.n == 12 and g.m == 33 and g.is_connected()
+
+    def test_deterministic(self):
+        assert random_process_network(12, 30, seed=9) == random_process_network(
+            12, 30, seed=9
+        )
+
+    def test_backbone_present(self):
+        g = random_process_network(10, 15, seed=1)
+        for i in range(9):
+            assert g.has_edge(i, i + 1)
+
+    def test_bad_locality_rejected(self):
+        with pytest.raises(GraphError):
+            random_process_network(10, 15, seed=0, locality=1.5)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(GraphError):
+            random_process_network(1, 0, seed=0)
+
+    def test_total_node_weight_target(self):
+        g = random_process_network(12, 20, seed=0, total_node_weight=400)
+        assert g.total_node_weight == 400
+
+
+class TestPlantedPartition:
+    def test_certificate_feasible(self):
+        rmax, bmax, k = 100.0, 12.0, 4
+        g, assign = planted_partition_network(16, k, rmax, bmax, seed=0)
+        assert g.n == 16
+        assert set(assign.tolist()) == set(range(k))
+        # resource feasibility of the planted assignment
+        for c in range(k):
+            assert g.node_weights[assign == c].sum() <= rmax
+        # pairwise bandwidth feasibility
+        pair = np.zeros((k, k))
+        for u, v, w in g.edges():
+            cu, cv = assign[u], assign[v]
+            if cu != cv:
+                pair[cu, cv] += w
+                pair[cv, cu] += w
+        assert pair.max() <= bmax
+
+    def test_connected(self):
+        g, _ = planted_partition_network(20, 4, 120, 15, seed=3)
+        assert g.is_connected()
+
+    def test_deterministic(self):
+        a, asg_a = planted_partition_network(16, 4, 100, 12, seed=5)
+        b, asg_b = planted_partition_network(16, 4, 100, 12, seed=5)
+        assert a == b and np.array_equal(asg_a, asg_b)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(GraphError):
+            planted_partition_network(5, 4, 100, 10, seed=0)  # n < 2k
+        with pytest.raises(GraphError):
+            planted_partition_network(16, 4, 100, 10, seed=0, fill=0.0)
+
+
+class TestPaperGraphs:
+    @pytest.mark.parametrize("exp", [1, 2, 3])
+    def test_envelope_matches_paper(self, exp):
+        g, spec = paper_graph(exp)
+        assert g.n == spec.n_nodes == 12
+        assert g.m == spec.n_edges
+        assert g.is_connected()
+        check_graph(g)
+
+    def test_edge_counts_match_published(self):
+        assert paper_graph(1)[0].m == 33
+        assert paper_graph(2)[0].m == 30
+        assert paper_graph(3)[0].m == 32
+
+    @pytest.mark.parametrize("exp", [1, 2, 3])
+    def test_resource_regime_tight_but_feasible(self, exp):
+        """Total node weight must sit in (2*Rmax, K*Rmax]: the resource
+        constraint binds (no 2 partitions suffice) yet K partitions can fit."""
+        g, spec = paper_graph(exp)
+        total = g.total_node_weight
+        assert total <= spec.k * spec.rmax
+        assert total > 2 * spec.rmax
+
+    @pytest.mark.parametrize("exp", [1, 2, 3])
+    def test_deterministic(self, exp):
+        assert paper_graph(exp)[0] == paper_graph(exp)[0]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(GraphError):
+            paper_graph(4)
+
+    def test_specs_published_constraints(self):
+        assert PAPER_SPECS[1].bmax == 16 and PAPER_SPECS[1].rmax == 165
+        assert PAPER_SPECS[2].bmax == 25 and PAPER_SPECS[2].rmax == 130
+        assert PAPER_SPECS[3].bmax == 20 and PAPER_SPECS[3].rmax == 78
+        assert all(s.k == 4 for s in PAPER_SPECS.values())

@@ -1,0 +1,185 @@
+"""Cross-subsystem integration tests.
+
+These exercise the seams: polyhedral -> kpn -> partition -> fpga -> viz,
+determinacy of the dataflow semantics, and artefact round-trips through the
+interchange formats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import map_to_fpgas, partition_graph, partition_ppn
+from repro.fpga import MultiFPGASystem
+from repro.graph import paper_graph
+from repro.graph.metisio import parse_metis, render_metis
+from repro.kpn import simulate_ppn
+from repro.kpn.buffer_sizing import minimal_uniform_capacity, per_channel_depths
+from repro.kpn.platform_sim import simulate_mapped_ppn
+from repro.partition.exact import exact_partition
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.polyhedral import SANLP, derive_ppn, find_dependences
+from repro.polyhedral.channels import annotate_ppn_costs, classify_ppn
+from repro.polyhedral.gallery import GALLERY, fir_filter, lu, split_merge
+from repro.polyhedral.interpreter import interpret
+from repro.polyhedral.transform import unroll_statement
+from repro.viz import render_ascii, render_svg, to_dot
+
+
+class TestKahnDeterminacy:
+    """The final store must not depend on the statement schedule, as long as
+    the schedule respects inter-statement dataflow (Kahn determinacy of the
+    derived network's sequential projections)."""
+
+    def _reorder(self, prog: SANLP, order: list[int]) -> SANLP:
+        out = SANLP(prog.name, params=dict(prog.params))
+        for i in order:
+            out.add_statement(prog.statements[i])
+        return out
+
+    def _dependence_respecting_orders(self, prog: SANLP) -> list[list[int]]:
+        deps, _ = find_dependences(prog)
+        names = [s.name for s in prog.statements]
+        idx = {n: i for i, n in enumerate(names)}
+        edges = {
+            (idx[d.producer], idx[d.consumer])
+            for d in deps
+            if d.producer != d.consumer
+        }
+        n = len(names)
+        # all topological orders for small n (prune by edges)
+        orders: list[list[int]] = []
+
+        def rec(remaining: set[int], acc: list[int]):
+            if len(orders) >= 6:  # a handful suffices
+                return
+            if not remaining:
+                orders.append(list(acc))
+                return
+            for cand in sorted(remaining):
+                if all(p in acc for (p, c) in edges if c == cand):
+                    acc.append(cand)
+                    rec(remaining - {cand}, acc)
+                    acc.pop()
+
+        rec(set(range(n)), [])
+        return orders
+
+    @pytest.mark.parametrize("name", ["fir_filter", "split_merge", "sobel"])
+    def test_store_schedule_independent(self, name):
+        builders = {
+            "fir_filter": lambda: fir_filter(3, 10),
+            "split_merge": lambda: split_merge(2, 8),
+            "sobel": lambda: GALLERY["sobel"](),
+        }
+        prog = builders[name]()
+        baseline = interpret(prog)
+        for order in self._dependence_respecting_orders(prog)[1:]:
+            reordered = self._reorder(prog, order)
+            assert interpret(reordered) == baseline, (
+                f"{name}: store changed under schedule {order}"
+            )
+
+
+class TestEndToEndFlows:
+    def test_lu_full_pipeline(self):
+        """LU: derive -> classify -> channel-cost annotate -> size buffers ->
+        partition -> map -> execute mapped."""
+        ppn = annotate_ppn_costs(derive_ppn(lu(6)))
+        classes = classify_ppn(ppn)
+        assert any(not c.in_order for c in classes.values())  # OOM present
+        depths = per_channel_depths(ppn)
+        assert all(d >= 1 for d in depths.values())
+        cap = minimal_uniform_capacity(ppn)
+        assert cap >= 1
+
+        total_res = sum(p.resources for p in ppn.processes)
+        rmax = 0.75 * total_res
+        g, names = ppn.to_wgraph()
+        bmax = 0.9 * g.total_edge_weight
+        result, graph, names = partition_ppn(ppn, 2, bmax=bmax, rmax=rmax, seed=0)
+        assert result.feasible
+        mapping = map_to_fpgas(graph, result, bmax=bmax, rmax=rmax, names=names)
+        assert mapping.is_valid
+
+        sys_ = MultiFPGASystem.homogeneous(2, rmax=rmax, bmax=1_000_000)
+        mres = simulate_mapped_ppn(ppn, result.assign, sys_)
+        assert not mres.deadlocked
+        assert mres.fired == {p.name: p.firings for p in ppn.processes}
+
+    def test_unroll_then_partition_then_map(self):
+        prog = unroll_statement(split_merge(2, 32), "merge", 2)
+        ppn = derive_ppn(prog)
+        g, names = ppn.to_wgraph()
+        result, graph, names = partition_ppn(
+            ppn, 2, bmax=1e9, rmax=0.8 * g.total_node_weight, seed=0
+        )
+        mapping = map_to_fpgas(
+            graph, result, bmax=1e9, rmax=0.8 * g.total_node_weight, names=names
+        )
+        assert mapping.is_valid
+
+    def test_paper_graph_through_metis_format_and_exact(self):
+        """Round-trip experiment 1 through the METIS format, then verify the
+        exact optimum is preserved (the format carries all structure)."""
+        g, spec = paper_graph(1)
+        g2 = parse_metis(render_metis(g))
+        assert g2 == g
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        opt1 = exact_partition(g, spec.k, cons, enforce=True)
+        opt2 = exact_partition(g2, spec.k, cons, enforce=True)
+        assert opt1.cut == opt2.cut
+
+    def test_all_methods_agree_on_assignment_validity(self):
+        g, spec = paper_graph(2)
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        for method in ("gp", "mlkp", "spectral", "exact"):
+            res = partition_graph(
+                g, spec.k, bmax=spec.bmax, rmax=spec.rmax, method=method, seed=0
+            )
+            m = evaluate_partition(g, res.assign, spec.k, cons)
+            assert m.cut == res.metrics.cut
+            assert m.feasible == res.feasible
+
+    def test_viz_all_formats_on_gp_result(self):
+        g, spec = paper_graph(3)
+        res = gp_partition(
+            g, spec.k,
+            ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax),
+            GPConfig(max_cycles=20), seed=0,
+        )
+        dot = to_dot(g, assign=res.assign, k=spec.k)
+        svg = render_svg(g, assign=res.assign, k=spec.k)
+        txt = render_ascii(
+            g, assign=res.assign, k=spec.k,
+            constraints=ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax),
+        )
+        assert "graph ppn" in dot and "</svg>" in svg
+        assert "met" in txt and "VIOLATED" not in txt
+
+    @pytest.mark.parametrize("name", sorted(GALLERY))
+    def test_every_gallery_program_flows_end_to_end(self, name):
+        ppn = derive_ppn(GALLERY[name]())
+        sim = simulate_ppn(ppn)
+        assert sim.total_traffic == ppn.total_tokens()
+        if ppn.n_processes < 2:
+            return
+        g, names = ppn.to_wgraph()
+        k = 2
+        result, graph, names = partition_ppn(
+            ppn, k, bmax=1e12, rmax=1e12, seed=0
+        )
+        assert result.assign.shape == (ppn.n_processes,)
+
+
+class TestConsistencyAcrossWeightModes:
+    def test_token_and_sustained_graphs_share_topology(self):
+        ppn = derive_ppn(fir_filter(4, 32))
+        from repro.kpn.traffic import ppn_to_mapped_graph
+
+        gt, names_t = ppn_to_mapped_graph(ppn, mode="tokens")
+        gs, names_s = ppn_to_mapped_graph(ppn, mode="sustained")
+        assert names_t == names_s
+        et = {(u, v) for u, v, _ in gt.edges()}
+        es = {(u, v) for u, v, _ in gs.edges()}
+        assert et == es

@@ -1,0 +1,115 @@
+"""Property-based round-trip fuzzing of every interchange format.
+
+Hypothesis generates arbitrary valid weighted graphs; every serialisation
+(native JSON, METIS .graph, incidence text, adjacency matrix, networkx,
+DOT/SVG rendering) must either round-trip exactly or fail loudly with
+GraphError — never corrupt silently.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    WGraph,
+    from_adjacency,
+    from_networkx,
+    graph_from_json,
+    graph_to_json,
+    parse_incidence_text,
+    render_incidence_text,
+    to_networkx,
+)
+from repro.graph.metisio import parse_metis, render_metis
+from repro.viz import render_ascii, render_svg, to_dot
+
+
+@st.composite
+def graphs(draw, max_n=12, integer_weights=False):
+    n = draw(st.integers(1, max_n))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(0, max_m))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    idx = draw(
+        st.lists(
+            st.integers(0, len(pairs) - 1), min_size=m, max_size=m, unique=True
+        )
+        if pairs and m
+        else st.just([])
+    )
+    if integer_weights:
+        wgen = st.integers(1, 50)
+    else:
+        wgen = st.floats(
+            0.0, 100.0, allow_nan=False, allow_infinity=False, width=32
+        )
+    edges = [
+        (pairs[i][0], pairs[i][1], float(draw(wgen))) for i in idx
+    ]
+    node_weights = [
+        float(draw(st.integers(1, 99) if integer_weights else wgen))
+        for _ in range(n)
+    ]
+    return WGraph(n, edges, node_weights=node_weights)
+
+
+class TestRoundTrips:
+    @given(g=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_json(self, g):
+        assert graph_from_json(graph_to_json(g)) == g
+
+    @given(g=graphs(integer_weights=True))
+    @settings(max_examples=40, deadline=None)
+    def test_metis(self, g):
+        assert parse_metis(render_metis(g)) == g
+
+    @given(g=graphs(integer_weights=True))
+    @settings(max_examples=40, deadline=None)
+    def test_incidence_integer_weights(self, g):
+        assert parse_incidence_text(render_incidence_text(g)) == g
+
+    @given(g=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_incidence_float_weights(self, g):
+        """Full-precision round-trip; zero-weight edges are documented as
+        unrepresentable and must raise loudly."""
+        from repro.util.errors import GraphError
+
+        _, _, ew = g.edge_array
+        if np.any(ew == 0):
+            with np.testing.assert_raises(GraphError):
+                render_incidence_text(g)
+        else:
+            assert parse_incidence_text(render_incidence_text(g)) == g
+
+    @given(g=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency(self, g):
+        g2 = from_adjacency(g.adjacency_matrix(), node_weights=g.node_weights)
+        # zero-weight edges vanish in the adjacency matrix; compare the rest
+        nonzero = [(u, v, w) for u, v, w in g.edges() if w > 0]
+        assert list(g2.edges()) == nonzero
+        assert np.array_equal(g2.node_weights, g.node_weights)
+
+    @given(g=graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_networkx(self, g):
+        g2, labels = from_networkx(to_networkx(g))
+        assert labels == list(range(g.n))
+        assert g2 == g
+
+
+class TestRenderersNeverCrash:
+    @given(g=graphs(), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_dot_svg_ascii_on_arbitrary_graphs(self, g, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 5))
+        assign = rng.integers(0, k, size=g.n)
+        dot = to_dot(g, assign=assign, k=k)
+        svg = render_svg(g, assign=assign, k=k, seed=seed)
+        txt = render_ascii(g, assign=assign, k=k)
+        assert dot.startswith("graph ppn {") and dot.rstrip().endswith("}")
+        assert svg.startswith("<svg") and "</svg>" in svg
+        assert f"{g.n} nodes" in txt

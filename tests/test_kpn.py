@@ -1,0 +1,200 @@
+"""Tests for the KPN simulator: FIFOs, execution, traffic annotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kpn import (
+    DeadlockError,
+    Fifo,
+    ppn_to_mapped_graph,
+    simulate_ppn,
+    sustained_bandwidth,
+)
+from repro.kpn.fifo import FifoError
+from repro.polyhedral import derive_ppn
+from repro.polyhedral.gallery import (
+    GALLERY,
+    chain,
+    fir_filter,
+    jacobi1d,
+    matmul,
+    producer_consumer,
+    split_merge,
+)
+from repro.util.errors import ReproError
+
+
+class TestFifo:
+    def test_push_pop_counts(self):
+        f = Fifo()
+        f.push(3)
+        f.pop(2)
+        assert f.tokens == 1
+        assert f.total_pushed == 3 and f.total_popped == 2
+
+    def test_peak_tracking(self):
+        f = Fifo()
+        f.push(5)
+        f.pop(4)
+        f.push(1)
+        assert f.peak == 5
+
+    def test_capacity_enforced(self):
+        f = Fifo(capacity=2)
+        f.push(2)
+        assert not f.can_push(1)
+        with pytest.raises(FifoError):
+            f.push(1)
+
+    def test_underflow_rejected(self):
+        f = Fifo()
+        with pytest.raises(FifoError):
+            f.pop(1)
+
+    def test_unbounded_free(self):
+        assert Fifo().free == float("inf")
+        assert Fifo(capacity=3).free == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(FifoError):
+            Fifo(capacity=-1)
+
+    def test_negative_amounts_rejected(self):
+        f = Fifo()
+        with pytest.raises(FifoError):
+            f.push(-1)
+        with pytest.raises(FifoError):
+            f.pop(-1)
+
+
+class TestSimulator:
+    def test_producer_consumer_completes(self):
+        ppn = derive_ppn(producer_consumer(16))
+        res = simulate_ppn(ppn)
+        assert not res.deadlocked
+        assert res.fired == {"produce": 16, "consume": 16}
+        # pipeline: consume lags produce by one cycle
+        assert res.cycles == 17
+
+    def test_token_conservation(self):
+        """Everything pushed is popped by completion: FIFOs end empty."""
+        for name in ("producer_consumer", "chain", "fir_filter", "jacobi1d"):
+            ppn = derive_ppn(GALLERY[name]())
+            res = simulate_ppn(ppn)
+            for cs, ch in zip(res.channel_stats, ppn.channels):
+                assert cs.total_tokens == ch.token_count
+
+    def test_all_firings_execute(self):
+        ppn = derive_ppn(matmul(3))
+        res = simulate_ppn(ppn)
+        for p in ppn.processes:
+            assert res.fired[p.name] == p.firings
+
+    def test_makespan_bounded_by_critical_path(self):
+        """An S-stage pipeline over N tokens completes in N + S - 1 cycles."""
+        ppn = derive_ppn(chain(4, 32))
+        res = simulate_ppn(ppn)
+        assert res.cycles == 32 + 4 - 1
+
+    def test_bounded_fifo_still_completes(self):
+        ppn = derive_ppn(chain(3, 16))
+        res = simulate_ppn(ppn, fifo_capacity=2)
+        assert not res.deadlocked
+        for cs in res.channel_stats:
+            assert cs.peak_occupancy <= 2
+
+    def test_undersized_fifo_deadlocks(self):
+        """fir taps need x[i-t] buffered: capacity 1 starves deep taps."""
+        ppn = derive_ppn(fir_filter(4, 16))
+        with pytest.raises(DeadlockError) as exc_info:
+            simulate_ppn(ppn, fifo_capacity=1)
+        assert exc_info.value.blocked  # diagnosable
+
+    def test_deadlock_return_mode(self):
+        ppn = derive_ppn(fir_filter(4, 16))
+        res = simulate_ppn(ppn, fifo_capacity=1, on_deadlock="return")
+        assert res.deadlocked
+
+    def test_bad_on_deadlock_rejected(self):
+        ppn = derive_ppn(producer_consumer(4))
+        with pytest.raises(ReproError):
+            simulate_ppn(ppn, on_deadlock="explode")
+
+    def test_max_cycles_guard(self):
+        ppn = derive_ppn(producer_consumer(64))
+        with pytest.raises(ReproError):
+            simulate_ppn(ppn, max_cycles=3)
+
+    def test_selfloop_sequencing(self):
+        """matmul's mac->mac reduction must simulate without deadlock."""
+        ppn = derive_ppn(matmul(3))
+        res = simulate_ppn(ppn, fifo_capacity=64)
+        assert not res.deadlocked
+
+    def test_stats_lookup(self):
+        ppn = derive_ppn(producer_consumer(8))
+        res = simulate_ppn(ppn)
+        cs = res.stats_for("produce", "consume", "a")
+        assert cs.total_tokens == 8
+        with pytest.raises(KeyError):
+            res.stats_for("x", "y", "z")
+
+    @pytest.mark.parametrize("name", sorted(GALLERY))
+    def test_gallery_completes_unbounded(self, name):
+        ppn = derive_ppn(GALLERY[name]())
+        res = simulate_ppn(ppn)
+        assert not res.deadlocked
+        assert res.total_traffic == ppn.total_tokens()
+
+    @given(n=st.integers(2, 40), stages=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_pipeline_makespan(self, n, stages):
+        ppn = derive_ppn(chain(stages, n))
+        res = simulate_ppn(ppn)
+        assert res.cycles == n + stages - 1
+
+
+class TestTraffic:
+    def test_sustained_bandwidth_keys(self):
+        ppn = derive_ppn(producer_consumer(16))
+        bw = sustained_bandwidth(ppn)
+        assert ("produce", "consume", "a") in bw
+        assert 0 < bw[("produce", "consume", "a")] <= 1.0
+
+    def test_tokens_mode_matches_ppn_export(self):
+        ppn = derive_ppn(chain(4, 16))
+        g1, names1 = ppn_to_mapped_graph(ppn, mode="tokens")
+        g2, names2 = ppn.to_wgraph()
+        assert names1 == names2
+        assert list(g1.edges()) == list(g2.edges())
+
+    def test_sustained_mode_scales_down(self):
+        """Sustained weights (tokens/cycle) are <= token weights."""
+        ppn = derive_ppn(chain(4, 16))
+        gt, _ = ppn_to_mapped_graph(ppn, mode="tokens")
+        gs, _ = ppn_to_mapped_graph(ppn, mode="sustained")
+        assert gs.total_edge_weight <= gt.total_edge_weight
+
+    def test_scale_applied(self):
+        ppn = derive_ppn(producer_consumer(8))
+        g, _ = ppn_to_mapped_graph(ppn, mode="tokens", scale=2.0)
+        assert g.total_edge_weight == 16.0
+
+    def test_round_up_integral(self):
+        ppn = derive_ppn(producer_consumer(10))
+        g, _ = ppn_to_mapped_graph(ppn, mode="sustained")
+        _, _, ew = g.edge_array
+        assert np.all(ew == np.round(ew))
+
+    def test_bad_mode_rejected(self):
+        ppn = derive_ppn(producer_consumer(4))
+        with pytest.raises(ReproError):
+            ppn_to_mapped_graph(ppn, mode="volume")
+
+    def test_reuse_simulation_result(self):
+        ppn = derive_ppn(chain(3, 12))
+        res = simulate_ppn(ppn)
+        g, _ = ppn_to_mapped_graph(ppn, mode="sustained", result=res)
+        assert g.n == ppn.n_processes

@@ -1,0 +1,185 @@
+"""Tests for METIS .graph I/O and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import WGraph, paper_graph, random_process_network
+from repro.graph.io import graph_to_json
+from repro.graph.matrixio import render_incidence_text
+from repro.graph.metisio import load_metis, parse_metis, render_metis, save_metis
+from repro.util.errors import GraphError
+
+
+def weighted():
+    return WGraph(
+        4,
+        [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (0, 3, 5.0)],
+        node_weights=[10, 20, 30, 40],
+    )
+
+
+class TestMetisIO:
+    def test_roundtrip_weighted(self):
+        g = weighted()
+        assert parse_metis(render_metis(g)) == g
+
+    def test_roundtrip_unweighted(self):
+        g = WGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        text = render_metis(g)
+        assert text.splitlines()[0] == "3 2"  # no fmt flag needed
+        assert parse_metis(text) == g
+
+    def test_header_fmt_flags(self):
+        g = weighted()
+        header = render_metis(g).splitlines()[0]
+        assert header == "4 4 11"  # both weight kinds
+
+    def test_edge_listed_twice(self):
+        g = WGraph(2, [(0, 1, 7.0)])
+        lines = render_metis(g).splitlines()
+        assert lines[1].split() == ["1", "2", "7"][1:]  # "2 7"
+        assert lines[2].split() == ["1", "7"]
+
+    def test_comment_emitted_and_ignored(self):
+        g = weighted()
+        text = render_metis(g, comment="paper graph")
+        assert text.startswith("% paper graph")
+        assert parse_metis(text) == g
+
+    def test_paper_graph_roundtrip(self):
+        g, _ = paper_graph(1)
+        assert parse_metis(render_metis(g)) == g
+
+    def test_file_roundtrip(self, tmp_path):
+        g = weighted()
+        p = tmp_path / "g.graph"
+        save_metis(g, p)
+        assert load_metis(p) == g
+
+    def test_nonintegral_weight_rejected(self):
+        g = WGraph(2, [(0, 1, 1.5)])
+        with pytest.raises(GraphError):
+            render_metis(g)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(GraphError):
+            parse_metis("abc\n")
+        with pytest.raises(GraphError):
+            parse_metis("3\n")
+
+    def test_wrong_line_count_rejected(self):
+        # too many vertex lines
+        with pytest.raises(GraphError):
+            parse_metis("2 1\n2\n1\n1\n")
+        # missing lines are padded as blanks, so the edge count catches it
+        with pytest.raises(GraphError):
+            parse_metis("2 1\n")
+
+    def test_trailing_blank_vertex_lines_tolerated(self):
+        # isolated vertex 2's empty adjacency line stripped by an editor
+        g = parse_metis("2 1\n2\n1\n")
+        g2 = parse_metis("2 1\n2\n")
+        assert g == g2 and g.m == 1
+
+    def test_inconsistent_duplicate_weight_rejected(self):
+        text = "2 1 1\n2 5\n1 6\n"
+        with pytest.raises(GraphError):
+            parse_metis(text)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            parse_metis("1 0\n1\n")
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            parse_metis("2 2\n2\n1\n")
+
+    def test_vertex_sizes_unsupported(self):
+        with pytest.raises(GraphError):
+            parse_metis("2 1 100\n1 2\n1 1\n")
+
+
+class TestCLI:
+    def _write_graph(self, tmp_path):
+        g = random_process_network(12, 26, seed=3, node_weight_range=(10, 40))
+        p = tmp_path / "g.json"
+        p.write_text(graph_to_json(g))
+        return g, p
+
+    def test_partition_feasible_exit_zero(self, tmp_path, capsys):
+        g, p = self._write_graph(tmp_path)
+        rmax = 1.3 * g.total_node_weight / 3
+        code = main([
+            "partition", "--input", str(p), "--k", "3",
+            "--bmax", "1000", "--rmax", str(rmax),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GP: both constraints are met" in out
+
+    def test_partition_infeasible_exit_two(self, tmp_path, capsys):
+        g, p = self._write_graph(tmp_path)
+        code = main([
+            "partition", "--input", str(p), "--k", "3",
+            "--bmax", "0", "--rmax", "1",
+        ])
+        assert code == 2
+
+    def test_partition_compare_and_outputs(self, tmp_path, capsys):
+        g, p = self._write_graph(tmp_path)
+        dot = tmp_path / "out.dot"
+        aout = tmp_path / "assign.json"
+        code = main([
+            "partition", "--input", str(p), "--k", "2",
+            "--compare", "--dot", str(dot), "--assign-out", str(aout),
+        ])
+        assert code == 0
+        assert dot.exists() and "graph ppn" in dot.read_text()
+        doc = json.loads(aout.read_text())
+        assert len(doc["assign"]) == 12
+        out = capsys.readouterr().out
+        assert "MLKP" in out and "GP" in out
+
+    def test_partition_reads_metis_format(self, tmp_path, capsys):
+        g, _ = paper_graph(1)
+        p = tmp_path / "g.graph"
+        save_metis(g, p)
+        code = main(["partition", "--input", str(p), "--k", "4"])
+        assert code == 0
+
+    def test_partition_reads_incidence_format(self, tmp_path, capsys):
+        g = weighted()
+        p = tmp_path / "g.inc"
+        p.write_text(render_incidence_text(g))
+        code = main(["partition", "--input", str(p), "--k", "2"])
+        assert code == 0
+
+    def test_tables_command(self, capsys):
+        code = main(["tables", "--experiment", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXPERIMENT I" in out and "paper reported" in out
+
+    def test_figures_command(self, tmp_path, capsys):
+        code = main(["figures", "--out", str(tmp_path / "figs")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "36 artefacts" in out
+
+    def test_generate_command(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.json"
+        code = main([
+            "generate", "--n", "10", "--m", "20", "--seed", "1",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_error_paths_exit_one(self, tmp_path, capsys):
+        g, p = self._write_graph(tmp_path)
+        code = main(["partition", "--input", str(p), "--k", "99"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,175 @@
+"""Tests for repro.partition.metrics and the constraint spec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import WGraph, random_process_network
+from repro.partition.metrics import (
+    ConstraintSpec,
+    bandwidth_matrix,
+    check_assignment,
+    cut_value,
+    evaluate_partition,
+    part_weights,
+)
+from repro.util.errors import PartitionError
+
+
+def path4():
+    # 0-1-2-3 path, weights 1,2,3
+    return WGraph(
+        4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)], node_weights=[10, 20, 30, 40]
+    )
+
+
+class TestConstraintSpec:
+    def test_defaults_unconstrained(self):
+        c = ConstraintSpec()
+        assert c.unconstrained
+
+    def test_partial_constraint_not_unconstrained(self):
+        assert not ConstraintSpec(bmax=5).unconstrained
+        assert not ConstraintSpec(rmax=5).unconstrained
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            ConstraintSpec(bmax=-1)
+        with pytest.raises(PartitionError):
+            ConstraintSpec(rmax=-0.5)
+
+
+class TestCheckAssignment:
+    def test_valid(self):
+        g = path4()
+        a = check_assignment(g, [0, 0, 1, 1], 2)
+        assert a.dtype == np.int64
+
+    def test_wrong_shape(self):
+        with pytest.raises(PartitionError):
+            check_assignment(path4(), [0, 1], 2)
+
+    def test_out_of_range_value(self):
+        with pytest.raises(PartitionError):
+            check_assignment(path4(), [0, 0, 1, 2], 2)
+        with pytest.raises(PartitionError):
+            check_assignment(path4(), [0, 0, -1, 1], 2)
+
+    def test_bad_k(self):
+        with pytest.raises(PartitionError):
+            check_assignment(path4(), [0, 0, 0, 0], 0)
+
+
+class TestCutValue:
+    def test_no_cut_single_part(self):
+        g = path4()
+        assert cut_value(g, [0, 0, 0, 0]) == 0.0
+
+    def test_all_cut(self):
+        g = path4()
+        assert cut_value(g, [0, 1, 2, 3]) == 6.0
+
+    def test_middle_cut(self):
+        g = path4()
+        assert cut_value(g, [0, 0, 1, 1]) == 2.0
+
+
+class TestBandwidthMatrix:
+    def test_pairwise_entries(self):
+        g = path4()
+        b = bandwidth_matrix(g, [0, 0, 1, 1], 2)
+        assert b[0, 1] == b[1, 0] == 2.0
+        assert b[0, 0] == b[1, 1] == 0.0
+
+    def test_three_parts(self):
+        g = WGraph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+        b = bandwidth_matrix(g, [0, 1, 2], 3)
+        assert b[0, 1] == 1.0 and b[1, 2] == 2.0 and b[0, 2] == 4.0
+        assert np.allclose(b, b.T)
+
+    def test_cut_is_half_matrix_sum(self):
+        g = random_process_network(20, 40, seed=1)
+        a = np.arange(20) % 4
+        b = bandwidth_matrix(g, a, 4)
+        assert np.isclose(b.sum() / 2.0, cut_value(g, a))
+
+
+class TestPartWeights:
+    def test_sums(self):
+        g = path4()
+        w = part_weights(g, [0, 0, 1, 1], 2)
+        assert w.tolist() == [30.0, 70.0]
+
+    def test_empty_part(self):
+        g = path4()
+        w = part_weights(g, [0, 0, 0, 0], 3)
+        assert w.tolist() == [100.0, 0.0, 0.0]
+
+    def test_conservation(self):
+        g = random_process_network(15, 25, seed=2)
+        a = np.arange(15) % 3
+        assert np.isclose(part_weights(g, a, 3).sum(), g.total_node_weight)
+
+
+class TestEvaluatePartition:
+    def test_feasible_when_unconstrained(self):
+        g = path4()
+        m = evaluate_partition(g, [0, 1, 0, 1], 2)
+        assert m.feasible
+        assert m.bandwidth_violation == 0.0 and m.resource_violation == 0.0
+
+    def test_bandwidth_violation_amount(self):
+        g = path4()
+        # parts {0,1},{2,3}: pair bw = 2
+        m = evaluate_partition(g, [0, 0, 1, 1], 2, ConstraintSpec(bmax=1.5))
+        assert m.bandwidth_violation == pytest.approx(0.5)
+        assert not m.feasible
+
+    def test_resource_violation_amount(self):
+        g = path4()
+        m = evaluate_partition(g, [0, 0, 1, 1], 2, ConstraintSpec(rmax=50))
+        # parts weigh 30 and 70 -> violation 20
+        assert m.resource_violation == pytest.approx(20.0)
+
+    def test_max_metrics(self):
+        g = path4()
+        m = evaluate_partition(g, [0, 1, 1, 2], 3)
+        assert m.max_resource == 50.0  # part 1 = nodes 1,2 = 20 + 30
+        assert m.max_local_bandwidth == 3.0  # pair (1,2) edge 2-3
+
+    def test_as_row_order(self):
+        g = path4()
+        m = evaluate_partition(g, [0, 0, 1, 1], 2)
+        assert m.as_row() == [m.cut, m.max_resource, m.max_local_bandwidth]
+
+    def test_k1_edge_case(self):
+        g = path4()
+        m = evaluate_partition(g, [0, 0, 0, 0], 1)
+        assert m.cut == 0.0 and m.max_local_bandwidth == 0.0
+        assert m.max_resource == 100.0
+
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cut_consistency(self, seed, k):
+        """Cut computed via edges equals half the bandwidth-matrix sum, and
+        intra+cut weight equals total edge weight."""
+        g = random_process_network(12, 24, seed=seed)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, k, size=12)
+        b = bandwidth_matrix(g, a, k)
+        cut = cut_value(g, a)
+        assert np.isclose(b.sum() / 2.0, cut)
+        intra = sum(w for u, v, w in g.edges() if a[u] == a[v])
+        assert np.isclose(intra + cut, g.total_edge_weight)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_violations_nonnegative(self, seed):
+        g = random_process_network(10, 18, seed=seed)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 3, size=10)
+        m = evaluate_partition(g, a, 3, ConstraintSpec(bmax=5, rmax=50))
+        assert m.bandwidth_violation >= 0
+        assert m.resource_violation >= 0
+        assert m.feasible == (m.total_violation == 0)

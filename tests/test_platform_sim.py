@@ -1,0 +1,113 @@
+"""Tests for the mapped-execution simulator with link contention."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import MultiFPGASystem
+from repro.kpn import simulate_ppn
+from repro.kpn.platform_sim import simulate_mapped_ppn
+from repro.kpn.simulator import DeadlockError
+from repro.polyhedral import derive_ppn
+from repro.polyhedral.gallery import chain, producer_consumer, split_merge
+from repro.util.errors import ReproError
+
+
+def two_fpga(bmax, rmax=1e9):
+    return MultiFPGASystem.homogeneous(2, rmax=rmax, bmax=bmax)
+
+
+class TestMappedSimulation:
+    def test_single_device_matches_ideal(self):
+        """Everything on one FPGA: no links used, makespan = ideal."""
+        ppn = derive_ppn(chain(4, 32))
+        ideal = simulate_ppn(ppn).cycles
+        res = simulate_mapped_ppn(
+            ppn, np.zeros(4, dtype=np.int64), two_fpga(bmax=1), ideal_cycles=ideal
+        )
+        assert res.cycles == ideal
+        assert res.slowdown == 1.0
+        assert res.link_stats == []
+
+    def test_fat_link_no_slowdown(self):
+        ppn = derive_ppn(producer_consumer(32))
+        res = simulate_mapped_ppn(
+            ppn, np.array([0, 1]), two_fpga(bmax=100)
+        )
+        # one extra hop of latency at most
+        assert res.cycles <= res.ideal_cycles + 2
+        assert res.fired == {"produce": 32, "consume": 32}
+
+    def test_thin_link_throttles(self):
+        """split_merge over a 1-token/cycle link needs ~2 tokens/cycle:
+        the makespan must inflate measurably."""
+        ppn = derive_ppn(split_merge(4, 64))
+        assign = np.array([0, 1, 1, 1, 1, 0])  # split+merge vs workers
+        fast = simulate_mapped_ppn(ppn, assign, two_fpga(bmax=8))
+        slow = simulate_mapped_ppn(ppn, assign, two_fpga(bmax=1))
+        assert slow.cycles > fast.cycles
+        assert slow.slowdown > 1.5
+        assert slow.max_link_saturation > 0.9
+
+    def test_all_firings_complete(self):
+        ppn = derive_ppn(chain(5, 24))
+        assign = np.array([0, 0, 1, 1, 0])
+        res = simulate_mapped_ppn(ppn, assign, two_fpga(bmax=4))
+        for p in ppn.processes:
+            assert res.fired[p.name] == p.firings
+
+    def test_token_conservation_on_links(self):
+        ppn = derive_ppn(producer_consumer(40))
+        res = simulate_mapped_ppn(ppn, np.array([0, 1]), two_fpga(bmax=3))
+        assert res.link_stats[0].total_tokens == 40
+
+    def test_missing_link_deadlocks(self):
+        """Traffic between unlinked devices can never move."""
+        ppn = derive_ppn(chain(3, 8))
+        sys_ = MultiFPGASystem.ring(4, rmax=1e9, bmax=10)
+        # s0 on fpga0, s1 on fpga2: (0,2) is not a ring link
+        assign = np.array([0, 2, 2])
+        with pytest.raises(DeadlockError):
+            simulate_mapped_ppn(ppn, assign, sys_)
+
+    def test_deadlock_return_mode(self):
+        ppn = derive_ppn(chain(3, 8))
+        sys_ = MultiFPGASystem.ring(4, rmax=1e9, bmax=10)
+        res = simulate_mapped_ppn(
+            ppn, np.array([0, 2, 2]), sys_, on_deadlock="return"
+        )
+        assert res.deadlocked
+
+    def test_bad_assign_shape_rejected(self):
+        ppn = derive_ppn(producer_consumer(8))
+        with pytest.raises(ReproError):
+            simulate_mapped_ppn(ppn, np.array([0]), two_fpga(1))
+
+    def test_bad_slot_rejected(self):
+        ppn = derive_ppn(producer_consumer(8))
+        with pytest.raises(ReproError):
+            simulate_mapped_ppn(ppn, np.array([0, 5]), two_fpga(1))
+
+    def test_bad_on_deadlock_rejected(self):
+        ppn = derive_ppn(producer_consumer(8))
+        with pytest.raises(ReproError):
+            simulate_mapped_ppn(
+                ppn, np.array([0, 1]), two_fpga(1), on_deadlock="explode"
+            )
+
+    def test_capacity_sharing_is_fair(self):
+        """Two channels on one saturated link both make progress."""
+        ppn = derive_ppn(split_merge(2, 32))
+        # split on 0; workers+merge on 1 -> two channels cross (split->w0, split->w1)
+        assign = np.array([0, 1, 1, 1])
+        res = simulate_mapped_ppn(ppn, assign, two_fpga(bmax=1))
+        assert not res.deadlocked
+        assert res.fired["merge"] == 16
+
+    def test_slowdown_monotone_in_capacity(self):
+        ppn = derive_ppn(split_merge(4, 48))
+        assign = np.array([0, 1, 1, 1, 1, 0])
+        cycles = []
+        for bmax in (1, 2, 4, 8):
+            res = simulate_mapped_ppn(ppn, assign, two_fpga(bmax=bmax))
+            cycles.append(res.cycles)
+        assert cycles == sorted(cycles, reverse=True)

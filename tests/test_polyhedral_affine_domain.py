@@ -1,0 +1,181 @@
+"""Tests for affine expressions, the parser and iteration domains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.affine import AffineExpr, AffineParseError, parse_affine
+from repro.polyhedral.domain import IterationDomain, domain
+from repro.polyhedral.domain import DomainError
+
+
+class TestAffineExpr:
+    def test_var_and_const(self):
+        e = AffineExpr.var("i") + 3
+        assert e.coeff("i") == 1 and e.const == 3
+
+    def test_addition_merges_coeffs(self):
+        e = AffineExpr({"i": 2, "j": 1}) + AffineExpr({"i": -2, "k": 5}, 7)
+        assert e.coeff("i") == 0 and "i" not in e.variables
+        assert e.coeff("j") == 1 and e.coeff("k") == 5 and e.const == 7
+
+    def test_subtraction_and_negation(self):
+        e = AffineExpr.var("i") - AffineExpr.var("i")
+        assert e.is_constant and e.const == 0
+
+    def test_scalar_multiplication(self):
+        e = (AffineExpr.var("i") + 1) * 3
+        assert e.coeff("i") == 3 and e.const == 3
+
+    def test_rmul_and_radd(self):
+        e = 2 * AffineExpr.var("i") + 5
+        assert e.coeff("i") == 2 and e.const == 5
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(AffineParseError):
+            AffineExpr.var("i") * AffineExpr.var("j")
+
+    def test_eval(self):
+        e = parse_affine("2*i + j - 1")
+        assert e.eval({"i": 3, "j": 4}) == 9
+
+    def test_eval_unbound_raises(self):
+        with pytest.raises(AffineParseError):
+            parse_affine("i + j").eval({"i": 1})
+
+    def test_substitute(self):
+        e = parse_affine("i + 2*j")
+        out = e.substitute({"j": parse_affine("i - 1")})
+        assert out == parse_affine("3*i - 2")
+
+    def test_equality_with_int(self):
+        assert AffineExpr.const_expr(5) == 5
+        assert AffineExpr.var("i") != 5
+
+    def test_hashable(self):
+        assert len({parse_affine("i+1"), parse_affine("1+i")}) == 1
+
+    def test_str_roundtrip(self):
+        for text in ["2*i + j - 1", "i", "-i + 4", "0", "N - i"]:
+            e = parse_affine(text)
+            assert parse_affine(str(e)) == e
+
+
+class TestParser:
+    def test_simple_forms(self):
+        assert parse_affine("i") == AffineExpr.var("i")
+        assert parse_affine("42") == 42
+        assert parse_affine("-i") == AffineExpr({"i": -1})
+
+    def test_products(self):
+        assert parse_affine("3*i") == AffineExpr({"i": 3})
+        assert parse_affine("i*3") == AffineExpr({"i": 3})
+
+    def test_parentheses(self):
+        assert parse_affine("2*(i + 1)") == parse_affine("2*i + 2")
+        assert parse_affine("-(i - j)") == parse_affine("j - i")
+
+    def test_int_and_expr_passthrough(self):
+        assert parse_affine(7) == 7
+        e = AffineExpr.var("x")
+        assert parse_affine(e) is e
+
+    def test_whitespace_tolerant(self):
+        assert parse_affine("  2 * i+ j ") == parse_affine("2*i + j")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "i +", "* i", "i ** 2", "(i", "i)", "2i", "i @ j", "i*j"]
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(AffineParseError):
+            parse_affine(bad)
+
+    @given(
+        a=st.integers(-5, 5),
+        b=st.integers(-5, 5),
+        c=st.integers(-9, 9),
+        i=st.integers(-10, 10),
+        j=st.integers(-10, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_parse_eval_matches_arithmetic(self, a, b, c, i, j):
+        text = f"{a}*i + {b}*j + {c}"
+        assert parse_affine(text).eval({"i": i, "j": j}) == a * i + b * j + c
+
+
+class TestIterationDomain:
+    def test_rectangle_count(self):
+        d = domain(("i", 0, 3), ("j", 0, 2))
+        assert d.count() == 12
+        assert d.dim == 2
+
+    def test_triangle_count(self):
+        d = domain(("i", 0, 4), ("j", 0, "i"))
+        assert d.count() == 5 + 4 + 3 + 2 + 1  # j in [0, i]
+
+    def test_parametrised_bounds(self):
+        d = domain(("i", 0, "N - 1"), N=10)
+        assert d.count() == 10
+
+    def test_guards_filter(self):
+        d = domain(("i", 0, 9), guards=["i - 5"])  # i >= 5
+        assert d.count() == 5
+
+    def test_points_lexicographic(self):
+        d = domain(("i", 0, 1), ("j", 0, 1))
+        assert list(d.points()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_empty_domain(self):
+        d = domain(("i", 5, 4))
+        assert d.is_empty() and d.count() == 0
+
+    def test_contains(self):
+        d = domain(("i", 0, 4), ("j", 0, "i"))
+        assert d.contains((3, 2))
+        assert not d.contains((2, 3))
+        assert not d.contains((9, 0))
+        assert not d.contains((1,))
+
+    def test_env_at(self):
+        d = domain(("i", 0, 4), N=7)
+        env = d.env_at((2,))
+        assert env == {"N": 7, "i": 2}
+
+    def test_env_at_wrong_arity(self):
+        d = domain(("i", 0, 4))
+        with pytest.raises(DomainError):
+            d.env_at((1, 2))
+
+    def test_unbound_name_in_bound_rejected(self):
+        with pytest.raises(DomainError):
+            domain(("i", 0, "M - 1"))  # M unbound
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(DomainError):
+            domain(("i", 0, 4), ("i", 0, 4))
+        with pytest.raises(DomainError):
+            domain(("N", 0, 4), N=3)
+
+    def test_inner_bound_uses_outer_iterator(self):
+        d = domain(("i", 0, 2), ("j", "i", "i + 1"))
+        assert d.count() == 6  # 2 points per i
+
+    def test_guard_unbound_rejected(self):
+        with pytest.raises(DomainError):
+            domain(("i", 0, 4), guards=["q - 1"])
+
+    @given(n=st.integers(1, 8), m=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_rectangle_cardinality(self, n, m):
+        d = domain(("i", 0, n - 1), ("j", 0, m - 1))
+        assert d.count() == n * m
+        pts = list(d.points())
+        assert len(pts) == n * m
+        assert len(set(pts)) == n * m
+        assert pts == sorted(pts)  # lexicographic
+
+    @given(n=st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_triangle_cardinality(self, n):
+        d = domain(("i", 0, n - 1), ("j", 0, "i"))
+        assert d.count() == n * (n + 1) // 2

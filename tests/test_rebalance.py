@@ -1,0 +1,63 @@
+"""Tests for the kmetis-style rebalance pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import WGraph, random_process_network
+from repro.partition.kway_refine import rebalance_pass
+from repro.partition.metrics import cut_value, part_weights
+
+
+class TestRebalancePass:
+    def test_restores_balance(self):
+        g = random_process_network(30, 60, seed=0, node_weight_range=(1, 4))
+        a = np.zeros(30, dtype=np.int64)  # everything in part 0
+        cap = 1.1 * g.total_node_weight / 3
+        out = rebalance_pass(g, a, 3, cap, seed=0)
+        assert part_weights(g, out, 3).max() <= cap
+
+    def test_balanced_input_untouched(self):
+        g = random_process_network(12, 24, seed=1, node_weight_range=(1, 3))
+        a = np.arange(12) % 4
+        cap = part_weights(g, a, 4).max()
+        out = rebalance_pass(g, a, 4, cap, seed=0)
+        assert np.array_equal(out, a)
+
+    def test_gives_up_gracefully_on_impossible_cap(self):
+        """A node heavier than the cap cannot be placed anywhere: the pass
+        must terminate and return a best effort, not loop."""
+        g = WGraph(3, [(0, 1, 1.0), (1, 2, 1.0)], node_weights=[100, 1, 1])
+        out = rebalance_pass(g, np.zeros(3, dtype=np.int64), 2, 50.0, seed=0)
+        assert out.shape == (3,)
+
+    def test_prefers_low_cut_damage(self):
+        """Among fitting candidates, the evicted node should be the one whose
+        departure costs least cut."""
+        # star: node 0 heavy-connected to 1; node 2 barely connected
+        g = WGraph(
+            3,
+            [(0, 1, 100.0), (0, 2, 1.0)],
+            node_weights=[10, 10, 10],
+        )
+        a = np.zeros(3, dtype=np.int64)
+        out = rebalance_pass(g, a, 2, 25.0, seed=0)
+        # node 2 (cheap to cut) must be the evicted one
+        assert out[2] == 1 and out[1] == 0 and out[0] == 0
+        assert cut_value(g, out) == 1.0
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_never_worsens_overflow(self, seed):
+        g = random_process_network(15, 28, seed=seed)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 3, size=15)
+        cap = 1.2 * g.total_node_weight / 3
+
+        def overflow(assign):
+            w = part_weights(g, assign, 3)
+            return float(np.maximum(w - cap, 0).sum())
+
+        out = rebalance_pass(g, a, 3, cap, seed=seed)
+        assert overflow(out) <= overflow(a) + 1e-9

@@ -1,0 +1,126 @@
+"""Tests for repro.util (rng, stopwatch, tables, errors)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    InfeasibleError,
+    ReproError,
+    Stopwatch,
+    as_rng,
+    format_table,
+    spawn_seeds,
+)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_none_seed_is_fixed_default(self):
+        a = as_rng(None).integers(0, 1000, size=10)
+        b = as_rng(None).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_rng(gen) is gen
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(1, 5) == spawn_seeds(1, 5)
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(3, 20)
+        assert len(set(seeds)) == 20
+
+    def test_spawn_seeds_count(self):
+        assert spawn_seeds(0, 0) == []
+        assert len(spawn_seeds(0, 3)) == 3
+
+    def test_spawn_seeds_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawned_seeds_differ_across_parents(self):
+        assert spawn_seeds(1, 4) != spawn_seeds(2, 4)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.005
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= first
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+        # all rows same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(InfeasibleError, ReproError)
+
+    def test_infeasible_carries_best(self):
+        err = InfeasibleError("nope", best="sentinel")
+        assert err.best == "sentinel"
+        assert "nope" in str(err)

@@ -1,0 +1,162 @@
+"""Tests for SANLP static validation, the GP portfolio, and HTML reports."""
+
+import numpy as np
+import pytest
+
+from repro.graph import paper_graph, random_process_network
+from repro.partition.goodness import goodness_key
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.portfolio import default_portfolio, portfolio_partition
+from repro.polyhedral import SANLP, Statement, domain, read, write
+from repro.polyhedral.gallery import GALLERY, matmul, producer_consumer
+from repro.polyhedral.validate import (
+    SingleAssignmentError,
+    check_single_assignment,
+    program_report,
+)
+from repro.util.errors import InfeasibleError, PartitionError
+from repro.viz.html_report import experiment_html, write_experiment_report
+
+
+def overwriting_program():
+    prog = SANLP("dup")
+    prog.add_statement(
+        Statement("w1", domain(("i", 0, 3)), writes=[write("a", "i")])
+    )
+    prog.add_statement(
+        Statement("w2", domain(("i", 0, 3)), writes=[write("a", "i")])
+    )
+    return prog
+
+
+class TestSingleAssignment:
+    @pytest.mark.parametrize("name", sorted(GALLERY))
+    def test_gallery_is_single_assignment(self, name):
+        check_single_assignment(GALLERY[name]())
+
+    def test_duplicate_write_detected(self):
+        with pytest.raises(SingleAssignmentError, match="written by w1"):
+            check_single_assignment(overwriting_program())
+
+    def test_report_on_clean_program(self):
+        rep = program_report(producer_consumer(8))
+        assert rep.single_assignment and rep.clean
+        assert rep.duplicate_write is None
+        assert rep.unread_arrays == ["b"]  # the program output
+        assert not rep.external_arrays
+
+    def test_report_on_dirty_program(self):
+        rep = program_report(overwriting_program())
+        assert not rep.single_assignment
+        arr, idx, w1, w2 = rep.duplicate_write
+        assert (arr, w1, w2) == ("a", "w1", "w2")
+        assert "VIOLATED" in rep.summary()
+
+    def test_report_flags_empty_statements(self):
+        prog = SANLP("dead")
+        prog.add_statement(
+            Statement("never", domain(("i", 5, 4)), writes=[write("a", "i")])
+        )
+        rep = program_report(prog)
+        assert rep.empty_statements == ["never"]
+        assert not rep.clean
+
+    def test_report_counts_external_reads(self):
+        prog = SANLP("ext", params={"N": 4})
+        prog.add_statement(
+            Statement("c", domain(("i", 0, "N - 1"), N=4), reads=[read("x", "i")])
+        )
+        rep = program_report(prog)
+        assert rep.external_arrays == {"x": 4}
+        assert "external inputs" in rep.summary()
+
+    def test_matmul_report_clean(self):
+        rep = program_report(matmul(3))
+        assert rep.clean
+        assert rep.firings["mac"] == 27
+
+
+class TestPortfolio:
+    def _instance(self):
+        g, spec = paper_graph(1)
+        return g, spec, ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+
+    def test_never_worse_than_single_default(self):
+        g, spec, cons = self._instance()
+        single = gp_partition(g, spec.k, cons, GPConfig(), seed=0)
+        port = portfolio_partition(g, spec.k, cons, seed=0)
+        assert goodness_key(port.metrics, cons) <= goodness_key(
+            single.metrics, cons
+        )
+        assert port.algorithm == "GP-portfolio"
+        assert port.info["members"] == len(default_portfolio())
+
+    def test_stop_on_feasible_shortcuts(self):
+        g, spec, cons = self._instance()
+        port = portfolio_partition(g, spec.k, cons, seed=0, stop_on_feasible=True)
+        assert port.feasible
+        assert port.info["members"] <= len(default_portfolio())
+
+    def test_custom_configs(self):
+        g, spec, cons = self._instance()
+        port = portfolio_partition(
+            g, spec.k, cons,
+            configs=[GPConfig(max_cycles=2, restarts=2)], seed=0,
+        )
+        assert port.info["members"] == 1
+
+    def test_empty_portfolio_rejected(self):
+        g, spec, cons = self._instance()
+        with pytest.raises(PartitionError):
+            portfolio_partition(g, spec.k, cons, configs=[])
+
+    def test_infeasible_raise(self):
+        g = random_process_network(8, 14, seed=0, node_weight_range=(10, 20))
+        cons = ConstraintSpec(bmax=0.0, rmax=1.0)
+        with pytest.raises(InfeasibleError):
+            portfolio_partition(
+                g, 2, cons,
+                configs=[GPConfig(max_cycles=1, restarts=1)],
+                seed=0, on_infeasible="raise",
+            )
+
+    def test_member_raise_configs_are_neutralised(self):
+        """A member with on_infeasible='raise' must not abort the portfolio."""
+        g = random_process_network(8, 14, seed=0, node_weight_range=(10, 20))
+        cons = ConstraintSpec(bmax=0.0, rmax=1.0)
+        port = portfolio_partition(
+            g, 2, cons,
+            configs=[GPConfig(max_cycles=1, restarts=1, on_infeasible="raise")],
+            seed=0,
+        )
+        assert not port.feasible  # returned, not raised
+
+
+class TestHtmlReport:
+    def test_report_contains_figures_and_tables(self):
+        doc = experiment_html(1)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.count("<svg") == 4  # the experiment's four views
+        assert "EXPERIMENT I" in doc
+        assert "paper reported" in doc.lower() or "Paper reported" in doc
+        assert "holds" in doc  # shape checks rendered
+
+    def test_write_reports(self, tmp_path):
+        paths = write_experiment_report(tmp_path, experiments=(1, 2))
+        assert [p.name for p in paths] == ["experiment1.html", "experiment2.html"]
+        for p in paths:
+            text = p.read_text()
+            assert "</html>" in text
+
+    def test_deterministic_up_to_runtimes(self):
+        """Everything except measured wall-clock times is byte-stable."""
+        import re
+
+        def normalise(doc: str) -> str:
+            # strip measured times incl. scientific notation and the
+            # whitespace padding the table aligns them with
+            doc = re.sub(r"\d+\.\d+(e-?\d+)?", "T", doc)
+            return re.sub(r"[ ]+", " ", doc)
+
+        assert normalise(experiment_html(2)) == normalise(experiment_html(2))

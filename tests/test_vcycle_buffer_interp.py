@@ -1,0 +1,231 @@
+"""Tests for V-cycle refinement, buffer sizing and the SANLP interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import random_process_network
+from repro.kpn.buffer_sizing import (
+    brams_needed,
+    minimal_uniform_capacity,
+    per_channel_depths,
+)
+from repro.kpn.simulator import simulate_ppn
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.goodness import goodness_key
+from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.partition.vcycle import intra_part_matching, vcycle_refine
+from repro.polyhedral import SANLP, Statement, derive_ppn, domain, read, write
+from repro.polyhedral.gallery import chain, fir_filter, matmul, producer_consumer
+from repro.polyhedral.interpreter import InterpreterError, interpret
+from repro.util.errors import PartitionError, ReproError
+
+
+class TestIntraPartMatching:
+    def test_never_crosses_parts(self):
+        g = random_process_network(20, 45, seed=0)
+        assign = np.arange(20) % 3
+        match = intra_part_matching(g, assign, 3, seed=0)
+        for u in range(20):
+            v = int(match[u])
+            if v != u:
+                assert assign[u] == assign[v]
+
+    def test_unknown_method_rejected(self):
+        g = random_process_network(10, 18, seed=0)
+        with pytest.raises(PartitionError):
+            intra_part_matching(g, np.zeros(10, dtype=int), 1, method="bogus")
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_contraction_preserves_partition(self, seed):
+        from repro.partition.coarsen import contract
+        from repro.partition.metrics import cut_value
+
+        g = random_process_network(16, 32, seed=seed)
+        rng = np.random.default_rng(seed)
+        assign = rng.integers(0, 3, size=16)
+        match = intra_part_matching(g, assign, 3, seed=seed)
+        coarse, node_map = contract(g, match)
+        coarse_assign = np.empty(coarse.n, dtype=np.int64)
+        coarse_assign[node_map] = assign
+        # projecting back reproduces the fine assignment and its cut exactly
+        assert np.array_equal(coarse_assign[node_map], assign)
+        assert np.isclose(
+            cut_value(coarse, coarse_assign), cut_value(g, assign)
+        )
+
+
+class TestVcycleRefine:
+    def _instance(self, seed):
+        g = random_process_network(60, 140, seed=seed, node_weight_range=(2, 12))
+        cons = ConstraintSpec(bmax=25.0, rmax=1.15 * g.total_node_weight / 4)
+        return g, cons
+
+    def test_never_worse_goodness(self):
+        for seed in range(4):
+            g, cons = self._instance(seed)
+            rng = np.random.default_rng(seed)
+            a = rng.integers(0, 4, size=60)
+            before = goodness_key(evaluate_partition(g, a, 4, cons), cons)
+            out = vcycle_refine(g, a, 4, cons, rounds=2, seed=seed)
+            after = goodness_key(evaluate_partition(g, out, 4, cons), cons)
+            assert after <= before
+
+    def test_zero_rounds_identity(self):
+        g, cons = self._instance(0)
+        a = np.arange(60) % 4
+        out = vcycle_refine(g, a, 4, cons, rounds=0, seed=0)
+        assert np.array_equal(out, a)
+
+    def test_negative_rounds_rejected(self):
+        g, cons = self._instance(0)
+        with pytest.raises(PartitionError):
+            vcycle_refine(g, np.zeros(60, dtype=int), 4, cons, rounds=-1)
+
+    def test_gp_with_vcycles_not_worse(self):
+        g, cons = self._instance(7)
+        base = gp_partition(g, 4, cons, GPConfig(max_cycles=2, restarts=3), seed=1)
+        vc = gp_partition(
+            g, 4, cons, GPConfig(max_cycles=2, restarts=3, vcycles=2), seed=1
+        )
+        k_base = goodness_key(base.metrics, cons)
+        k_vc = goodness_key(vc.metrics, cons)
+        assert k_vc <= k_base
+
+    def test_config_validates_vcycles(self):
+        with pytest.raises(PartitionError):
+            GPConfig(vcycles=-1)
+
+
+class TestBufferSizing:
+    def test_depths_positive_and_sufficient(self):
+        ppn = derive_ppn(fir_filter(4, 32))
+        depths = per_channel_depths(ppn)
+        assert all(d >= 1 for d in depths.values())
+        # simulating at the max depth completes
+        cap = max(depths.values())
+        res = simulate_ppn(ppn, fifo_capacity=cap)
+        assert not res.deadlocked
+
+    def test_minimal_uniform_capacity_chain(self):
+        """A simple pipeline runs with depth-1 FIFOs."""
+        ppn = derive_ppn(chain(4, 32))
+        assert minimal_uniform_capacity(ppn) == 1
+
+    def test_minimal_uniform_capacity_fir(self):
+        """FIR's tapped delay line needs deeper FIFOs than 1."""
+        ppn = derive_ppn(fir_filter(5, 40))
+        c = minimal_uniform_capacity(ppn)
+        assert c > 1
+        assert not simulate_ppn(ppn, fifo_capacity=c, on_deadlock="return").deadlocked
+        assert simulate_ppn(
+            ppn, fifo_capacity=c - 1, on_deadlock="return"
+        ).deadlocked
+
+    def test_matmul_selfloop_sizing(self):
+        ppn = derive_ppn(matmul(3))
+        c = minimal_uniform_capacity(ppn)
+        res = simulate_ppn(ppn, fifo_capacity=c, on_deadlock="return")
+        assert not res.deadlocked
+
+    def test_brams_needed(self):
+        ppn = derive_ppn(chain(3, 16))
+        assert brams_needed(ppn, tokens_per_bram=1024) == ppn.n_channels
+        with pytest.raises(ReproError):
+            brams_needed(ppn, tokens_per_bram=0)
+
+    def test_empty_network(self):
+        prog = SANLP("empty")
+        prog.add_statement(
+            Statement("solo", domain(("i", 0, 3)), writes=[write("a", "i")])
+        )
+        ppn = derive_ppn(prog)
+        assert minimal_uniform_capacity(ppn) == 1
+
+
+class TestInterpreter:
+    def test_provenance_flow(self):
+        prog = producer_consumer(4)
+        store = interpret(prog)
+        # b[i] was computed by consume from produce's a[i]
+        val = store[("b", (2,))]
+        assert val[0] == "consume"
+        inner = val[2][0]
+        assert inner[0] == "produce"
+
+    def test_numeric_kernels(self):
+        prog = SANLP("sum", params={"N": 5})
+        prog.add_statement(
+            Statement("src", domain(("i", 0, "N - 1"), N=5),
+                      writes=[write("x", "i")])
+        )
+        prog.add_statement(
+            Statement("dbl", domain(("i", 0, "N - 1"), N=5),
+                      reads=[read("x", "i")], writes=[write("y", "i")])
+        )
+        kernels = {
+            "src": lambda env: env["i"] * 10,
+            "dbl": lambda env, x: x * 2,
+        }
+        store = interpret(prog, kernels=kernels)
+        assert store[("y", (3,))] == 60
+
+    def test_inputs_satisfy_external_reads(self):
+        prog = SANLP("ext", params={"N": 3})
+        prog.add_statement(
+            Statement("c", domain(("i", 0, "N - 1"), N=3),
+                      reads=[read("a", "i")], writes=[write("b", "i")])
+        )
+        store = interpret(
+            prog,
+            kernels={"c": lambda env, a: a + 1},
+            inputs={("a", (i,)): 100 + i for i in range(3)},
+        )
+        assert store[("b", (1,))] == 102
+
+    def test_strict_undefined_read_raises(self):
+        prog = SANLP("bad")
+        prog.add_statement(
+            Statement("c", domain(("i", 0, 2)), reads=[read("a", "i")])
+        )
+        with pytest.raises(InterpreterError):
+            interpret(prog)
+
+    def test_nonstrict_yields_none(self):
+        prog = SANLP("lenient")
+        prog.add_statement(
+            Statement("c", domain(("i", 0, 2)), reads=[read("a", "i")],
+                      writes=[write("b", "i")])
+        )
+        store = interpret(
+            prog, kernels={"c": lambda env, a: a}, strict=False
+        )
+        assert store[("b", (0,))] is None
+
+    def test_kernel_failure_wrapped(self):
+        prog = SANLP("boom")
+        prog.add_statement(
+            Statement("s", domain(("i", 0, 1)), writes=[write("a", "i")])
+        )
+
+        def bad_kernel(env):
+            raise ValueError("nope")
+
+        with pytest.raises(InterpreterError, match="nope"):
+            interpret(prog, kernels={"s": bad_kernel})
+
+    def test_interpreter_agrees_with_dependences(self):
+        """The provenance chain realised by the interpreter must match the
+        last-writer relation the dependence analysis reports."""
+        from repro.polyhedral.dependence import find_dependences
+
+        prog = matmul(3)
+        deps, _ = find_dependences(prog)
+        store = interpret(prog)
+        # store[C, (i, j, N)] provenance chains through mac firings
+        val = store[("C", (1, 1, 3))]
+        assert val[0] == "mac"
+        dep_pairs = {(d.producer, d.consumer) for d in deps}
+        assert ("mac", "mac") in dep_pairs
