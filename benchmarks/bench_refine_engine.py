@@ -1,0 +1,149 @@
+"""Study X9 — vectorized refinement engine vs. the pre-refactor path.
+
+Times the frozen pre-refactor implementations (``_legacy_refine``, per-node
+Python loops over ``PartitionState``) against the vectorized
+``RefinementState`` engine on PN-shaped generator graphs, 1k → 50k nodes:
+
+* **uncoarsen** — the MLKP per-level refinement step (rebalance pass +
+  greedy k-way boundary refinement) from a skewed, projected-like start.
+  This is the acceptance workload: at 10k nodes / k=8 the engine must be
+  ≥5× faster, with byte-identical output (asserted, not assumed).
+* **ckfm** — the paper's constrained FM pass (2 passes from a random
+  start under tight Bmax/Rmax).  The gain here is smaller — the pass is
+  bounded by the same abort heuristic in both implementations — but the
+  output is identical and the engine never loses.
+* a new-engine-only scaling sweep up to 50k nodes (the legacy path is
+  quadratic on the rebalance stage and is not run past ``LEGACY_MAX_N``).
+
+Artefact: ``benchmarks/artifacts/x9_refine_engine.txt``.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from _legacy_refine import (
+    legacy_constrained_kway_fm,
+    legacy_greedy_kway_refine,
+    legacy_rebalance_pass,
+)
+from repro.graph import random_process_network
+from repro.partition.kway_refine import (
+    constrained_kway_fm,
+    greedy_kway_refine,
+    rebalance_pass,
+)
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.refine_state import RefinementState
+from repro.util.tables import format_table
+
+K = 8
+SIZES = (1_000, 10_000)
+SCALING_SIZES = (1_000, 10_000, 50_000)
+LEGACY_MAX_N = 10_000
+SKEW = np.array([3, 2, 1.5, 1, 1, 0.5, 0.5, 0.5]) / 10
+
+
+def _graph(n, seed=0):
+    return random_process_network(n, int(2.5 * n), seed=seed)
+
+
+def _uncoarsen_inputs(g, n):
+    rng = np.random.default_rng(1)
+    a = rng.choice(K, size=n, p=SKEW)
+    cap = 1.03 * g.total_node_weight / K
+    return a, cap
+
+
+def _ckfm_inputs(g, n):
+    a = np.random.default_rng(0).integers(0, K, size=n)
+    # integer-valued constraints: exact old-vs-new parity is only guaranteed
+    # when every weight and cap is integer-valued (see docs/refinement.md) —
+    # a fractional bmax can flip near-tie move ordering by ~1 ulp
+    cons = ConstraintSpec(
+        bmax=float(round(0.02 * g.total_edge_weight)),
+        rmax=float(round(1.1 * g.total_node_weight / K)),
+    )
+    return a, cons
+
+
+def _run_uncoarsen_new(g, a, cap):
+    state = RefinementState(g, a, K)
+    out = rebalance_pass(g, a, K, cap, state=state)
+    return greedy_kway_refine(
+        g, out, K, max_part_weight=cap, seed=0, state=state
+    )
+
+
+def _run_uncoarsen_legacy(g, a, cap):
+    out = legacy_rebalance_pass(g, a, K, cap, seed=0)
+    return legacy_greedy_kway_refine(g, out, K, max_part_weight=cap, seed=0)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - start
+
+
+def test_refine_engine_speedup(benchmark):
+    rows = []
+    speedup_10k = None
+
+    def sweep():
+        nonlocal speedup_10k
+        for n in SIZES:
+            g = _graph(n)
+
+            a, cap = _uncoarsen_inputs(g, n)
+            new_out, t_new = _timed(_run_uncoarsen_new, g, a, cap)
+            old_out, t_old = _timed(_run_uncoarsen_legacy, g, a, cap)
+            assert np.array_equal(new_out, old_out), (
+                f"uncoarsen n={n}: engine output diverged from reference"
+            )
+            ratio = t_old / t_new
+            rows.append(
+                ["uncoarsen", n, K, round(t_old, 3), round(t_new, 3),
+                 f"{ratio:.1f}x", "identical"]
+            )
+            if n == 10_000:
+                speedup_10k = ratio
+
+            a, cons = _ckfm_inputs(g, n)
+            new_out, t_new = _timed(
+                constrained_kway_fm, g, a, K, cons, 2, 0
+            )
+            old_out, t_old = _timed(
+                legacy_constrained_kway_fm, g, a, K, cons, 2, 0
+            )
+            assert np.array_equal(new_out, old_out), (
+                f"ckfm n={n}: engine output diverged from reference"
+            )
+            rows.append(
+                ["ckfm", n, K, round(t_old, 3), round(t_new, 3),
+                 f"{t_old / t_new:.1f}x", "identical"]
+            )
+
+        for n in SCALING_SIZES:
+            g = _graph(n)
+            a, cap = _uncoarsen_inputs(g, n)
+            _, t_new = _timed(_run_uncoarsen_new, g, a, cap)
+            legacy_cell = "skipped (quadratic)" if n > LEGACY_MAX_N else "-"
+            rows.append(
+                ["uncoarsen/scale", n, K, legacy_cell, round(t_new, 3), "-", "-"]
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["stage", "n", "k", "legacy(s)", "engine(s)", "speedup", "output"],
+        rows,
+        title="X9 vectorized refinement engine vs pre-refactor path",
+    )
+    emit("x9_refine_engine.txt", table)
+
+    # acceptance: ≥5× on the 10k-node k=8 refinement path
+    assert speedup_10k is not None and speedup_10k >= 5.0, (
+        f"10k-node refinement speedup {speedup_10k:.1f}x is below the 5x bar"
+    )

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point — no Makefile/tox required.
+#
+# Stage 1 is the tier-1 contract verbatim (fast tests + everything else);
+# stage 2 re-runs the perf smoke tests alone so timing regressions are
+# reported separately from functional failures and can't hide behind -x.
+#
+# Usage: scripts/ci.sh [extra pytest args passed to stage 1]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== stage 1: tier-1 test suite =="
+python -m pytest -x -q "$@"
+
+echo "== stage 2: perf smoke (slow marker) =="
+python -m pytest -q -m slow
+
+echo "CI OK"

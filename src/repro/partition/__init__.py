@@ -3,6 +3,9 @@
 Contents
 --------
 * :mod:`repro.partition.base` — partition containers and results.
+* :mod:`repro.partition.refine_state` — the shared vectorized refinement
+  engine (incremental connectivity/bandwidth/boundary state + gain buckets)
+  every refinement pass runs on; see ``docs/refinement.md``.
 * :mod:`repro.partition.metrics` — cut / pairwise-bandwidth / resource metrics
   and the paper's two mapping constraints.
 * :mod:`repro.partition.coarsen` — the three matchings (random maximal, heavy
@@ -20,6 +23,7 @@ Contents
 """
 
 from repro.partition.base import PartitionResult
+from repro.partition.refine_state import BucketQueue, RefinementState
 from repro.partition.metrics import (
     ConstraintSpec,
     PartitionMetrics,
@@ -31,6 +35,8 @@ from repro.partition.metrics import (
 
 __all__ = [
     "PartitionResult",
+    "RefinementState",
+    "BucketQueue",
     "ConstraintSpec",
     "PartitionMetrics",
     "cut_value",

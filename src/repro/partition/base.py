@@ -9,6 +9,13 @@ quantities every refinement pass needs in O(deg(u)) per move:
 
 This is the data structure that makes FM-style passes linear per pass, the
 property the paper inherits from Fiduccia-Mattheyses (Section II.A.2).
+
+The refinement passes themselves now run on the faster vectorized engine in
+:mod:`repro.partition.refine_state` (O(deg + k) moves, O(1) gain reads from
+a ``(k, n)`` connectivity matrix, rollback via a move trail — see
+``docs/refinement.md``).  :class:`PartitionState` remains the simple
+reference implementation: tests use it to cross-check the engine, and the
+vector-resource multiresolution variant still builds on it.
 """
 
 from __future__ import annotations

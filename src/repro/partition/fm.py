@@ -15,20 +15,24 @@ prefixes.  Without caps the caller gets a sensible default — each side is
 capped at half the total weight plus one node's worth of slack — because an
 unconstrained "bisection" would degenerate to moving every node to one side.
 
-Gains are tracked with a lazy max-heap instead of the original bucket array:
-edge weights here are floats (bandwidths), so the O(1) bucket indexing trick
-does not apply directly; the heap keeps the pass at O(m log n).
+Gains are tracked with the shared
+:class:`~repro.partition.refine_state.BucketQueue`: edge weights here are
+floats (bandwidths), so the O(1) dense-bucket indexing trick does not apply
+directly, but gain values repeat heavily and the bucket queue pays one heap
+operation per *distinct* gain instead of one per pending move.  Gains
+themselves are O(1) reads from the engine's connectivity matrix, and the
+best prefix is recovered by rewinding the move trail instead of copying the
+assignment on every improvement.  See ``docs/refinement.md`` for the
+invariants and tie-breaking rules.
 """
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
 from repro.graph.wgraph import WGraph
-from repro.partition.base import PartitionState
-from repro.partition.metrics import check_assignment, cut_value, part_weights
+from repro.partition.metrics import check_assignment
+from repro.partition.refine_state import BucketQueue, RefinementState
 from repro.util.errors import PartitionError
 
 __all__ = ["fm_pass_bisection", "fm_refine_bisection", "default_side_caps"]
@@ -58,6 +62,63 @@ def _cap_violation(part_weight: np.ndarray, limits: tuple[float, float]) -> floa
     )
 
 
+def _fm_pass(
+    st: RefinementState, limits: tuple[float, float]
+) -> tuple[float, float]:
+    """One FM pass on an engine state holding a bisection.
+
+    Runs the move sequence, then rewinds the state to the prefix with the
+    lexicographically best ``(cap violation, cut)``; returns that key.
+    """
+    g = st.g
+    queue = BucketQueue()
+    idx = np.arange(g.n)
+    flip = 1 - st.assign
+    gains = st.conn[flip, idx] - st.conn[st.assign, idx]
+    for u in range(g.n):  # ascending id = deterministic equal-gain order
+        queue.push(-float(gains[u]), u)
+    locked = np.zeros(g.n, dtype=bool)
+
+    st.clear_trail()
+    best_key = (_cap_violation(st.part_weight, limits), st.cut)
+    best_mark = st.snapshot()
+    current_cut = st.cut
+
+    while queue:
+        neg_gain, u = queue.pop()
+        if locked[u]:
+            continue
+        src = int(st.assign[u])
+        dest = 1 - src
+        true_gain = st.gain(u, dest)
+        if -neg_gain != true_gain:  # stale entry: reinsert with fresh gain
+            queue.push(-true_gain, u)
+            continue
+        w_u = float(g.node_weights[u])
+        dest_ok = st.part_weight[dest] + w_u <= limits[dest]
+        src_over = st.part_weight[src] > limits[src]
+        if not dest_ok and not src_over:
+            locked[u] = True  # cannot legally move this pass
+            continue
+        st.move(u, dest)
+        locked[u] = True
+        current_cut -= true_gain
+        key = (_cap_violation(st.part_weight, limits), current_cut)
+        if key < best_key:
+            best_key = key
+            best_mark = st.snapshot()
+        # refresh neighbours' gains lazily, in ascending id order (CSR
+        # adjacency rows are strictly ascending by construction)
+        for v in g.neighbors(u):
+            v = int(v)
+            if not locked[v]:
+                queue.push(-st.gain(v, 1 - int(st.assign[v])), v)
+
+    st.rollback(best_mark)
+    st.clear_trail()
+    return best_key
+
+
 def fm_pass_bisection(
     g: WGraph,
     assign: np.ndarray,
@@ -83,51 +144,9 @@ def fm_pass_bisection(
     """
     a = check_assignment(g, assign, 2)
     limits = _side_limits(g, max_weight)
-    state = PartitionState(g, a, 2)
-
-    heap: list[tuple[float, int, int]] = []  # (-gain, tiebreak, node)
-    for u in range(g.n):
-        heap.append((-state.gain(u, 1 - int(state.assign[u])), u, u))
-    heapq.heapify(heap)
-    locked = np.zeros(g.n, dtype=bool)
-
-    best_assign = state.assign.copy()
-    best_key = (_cap_violation(state.part_weight, limits), state.cut)
-    current_cut = state.cut
-    moved = 0
-
-    while heap:
-        neg_gain, _, u = heapq.heappop(heap)
-        if locked[u]:
-            continue
-        src = int(state.assign[u])
-        dest = 1 - src
-        true_gain = state.gain(u, dest)
-        if -neg_gain != true_gain:  # stale entry: reinsert with fresh gain
-            heapq.heappush(heap, (-true_gain, u + g.n * (moved + 1), u))
-            continue
-        w_u = float(g.node_weights[u])
-        dest_ok = state.part_weight[dest] + w_u <= limits[dest]
-        src_over = state.part_weight[src] > limits[src]
-        if not dest_ok and not src_over:
-            locked[u] = True  # cannot legally move this pass
-            continue
-        state.move(u, dest)
-        locked[u] = True
-        moved += 1
-        current_cut -= true_gain
-        key = (_cap_violation(state.part_weight, limits), current_cut)
-        if key < best_key:
-            best_key = key
-            best_assign = state.assign.copy()
-        # refresh neighbours' gains lazily
-        for v in state.g.neighbors(u):
-            v = int(v)
-            if not locked[v]:
-                gv = state.gain(v, 1 - int(state.assign[v]))
-                heapq.heappush(heap, (-gv, v + g.n * (moved + 1), v))
-
-    return best_assign, best_key[1]
+    st = RefinementState(g, a, 2)
+    key = _fm_pass(st, limits)
+    return st.assign.copy(), key[1]
 
 
 def fm_refine_bisection(
@@ -139,23 +158,19 @@ def fm_refine_bisection(
     """Run FM passes until no pass improves ``(cap violation, cut)``.
 
     "The best bi-section observed during an iteration is used as input for
-    the next iteration" (Section II.A.2).
+    the next iteration" (Section II.A.2).  The engine state is built once
+    and carried across passes — each pass ends rewound to its best prefix,
+    so the next pass starts exactly from "the best bi-section observed".
     """
     if max_passes < 1:
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
-    a = check_assignment(g, assign, 2).copy()
+    a = check_assignment(g, assign, 2)
     limits = _side_limits(g, max_weight)
-    key = (
-        _cap_violation(part_weights(g, a, 2), limits),
-        cut_value(g, a),
-    )
+    st = RefinementState(g, a, 2)
+    key = (_cap_violation(st.part_weight, limits), st.cut)
     for _ in range(max_passes):
-        new_a, _ = fm_pass_bisection(g, a, max_weight=limits)
-        new_key = (
-            _cap_violation(part_weights(g, new_a, 2), limits),
-            cut_value(g, new_a),
-        )
+        new_key = _fm_pass(st, limits)
         if new_key >= key:
             break
-        a, key = new_a, new_key
-    return a
+        key = new_key
+    return st.assign.copy()

@@ -32,6 +32,7 @@ from repro.partition.goodness import goodness_key
 from repro.partition.initial import greedy_initial_partition
 from repro.partition.kway_refine import constrained_kway_fm
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.partition.refine_state import RefinementState
 from repro.util.errors import InfeasibleError, PartitionError
 from repro.util.rng import as_rng, spawn_seeds
 from repro.util.stopwatch import Stopwatch
@@ -120,15 +121,17 @@ def _uncoarsen(
 
     def refine_best(graph: WGraph, a: np.ndarray) -> np.ndarray:
         cand_seeds = spawn_seeds(rng, config.level_candidates)
+        # one engine build per level; each candidate run works on a copy and
+        # its goodness comes from the incrementally-tracked metrics
+        base = RefinementState(graph, a, k)
         best, best_key = None, None
         for s in cand_seeds:
+            st = base.copy()
             cand = constrained_kway_fm(
                 graph, a, k, constraints,
-                max_passes=config.refine_passes, seed=s,
+                max_passes=config.refine_passes, seed=s, state=st,
             )
-            key = goodness_key(
-                evaluate_partition(graph, cand, k, constraints), constraints
-            )
+            key = goodness_key(st.metrics(constraints), constraints)
             if best_key is None or key < best_key:
                 best, best_key = cand, key
         return best

@@ -24,7 +24,8 @@ import numpy as np
 from repro.graph.wgraph import WGraph
 from repro.partition.goodness import goodness_key
 from repro.partition.kway_refine import constrained_kway_fm
-from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.refine_state import RefinementState
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng, spawn_seeds
 
@@ -153,10 +154,12 @@ def greedy_initial_partition(
             r_rng = as_rng(round_seeds[r])
             seeds_r = r_rng.choice(g.n, size=min(k, g.n), replace=False).tolist()
         assign = greedy_grow_once(g, k, constraints.rmax, seed_nodes=seeds_r)
+        st = RefinementState(g, assign, k)
         assign = constrained_kway_fm(
-            g, assign, k, constraints, max_passes=fm_passes, seed=round_seeds[r]
+            g, assign, k, constraints, max_passes=fm_passes,
+            seed=round_seeds[r], state=st,
         )
-        key = goodness_key(evaluate_partition(g, assign, k, constraints), constraints)
+        key = goodness_key(st.metrics(constraints), constraints)
         if best_key is None or key < best_key:
             best_key = key
             best_assign = assign

@@ -16,22 +16,25 @@ Two flavours are provided:
     pass.  "Partitions will be changed and nodes will move between
     partitions as far as constraints met" (Section IV.B).
 
-Both use the incremental :class:`~repro.partition.base.PartitionState`; the
-constrained pass keeps moves ordered with a lazy-validation max-priority heap
-(stale entries are re-keyed on pop), the float-weight analogue of the FM gain
-buckets, giving near-linear passes on bounded-degree process networks.
+All passes run on the shared vectorized engine
+(:class:`~repro.partition.refine_state.RefinementState`): part connectivity,
+pairwise bandwidth, part weights and the boundary set are maintained
+incrementally in O(deg + k) per move, and the constrained pass orders moves
+with a :class:`~repro.partition.refine_state.BucketQueue` — the float-weight
+analogue of the FM gain buckets — giving near-linear passes on
+bounded-degree process networks.  Data-structure invariants and tie-breaking
+rules are documented in ``docs/refinement.md``.
 """
 
 from __future__ import annotations
 
 import heapq
-from itertools import count
 
 import numpy as np
 
 from repro.graph.wgraph import WGraph
-from repro.partition.base import PartitionState
 from repro.partition.metrics import ConstraintSpec, check_assignment
+from repro.partition.refine_state import BucketQueue, RefinementState
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng
 
@@ -45,12 +48,33 @@ __all__ = [
 _EPS = 1e-12
 
 
+def _as_state(
+    g: WGraph, assign: np.ndarray, k: int, state: RefinementState | None
+) -> RefinementState:
+    """Validate/adopt a caller-provided engine state, or build a fresh one.
+
+    Callers that chain passes (rebalance → greedy refine, or per-level FM
+    candidates) pass the previous pass's state so connectivity and bandwidth
+    are never recomputed from scratch.
+    """
+    if state is None:
+        return RefinementState(g, assign, k)
+    if state.g is not g or state.k != k:
+        raise PartitionError("provided state does not match graph/k")
+    if not np.array_equal(state.assign, assign):
+        raise PartitionError(
+            "provided state holds a different assignment than the one passed"
+        )
+    return state
+
+
 def rebalance_pass(
     g: WGraph,
     assign: np.ndarray,
     k: int,
     max_part_weight: float,
     seed=None,
+    state: RefinementState | None = None,
 ) -> np.ndarray:
     """Explicit balance phase (kmetis style).
 
@@ -59,41 +83,121 @@ def rebalance_pass(
     the METIS-like baseline between projection and cut refinement; gives up
     (returning the best effort) when no move can reduce the overflow —
     e.g. single nodes heavier than the cap.
+
+    Every eviction is permanent — a destination accepted a node only because
+    it stays under the cap, so it can never become a source — which bounds
+    the pass at ``n`` moves total (the old implementation rescanned under a
+    ``4·n`` guess and did O(n·k) Python work per move; candidate scoring is
+    now one vectorized lexsort over the source part's members).
+
+    *seed* is accepted for signature stability but unused: the eviction
+    choice minimises the deterministic key ``(cut damage, -weight, node,
+    dest)``, so no random tie-breaking remains.
     """
+    del seed  # selection is deterministic; kept for API compatibility
     a = check_assignment(g, assign, k)
-    state = PartitionState(g, a, k)
-    rng = as_rng(seed)
-    counts = np.bincount(state.assign, minlength=k)
-    for _ in range(4 * g.n):  # generous bound; each move reduces overflow
-        over = np.nonzero(
-            (state.part_weight > max_part_weight) & (counts > 1)
-        )[0]  # single-member parts are never emptied (kmetis rule)
+    st = _as_state(g, a, k, state)
+    node_w = g.node_weights
+    cap = float(max_part_weight)
+
+    def current_src() -> int:
+        """The part legacy eviction would drain next, or -1 when balanced."""
+        over = np.nonzero((st.part_weight > cap) & (st.part_size > 1))[0]
         if over.size == 0:
+            return -1
+        return int(over[int(np.argmax(st.part_weight[over]))])
+
+    def fresh_key(v: int, src: int):
+        """Current best eviction key of node *v*: min over feasible dests of
+        ``(cut damage, -weight, node, dest)`` — exactly the scan order."""
+        w_v = float(node_w[v])
+        cv = st.conn[:, v]
+        best = None
+        for d in range(k):
+            if d == src or st.part_weight[d] + w_v > cap:
+                continue
+            key = (float(cv[src] - cv[d]), -w_v, v, d)
+            if best is None or key < best:
+                best = key
+        return best
+
+    def build_heap(src: int) -> list:
+        """Eviction queue of part *src*: every member's best key, in one
+        vectorized sweep over the connectivity matrix."""
+        members = np.nonzero(st.assign == src)[0]
+        w_m = node_w[members]
+        conn_m = st.conn[:, members]
+        damage = np.ascontiguousarray(conn_m[src][:, None] - conn_m.T)
+        feasible = st.part_weight[None, :] + w_m[:, None] <= cap
+        feasible[:, src] = False
+        masked = np.where(feasible, damage, np.inf)
+        best_dest = np.argmin(masked, axis=1)  # first min = smallest dest
+        best_dmg = masked[np.arange(members.size), best_dest]
+        live = np.isfinite(best_dmg)
+        heap = [
+            (float(d), -float(w), int(u), int(t))
+            for d, w, u, t in zip(
+                best_dmg[live], w_m[live], members[live], best_dest[live]
+            )
+        ]
+        heapq.heapify(heap)
+        return heap
+
+    # One cached eviction heap per over-capacity part.  A cached key can
+    # only go stale in three ways, each handled exactly:
+    #   * it rose (its destination filled up) — caught by lazy revalidation
+    #     on pop, same discipline as the FM queue;
+    #   * it fell because a neighbour was evicted — the eviction loop pushes
+    #     the fresh key into the owner's heap immediately;
+    #   * a destination *reopened* — impossible while every tracked part
+    #     stays over the cap, because parts only shed while over it; the
+    #     one-time event of a part dropping to/below the cap clears the
+    #     whole cache.
+    # Eviction order therefore equals a full rescan per move (the reference
+    # behaviour) without rebuilding state when the heaviest-part argmax
+    # ping-pongs between two draining parts.
+    heaps: dict[int, list] = {}
+    for _ in range(g.n + 1):  # ≤ n evictions possible (see docstring)
+        src = current_src()
+        if src < 0:
             break
-        src = int(over[int(np.argmax(state.part_weight[over]))])
-        members = np.nonzero(state.assign == src)[0]
-        rng.shuffle(members)
-        best = None  # (cut_damage, -weight, u, dest)
-        for u in members:
-            u = int(u)
-            w_u = float(g.node_weights[u])
-            conn = state.connection_vector(u)
-            for dest in range(k):
-                if dest == src:
-                    continue
-                if state.part_weight[dest] + w_u > max_part_weight:
-                    continue
-                damage = float(conn[src] - conn[dest])
-                key = (damage, -w_u, u, dest)
-                if best is None or key < best:
-                    best = key
-        if best is None:
-            break  # nothing fits anywhere: give up gracefully
-        _, _, u, dest = best
-        state.move(u, dest)
-        counts[src] -= 1
-        counts[dest] += 1
-    return state.assign
+        heap = heaps.get(src)
+        if heap is None:
+            heap = heaps[src] = build_heap(src)
+        drained = False
+        while heap:
+            entry = heapq.heappop(heap)
+            u = entry[2]
+            if st.assign[u] != src:
+                continue  # already evicted
+            fresh = fresh_key(u, src)
+            if fresh is None:
+                continue  # no destination fits u any more
+            if fresh != entry:
+                heapq.heappush(heap, fresh)
+                continue
+            st.move(u, entry[3])
+            # refresh every cached heap whose member just lost a neighbour
+            # (or gained one in its destination) before any break
+            for v in g.neighbors(u):
+                v = int(v)
+                part_v = int(st.assign[v])
+                heap_v = heaps.get(part_v)
+                if heap_v is not None:
+                    key_v = fresh_key(v, part_v)
+                    if key_v is not None:
+                        heapq.heappush(heap_v, key_v)
+            if st.part_weight[src] <= cap:
+                heaps.clear()  # src crossed the cap: destinations reopened
+                drained = True
+                break
+            if current_src() != src:
+                drained = True  # another part is now the heaviest: switch
+                break
+        if not drained:
+            break  # no feasible eviction for the heaviest part: give up
+    st.clear_trail()
+    return st.assign.copy()
 
 
 def greedy_kway_refine(
@@ -103,6 +207,7 @@ def greedy_kway_refine(
     max_part_weight: float = float("inf"),
     max_passes: int = 8,
     seed=None,
+    state: RefinementState | None = None,
 ) -> np.ndarray:
     """Cut-driven greedy boundary refinement (METIS style).
 
@@ -114,51 +219,49 @@ def greedy_kway_refine(
     if max_passes < 1:
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
     a = check_assignment(g, assign, k)
-    state = PartitionState(g, a, k)
+    st = _as_state(g, a, k, state)
     rng = as_rng(seed)
-    part_count = np.bincount(state.assign, minlength=k)
 
     for _ in range(max_passes):
-        boundary = state.boundary_nodes()
+        boundary = st.boundary_nodes()
         if boundary.size == 0:
             break
         rng.shuffle(boundary)
         moved = 0
         for u in boundary:
             u = int(u)
-            src = int(state.assign[u])
-            if part_count[src] <= 1:
+            src = int(st.assign[u])
+            if st.part_size[src] <= 1:
                 continue  # kmetis rule: never empty a part
-            conn = state.connection_vector(u)
+            cu = st.conn[:, u]
             w_u = float(g.node_weights[u])
             best_dest, best_gain = -1, _EPS
-            for dest in np.nonzero(conn > 0)[0]:
+            for dest in np.nonzero(cu > 0)[0]:
                 dest = int(dest)
                 if dest == src:
                     continue
-                if state.part_weight[dest] + w_u > max_part_weight:
+                if st.part_weight[dest] + w_u > max_part_weight:
                     continue
-                gain = float(conn[dest] - conn[src])
+                gain = float(cu[dest] - cu[src])
                 if gain > best_gain + _EPS:
                     best_dest, best_gain = dest, gain
                 elif (
                     best_dest >= 0
                     and abs(gain - best_gain) <= _EPS
-                    and state.part_weight[dest] < state.part_weight[best_dest]
+                    and st.part_weight[dest] < st.part_weight[best_dest]
                 ):
                     best_dest = dest
             if best_dest >= 0:
-                state.move(u, best_dest)
-                part_count[src] -= 1
-                part_count[best_dest] += 1
+                st.move(u, best_dest)
                 moved += 1
         if moved == 0:
             break
-    return state.assign
+    st.clear_trail()
+    return st.assign.copy()
 
 
 def move_delta(
-    state: PartitionState,
+    state,
     u: int,
     dest: int,
     constraints: ConstraintSpec,
@@ -166,12 +269,17 @@ def move_delta(
 ) -> tuple[float, float]:
     """Effect of moving *u* to *dest*: ``(violation_delta, cut_delta)``.
 
-    Negative values are improvements.  Computed incrementally from the
-    state's bandwidth matrix and part weights in O(k).
+    Negative values are improvements.  Works on either a
+    :class:`~repro.partition.refine_state.RefinementState` (O(k²) vectorized)
+    or the legacy :class:`~repro.partition.base.PartitionState` (computed
+    from its bandwidth matrix in O(k) Python).
     """
     src = int(state.assign[u])
     if dest == src:
         return (0.0, 0.0)
+    if isinstance(state, RefinementState):
+        dv, dc = state.move_deltas(u, constraints)
+        return (float(dv[dest]), float(dc[dest]))
     if conn is None:
         conn = state.connection_vector(u)
     w_u = float(state.g.node_weights[u])
@@ -199,28 +307,6 @@ def move_delta(
     return (float(dv), cut_delta)
 
 
-def _best_move(
-    state: PartitionState, u: int, constraints: ConstraintSpec
-) -> tuple[float, float, int] | None:
-    """Best ``(violation_delta, cut_delta, dest)`` for node *u*, or None."""
-    src = int(state.assign[u])
-    conn = state.connection_vector(u)
-    dests = {int(c) for c in np.nonzero(conn > 0)[0] if int(c) != src}
-    if (
-        np.isfinite(constraints.rmax)
-        and state.part_weight[src] > constraints.rmax
-    ):
-        # over-full part: any escape destination is worth considering
-        dests.update(c for c in range(state.k) if c != src)
-    best = None
-    for dest in sorted(dests):
-        dv, dc = move_delta(state, u, dest, constraints, conn=conn)
-        key = (dv, dc, dest)
-        if best is None or key < best:
-            best = key
-    return best
-
-
 def constrained_kway_fm(
     g: WGraph,
     assign: np.ndarray,
@@ -229,96 +315,95 @@ def constrained_kway_fm(
     max_passes: int = 6,
     seed=None,
     abort_after: int | None = None,
+    state: RefinementState | None = None,
 ) -> np.ndarray:
     """Constraint-driven FM k-way refinement (the GP local search).
 
-    Per pass, nodes move at most once, ordered by a lazy-validation heap on
-    ``(violation_delta, cut_delta)``.  Moves that would *increase* violation
-    are never taken; cut-worsening moves with non-increasing violation are
-    taken FM-style (best state by ``(total violation, cut)`` is restored at
-    the end).  *abort_after* bounds consecutive non-improving moves per pass
-    (defaults to ``max(50, n // 10)``), the standard early-exit that keeps
-    passes cheap on large graphs.
+    Per pass, nodes move at most once, ordered by a gain-bucket queue on
+    ``(violation_delta, cut_delta)`` with lazy invalidation.  Moves that
+    would *increase* violation are never taken; cut-worsening moves with
+    non-increasing violation are taken FM-style (best state by
+    ``(total violation, cut)`` is restored at the end — via the engine's
+    move trail, not an O(n) assignment copy per improvement).  *abort_after*
+    bounds consecutive non-improving moves per pass (defaults to
+    ``max(50, n // 10)``), the standard early-exit that keeps passes cheap
+    on large graphs.
+
+    When *state* is given the engine is reused (and left holding the
+    returned assignment, so callers can read ``state.metrics()`` without a
+    from-scratch evaluation).
     """
     if max_passes < 1:
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
     a = check_assignment(g, assign, k)
-    state = PartitionState(g, a, k)
+    st = _as_state(g, a, k, state)
     rng = as_rng(seed)
     if abort_after is None:
         abort_after = max(50, g.n // 10)
 
-    def total_violation() -> float:
-        v = 0.0
-        if np.isfinite(constraints.rmax):
-            v += float(np.maximum(state.part_weight - constraints.rmax, 0.0).sum())
-        if np.isfinite(constraints.bmax):
-            v += float(
-                np.triu(np.maximum(state.bw - constraints.bmax, 0.0), k=1).sum()
-            )
-        return v
+    st.clear_trail()
+    best_key = st.key(constraints)
+    best_mark = st.snapshot()
 
-    best_assign = state.assign.copy()
-    best_key = (total_violation(), state.cut)
-
-    tick = count()
     for _ in range(max_passes):
         locked = np.zeros(g.n, dtype=bool)
-        start_key = (total_violation(), state.cut)
+        start_key = st.key(constraints)
 
-        heap: list[tuple[float, float, int, int, int]] = []
+        queue = BucketQueue()
 
-        def push(u: int) -> None:
-            mv = _best_move(state, u, constraints)
-            if mv is not None:
-                dv, dc, dest = mv
-                heapq.heappush(heap, (dv, dc, next(tick), u, dest))
+        def push_all(nodes: np.ndarray) -> None:
+            # one batched gain evaluation for the whole group; queue order
+            # matches the given node order (FIFO within equal keys)
+            epoch = st.epoch
+            for u, mv in zip(nodes, st.best_moves(nodes, constraints)):
+                if mv is not None:
+                    dv, dc, dest = mv
+                    queue.push((dv, dc), (int(u), dest, epoch))
 
-        seeds = state.boundary_nodes()
+        seeds = st.boundary_nodes()
         if np.isfinite(constraints.rmax):
-            over = np.nonzero(state.part_weight > constraints.rmax)[0]
+            over = np.nonzero(st.part_weight > constraints.rmax)[0]
             if over.size:
-                extra = np.nonzero(np.isin(state.assign, over))[0]
+                extra = np.nonzero(np.isin(st.assign, over))[0]
                 seeds = np.union1d(seeds, extra)
         seeds = seeds.astype(np.int64)
         rng.shuffle(seeds)
-        for u in seeds:
-            push(int(u))
+        push_all(seeds)
 
         stagnant = 0
-        while heap:
-            dv, dc, _, u, dest = heapq.heappop(heap)
+        while queue:
+            (dv, dc), (u, dest, entry_epoch) = queue.pop()
             if locked[u]:
                 continue
-            fresh = _best_move(state, u, constraints)
-            if fresh is None:
-                continue
-            if (fresh[0], fresh[1], fresh[2]) != (dv, dc, dest):
-                heapq.heappush(heap, (fresh[0], fresh[1], next(tick), u, fresh[2]))
-                continue
+            if entry_epoch != st.epoch:
+                # something moved since this entry was computed: revalidate
+                fresh = st.best_move(u, constraints)
+                if fresh is None:
+                    continue
+                if fresh != (dv, dc, dest):
+                    queue.push((fresh[0], fresh[1]), (u, fresh[2], st.epoch))
+                    continue
             if dv > _EPS:
                 break  # every remaining move strictly worsens violation
             if dv > -_EPS and dc > _EPS and stagnant >= abort_after:
                 break
-            state.move(u, dest)
+            st.move(u, dest)
             locked[u] = True
-            key_now = (total_violation(), state.cut)
+            key_now = st.key(constraints)
             if key_now < best_key:
                 best_key = key_now
-                best_assign = state.assign.copy()
+                best_mark = st.snapshot()
                 stagnant = 0
             else:
                 stagnant += 1
             if stagnant > abort_after:
                 break
-            for v in g.neighbors(u):
-                v = int(v)
-                if not locked[v]:
-                    push(v)
+            nbrs = g.neighbors(u)
+            push_all(nbrs[~locked[nbrs]])
 
-        if best_key < start_key:
-            # FM discipline: next pass starts from the best prefix seen
-            state = PartitionState(g, best_assign, k)
-        else:
+        # FM discipline: rewind to the best prefix seen so far
+        st.rollback(best_mark)
+        if not best_key < start_key:
             break  # the pass found nothing better anywhere
-    return best_assign
+    st.clear_trail()
+    return st.assign.copy()

@@ -26,6 +26,7 @@ from repro.partition.coarsen import build_hierarchy
 from repro.partition.fm import fm_refine_bisection
 from repro.partition.kway_refine import greedy_kway_refine, rebalance_pass
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.partition.refine_state import RefinementState
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng, spawn_seeds
 from repro.util.stopwatch import Stopwatch
@@ -165,9 +166,13 @@ def mlkp_partition(
     for level in range(hier.depth - 1, 0, -1):
         level_graph = hier.levels[level - 1].graph
         assign = hier.project(assign, level)
+        # one engine state per level, shared by both phases so connectivity
+        # and bandwidth are never rebuilt between them
+        state = RefinementState(level_graph, assign, k)
         # kmetis order: restore balance first, then chase the cut
         assign = rebalance_pass(
-            level_graph, assign, k, max_part_weight, seed=refine_seeds[level - 1]
+            level_graph, assign, k, max_part_weight,
+            seed=refine_seeds[level - 1], state=state,
         )
         assign = greedy_kway_refine(
             level_graph,
@@ -176,14 +181,19 @@ def mlkp_partition(
             max_part_weight=max_part_weight,
             max_passes=refine_passes,
             seed=refine_seeds[level - 1],
+            state=state,
         )
     if hier.depth == 1:
-        assign = rebalance_pass(g, assign, k, max_part_weight, seed=refine_seeds[0])
+        state = RefinementState(g, assign, k)
+        assign = rebalance_pass(
+            g, assign, k, max_part_weight, seed=refine_seeds[0], state=state
+        )
         assign = greedy_kway_refine(
             g, assign, k,
             max_part_weight=max_part_weight,
             max_passes=refine_passes,
             seed=refine_seeds[0],
+            state=state,
         )
     sw.stop()
 

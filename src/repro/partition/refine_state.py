@@ -1,0 +1,507 @@
+"""Shared vectorized refinement engine.
+
+Every refinement pass in this package (greedy k-way boundary refinement,
+kmetis rebalancing, the paper's constrained FM, two-way FM, KL) needs the
+same four quantities kept current under single-node moves:
+
+* the per-node **part-connectivity matrix** ``conn`` of shape ``(k, n)``:
+  ``conn[c, u]`` is the summed weight of *u*'s edges into part *c* (the
+  KaHyPar-style "gain cache" — a node's cut gain to any destination is one
+  subtraction away),
+* per-part **resource weights** and node counts,
+* the pairwise **bandwidth matrix** ``bw`` (and hence the global cut), and
+* the **boundary set** — nodes with at least one neighbour in another part,
+  tracked through an integer neighbour-count matrix so membership is exact
+  (never a float comparison).
+
+:class:`RefinementState` maintains all of them in **O(deg(u) + k)** numpy
+work per move (the predecessor, :class:`~repro.partition.base.PartitionState`,
+paid O(k·deg(u)) in Python per move and O(m) per boundary query).  It also
+keeps a move trail so a pass can rewind to its best prefix in O(moves·deg)
+instead of rebuilding state from a saved assignment copy.
+
+:class:`BucketQueue` is the float-weight analogue of the Fiduccia-Mattheyses
+gain-bucket array: an addressable min-priority structure that buckets entries
+by exact key and serves equal keys FIFO.  Process-network gains are floats
+(bandwidths), so a dense integer bucket array does not apply; but gain values
+repeat heavily, so one heap entry per *distinct* key plus O(1) bucket
+appends beats one heap entry per pending move.
+
+Data-structure invariants are documented in ``docs/refinement.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.partition.metrics import (
+    ConstraintSpec,
+    PartitionMetrics,
+    check_assignment,
+)
+from repro.util.errors import PartitionError
+
+__all__ = ["RefinementState", "BucketQueue"]
+
+_EPS = 1e-12
+
+
+class BucketQueue:
+    """Addressable FIFO bucket min-priority queue over hashable keys.
+
+    ``push(key, item)`` is O(1) amortised when *key* already has a bucket
+    (the common case: gains repeat), O(log K) otherwise, for K distinct live
+    keys.  ``pop()`` returns ``(key, item)`` with the smallest key; equal
+    keys pop in insertion order, which is the documented tie-breaking rule
+    (see docs/refinement.md).  Stale-entry invalidation is the caller's job,
+    exactly as with the lazy heaps this structure replaces.
+    """
+
+    __slots__ = ("_buckets", "_keyheap", "_size")
+
+    def __init__(self) -> None:
+        self._buckets: dict = {}
+        self._keyheap: list = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, key, item) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            # invariant: key sits in the heap exactly once iff it has a bucket
+            self._buckets[key] = bucket = deque()
+            heapq.heappush(self._keyheap, key)
+        bucket.append(item)
+        self._size += 1
+
+    def pop(self):
+        """Smallest ``(key, item)``; raises IndexError when empty."""
+        while self._keyheap:
+            key = self._keyheap[0]
+            bucket = self._buckets[key]
+            if not bucket:
+                heapq.heappop(self._keyheap)
+                del self._buckets[key]
+                continue
+            self._size -= 1
+            return key, bucket.popleft()
+        raise IndexError("pop from empty BucketQueue")
+
+
+class RefinementState:
+    """Mutable k-way assignment with vectorized incremental bookkeeping.
+
+    Parameters
+    ----------
+    g, assign, k:
+        Graph, initial node→part assignment (validated, copied), part count.
+
+    Notes
+    -----
+    All tracked quantities are exact under integer-valued weights; the
+    invariant suite (``tests/test_refine_invariants.py``) checks them against
+    from-scratch recomputation after every pass.
+    """
+
+    __slots__ = (
+        "g",
+        "k",
+        "assign",
+        "conn",
+        "ncnt",
+        "part_weight",
+        "part_size",
+        "bw",
+        "_trail",
+        "_iu",
+        "_epoch",
+        "_relu_cache",
+    )
+
+    def __init__(self, g: WGraph, assign: np.ndarray, k: int) -> None:
+        self.g = g
+        self.k = int(k)
+        a = check_assignment(g, assign, k).copy()
+        self.assign = a
+        n = g.n
+        eu, ev, ew = g.edge_array
+
+        conn = np.zeros((self.k, n), dtype=np.float64)
+        np.add.at(conn, (a[ev], eu), ew)
+        np.add.at(conn, (a[eu], ev), ew)
+        self.conn = conn
+
+        ncnt = np.zeros((self.k, n), dtype=np.int64)
+        ones = np.ones(len(ew), dtype=np.int64)
+        np.add.at(ncnt, (a[ev], eu), ones)
+        np.add.at(ncnt, (a[eu], ev), ones)
+        self.ncnt = ncnt
+
+        pw = np.zeros(self.k, dtype=np.float64)
+        np.add.at(pw, a, g.node_weights)
+        self.part_weight = pw
+        self.part_size = np.bincount(a, minlength=self.k)
+
+        bw = np.zeros((self.k, self.k), dtype=np.float64)
+        cu, cv = a[eu], a[ev]
+        crossing = cu != cv
+        np.add.at(bw, (cu[crossing], cv[crossing]), ew[crossing])
+        np.add.at(bw, (cv[crossing], cu[crossing]), ew[crossing])
+        self.bw = bw
+
+        self._trail: list[tuple[int, int]] = []
+        self._iu = np.triu_indices(self.k, k=1)
+        self._epoch = 0  # bumped on every move; keys the relu cache
+        self._relu_cache: tuple[int, float, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def cut(self) -> float:
+        return float(self.bw[self._iu].sum())
+
+    @property
+    def epoch(self) -> int:
+        """Monotone move counter.  Any cached gain computed at the current
+        epoch is still exact — nothing has moved since."""
+        return self._epoch
+
+    def connection_vector(self, u: int) -> np.ndarray:
+        """Weight of *u*'s edges into each part, shape ``(k,)`` (a copy)."""
+        return self.conn[:, u].copy()
+
+    def gain(self, u: int, dest: int) -> float:
+        """Cut reduction if *u* moved to part *dest* (negative = worse)."""
+        src = int(self.assign[u])
+        if dest == src:
+            return 0.0
+        return float(self.conn[dest, u] - self.conn[src, u])
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask of nodes with ≥1 neighbour in a different part."""
+        idx = np.arange(self.g.n)
+        deg = self.g.csr[0]
+        degrees = deg[1:] - deg[:-1]
+        return (degrees - self.ncnt[self.assign, idx]) > 0
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Sorted array of boundary-node ids (the explicit boundary set)."""
+        return np.nonzero(self.boundary_mask())[0]
+
+    def key(self, constraints: ConstraintSpec) -> tuple[float, float]:
+        """``(total violation, cut)`` — the FM best-prefix key — computed
+        from one gather of the upper bandwidth triangle."""
+        upper = self.bw[self._iu]
+        cut = float(upper.sum())
+        v = 0.0
+        if np.isfinite(constraints.rmax):
+            v += float(
+                np.maximum(self.part_weight - constraints.rmax, 0.0).sum()
+            )
+        if np.isfinite(constraints.bmax):
+            v += float(np.maximum(upper - constraints.bmax, 0.0).sum())
+        return (v, cut)
+
+    def metrics(self, constraints: ConstraintSpec | None = None) -> PartitionMetrics:
+        """:class:`PartitionMetrics` from the tracked matrices — no graph
+        rescan (the whole point of the incremental engine)."""
+        constraints = constraints or ConstraintSpec()
+        b, w, k = self.bw, self.part_weight, self.k
+        if np.isfinite(constraints.bmax):
+            bw_violation = float(
+                np.triu(np.maximum(b - constraints.bmax, 0.0), k=1).sum()
+            )
+        else:
+            bw_violation = 0.0
+        if np.isfinite(constraints.rmax):
+            res_violation = float(np.maximum(w - constraints.rmax, 0.0).sum())
+        else:
+            res_violation = 0.0
+        return PartitionMetrics(
+            k=k,
+            cut=float(np.triu(b, k=1).sum()),
+            max_local_bandwidth=float(b.max()) if k > 1 else 0.0,
+            max_resource=float(w.max()) if k > 0 else 0.0,
+            bandwidth_violation=bw_violation,
+            resource_violation=res_violation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # moves and rollback
+    # ------------------------------------------------------------------ #
+    def move(self, u: int, dest: int) -> None:
+        """Move node *u* to part *dest* in O(deg(u) + k), logging the move."""
+        src = self._move(u, dest)
+        if src >= 0:
+            self._trail.append((u, src))
+
+    def _move(self, u: int, dest: int) -> int:
+        """Unlogged move; returns the source part, or -1 for a no-op."""
+        src = int(self.assign[u])
+        dest = int(dest)
+        if not (0 <= dest < self.k):
+            raise PartitionError(f"destination part {dest} out of range")
+        if dest == src:
+            return -1
+        g = self.g
+        cu = self.conn[:, u].copy()
+        bw = self.bw
+        # bw row/col updates; the diagonal corrections undo the double hit
+        bw[src, :] -= cu
+        bw[:, src] -= cu
+        bw[src, src] += 2.0 * cu[src]
+        bw[dest, :] += cu
+        bw[:, dest] += cu
+        bw[dest, dest] -= 2.0 * cu[dest]
+
+        nbrs, ws = g.neighbor_weights(u)
+        self.conn[src, nbrs] -= ws
+        self.conn[dest, nbrs] += ws
+        self.ncnt[src, nbrs] -= 1
+        self.ncnt[dest, nbrs] += 1
+
+        w_u = float(g.node_weights[u])
+        self.part_weight[src] -= w_u
+        self.part_weight[dest] += w_u
+        self.part_size[src] -= 1
+        self.part_size[dest] += 1
+        self.assign[u] = dest
+        self._epoch += 1
+        return src
+
+    def snapshot(self) -> int:
+        """Opaque mark of the current move-trail position."""
+        return len(self._trail)
+
+    def rollback(self, mark: int) -> None:
+        """Rewind to :meth:`snapshot` mark *mark*, undoing moves in reverse."""
+        if not (0 <= mark <= len(self._trail)):
+            raise PartitionError(
+                f"rollback mark {mark} outside trail of {len(self._trail)}"
+            )
+        while len(self._trail) > mark:
+            u, src = self._trail.pop()
+            self._move(u, src)
+
+    def clear_trail(self) -> None:
+        """Drop rollback history (call when a prefix is committed for good)."""
+        self._trail.clear()
+
+    def copy(self) -> "RefinementState":
+        """Independent copy sharing only the immutable graph."""
+        out = object.__new__(RefinementState)
+        out.g = self.g
+        out.k = self.k
+        out.assign = self.assign.copy()
+        out.conn = self.conn.copy()
+        out.ncnt = self.ncnt.copy()
+        out.part_weight = self.part_weight.copy()
+        out.part_size = self.part_size.copy()
+        out.bw = self.bw.copy()
+        out._trail = list(self._trail)
+        out._iu = self._iu
+        out._epoch = 0
+        out._relu_cache = None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # vectorized move evaluation
+    # ------------------------------------------------------------------ #
+    def _relu_bw(self, bmax: float) -> np.ndarray:
+        """``max(bw - bmax, 0)``, cached per move epoch (bw is fixed between
+        moves, and gain evaluation asks for this for every candidate node)."""
+        cached = self._relu_cache
+        if cached is not None and cached[0] == self._epoch and cached[1] == bmax:
+            return cached[2]
+        relu = np.maximum(self.bw - bmax, 0.0)
+        self._relu_cache = (self._epoch, bmax, relu)
+        return relu
+
+    def move_deltas(
+        self, u: int, constraints: ConstraintSpec
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(violation_delta, cut_delta)`` of moving *u* to every part.
+
+        Shape ``(k,)`` each; entries at ``assign[u]`` are zero.  Negative
+        values are improvements.  O(k²) numpy, no Python loop over parts.
+        The arithmetic mirrors :meth:`move_deltas_batch` expression for
+        expression so single-node revalidation reproduces batch-computed
+        keys bit for bit.
+        """
+        src = int(self.assign[u])
+        cu = self.conn[:, u]
+        k = self.k
+        dv = np.zeros(k, dtype=np.float64)
+        rmax, bmax = constraints.rmax, constraints.bmax
+        pw = self.part_weight
+        if np.isfinite(rmax):
+            w_u = float(self.g.node_weights[u])
+            shed = max(0.0, pw[src] - w_u - rmax) - max(0.0, pw[src] - rmax)
+            dv += shed + (
+                np.maximum(pw + w_u - rmax, 0.0) - np.maximum(pw - rmax, 0.0)
+            )
+        if np.isfinite(bmax):
+            relu_bw = self._relu_bw(bmax)
+            bws = self.bw[src]
+            relu_src = relu_bw[src]  # == max(bws - bmax, 0), pre-reduced
+            t = bws - cu
+            shed_c = np.maximum(t - bmax, 0.0) - relu_src
+            shed_c[src] = 0.0
+            # adding u's connectivity onto each candidate row d
+            add = np.maximum(self.bw + cu[None, :] - bmax, 0.0) - relu_bw
+            add[:, src] = 0.0
+            add_d = add.sum(axis=1) - np.diagonal(add)
+            # the src↔dest entry changes by cu[src] - cu[dest]
+            sd = np.maximum(t + cu[src] - bmax, 0.0) - relu_src
+            dv += (shed_c.sum() - shed_c) + add_d + sd
+        dc = cu[src] - cu
+        dv[src] = 0.0
+        dc[src] = 0.0
+        return dv, dc
+
+    def move_deltas_batch(
+        self, nodes: np.ndarray, constraints: ConstraintSpec
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`move_deltas`: ``(dv, dc)`` of shape ``(len(nodes),
+        k)`` in one tensor evaluation.
+
+        Amortises numpy dispatch overhead across a whole neighbourhood (or
+        the whole boundary): ~15 array operations for the batch instead of
+        ~15 per node.  Expression structure matches :meth:`move_deltas`
+        element for element, so the two produce identical floats.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        nb = nodes.size
+        k = self.k
+        srcs = self.assign[nodes]
+        rows = np.arange(nb)
+        cu_b = self.conn.T[nodes]  # (nb, k) contiguous gather
+        cu_src = cu_b[rows, srcs]
+        dv = np.zeros((nb, k), dtype=np.float64)
+        rmax, bmax = constraints.rmax, constraints.bmax
+        pw = self.part_weight
+        if np.isfinite(rmax):
+            w_b = self.g.node_weights[nodes]
+            pw_src = pw[srcs]
+            shed = np.maximum(pw_src - w_b - rmax, 0.0) - np.maximum(
+                pw_src - rmax, 0.0
+            )
+            dv += shed[:, None] + (
+                np.maximum(pw[None, :] + w_b[:, None] - rmax, 0.0)
+                - np.maximum(pw - rmax, 0.0)[None, :]
+            )
+        if np.isfinite(bmax):
+            relu_bw = self._relu_bw(bmax)
+            bws = self.bw[srcs]  # (nb, k)
+            relu_src = relu_bw[srcs]  # == max(bws - bmax, 0), pre-reduced
+            t = bws - cu_b
+            shed_c = np.maximum(t - bmax, 0.0) - relu_src
+            shed_c[rows, srcs] = 0.0
+            add = np.maximum(
+                self.bw[None, :, :] + cu_b[:, None, :] - bmax, 0.0
+            ) - relu_bw[None, :, :]
+            add[rows, :, srcs] = 0.0
+            diag = np.arange(k)
+            add_d = add.sum(axis=2) - add[:, diag, diag]
+            sd = np.maximum(t + cu_src[:, None] - bmax, 0.0) - relu_src
+            dv += (shed_c.sum(axis=1)[:, None] - shed_c) + add_d + sd
+        dc = cu_src[:, None] - cu_b
+        dv[rows, srcs] = 0.0
+        dc[rows, srcs] = 0.0
+        return dv, dc
+
+    def _select_best(
+        self,
+        dv_row: list[float],
+        dc_row: list[float],
+        cu_row: list[float],
+        src: int,
+        escape: bool,
+    ) -> tuple[float, float, int] | None:
+        """Min ``(dv, dc, dest)`` over the candidate destinations of one node."""
+        best = None
+        for dest in range(self.k):
+            if dest == src:
+                continue
+            if not escape and cu_row[dest] <= 0.0:
+                continue
+            key = (dv_row[dest], dc_row[dest], dest)
+            if best is None or key < best:
+                best = key
+        return best
+
+    def best_move(
+        self, u: int, constraints: ConstraintSpec
+    ) -> tuple[float, float, int] | None:
+        """Best ``(violation_delta, cut_delta, dest)`` for node *u*.
+
+        Candidate destinations are the parts *u* already connects to; when
+        *u*'s part is over the resource cap, every part is a candidate (the
+        escape rule).  Ties break lexicographically, last on the smallest
+        part id.  Returns ``None`` when no candidate exists.
+        """
+        src = int(self.assign[u])
+        cu = self.conn[:, u]
+        escape = bool(
+            np.isfinite(constraints.rmax)
+            and self.part_weight[src] > constraints.rmax
+        )
+        dv, dc = self.move_deltas(u, constraints)
+        return self._select_best(
+            dv.tolist(), dc.tolist(), cu.tolist(), src, escape
+        )
+
+    def best_moves(
+        self, nodes: np.ndarray, constraints: ConstraintSpec
+    ) -> list[tuple[float, float, int] | None]:
+        """Batched :meth:`best_move` over *nodes* (order preserved)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return []
+        dv, dc = self.move_deltas_batch(nodes, constraints)
+        srcs = self.assign[nodes]
+        if np.isfinite(constraints.rmax):
+            escape = self.part_weight[srcs] > constraints.rmax
+        else:
+            escape = np.zeros(nodes.size, dtype=bool)
+        cu_b = self.conn[:, nodes].T
+        dv_l, dc_l, cu_l = dv.tolist(), dc.tolist(), cu_b.tolist()
+        return [
+            self._select_best(
+                dv_l[i], dc_l[i], cu_l[i], int(srcs[i]), bool(escape[i])
+            )
+            for i in range(nodes.size)
+        ]
+
+    def recompute(self) -> None:
+        """Rebuild everything from scratch (tests/debugging only).
+
+        Invalidates everything keyed to the pre-rebuild matrices: the relu
+        cache (its epoch would otherwise still match) and the move trail
+        (rolling back across a rebuild would corrupt the fresh state).
+        """
+        fresh = RefinementState(self.g, self.assign, self.k)
+        self.conn = fresh.conn
+        self.ncnt = fresh.ncnt
+        self.part_weight = fresh.part_weight
+        self.part_size = fresh.part_size
+        self.bw = fresh.bw
+        self._epoch += 1
+        self._relu_cache = None
+        self._trail.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"RefinementState(n={self.g.n}, k={self.k}, cut={self.cut:g}, "
+            f"boundary={int(self.boundary_mask().sum())})"
+        )

@@ -23,6 +23,7 @@ from repro.partition.coarsen import MATCHING_METHODS, contract
 from repro.partition.goodness import goodness_key
 from repro.partition.kway_refine import constrained_kway_fm
 from repro.partition.metrics import ConstraintSpec, check_assignment, evaluate_partition
+from repro.partition.refine_state import RefinementState
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng, spawn_seeds
 
@@ -117,18 +118,27 @@ def vcycle_refine(
             break  # no hierarchy to exploit
 
         refine_seeds = spawn_seeds(s_refine, len(graphs))
-        # refine the coarsest, then project down with refinement per level
+        # refine the coarsest, then project down with refinement per level;
+        # the finest level's engine state also supplies the goodness metrics
         cand = constrained_kway_fm(
             graphs[-1], assigns[-1], k, constraints,
             max_passes=refine_passes, seed=refine_seeds[-1],
         )
+        st = None
         for level in range(len(graphs) - 1, 0, -1):
             cand = cand[maps[level - 1]]
+            st = RefinementState(graphs[level - 1], cand, k)
             cand = constrained_kway_fm(
                 graphs[level - 1], cand, k, constraints,
                 max_passes=refine_passes, seed=refine_seeds[level - 1],
+                state=st,
             )
-        key = goodness_key(evaluate_partition(g, cand, k, constraints), constraints)
+        metrics = (
+            st.metrics(constraints)
+            if st is not None
+            else evaluate_partition(g, cand, k, constraints)
+        )
+        key = goodness_key(metrics, constraints)
         if key < best_key:
             best, best_key = cand, key
         else:

@@ -1,0 +1,62 @@
+"""Performance smoke tests (marked ``slow``; run via ``scripts/ci.sh``).
+
+These are *budget* tests, not benchmarks: each asserts that a
+representative refinement workload finishes within a wall-clock budget an
+order of magnitude above what the vectorized engine needs today (~1.5 s for
+the 5k-node constrained FM on the container this suite was tuned on).  They
+only trip when a change reintroduces super-linear Python work in the hot
+path — precise old-vs-new ratios live in
+``benchmarks/bench_refine_engine.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import random_process_network
+from repro.partition.kway_refine import (
+    constrained_kway_fm,
+    greedy_kway_refine,
+    rebalance_pass,
+)
+from repro.partition.metrics import ConstraintSpec, evaluate_partition
+
+
+@pytest.mark.slow
+def test_constrained_fm_5k_under_budget():
+    n, k = 5000, 8
+    g = random_process_network(n, int(2.5 * n), seed=0)
+    a = np.random.default_rng(0).integers(0, k, size=n)
+    cons = ConstraintSpec(
+        bmax=0.02 * g.total_edge_weight, rmax=1.1 * g.total_node_weight / k
+    )
+    before = evaluate_partition(g, a, k, cons)
+    start = time.perf_counter()
+    out = constrained_kway_fm(g, a, k, cons, seed=0)
+    elapsed = time.perf_counter() - start
+    after = evaluate_partition(g, out, k, cons)
+    assert after.total_violation <= before.total_violation + 1e-9
+    assert elapsed < 15.0, f"5k-node constrained FM took {elapsed:.1f}s"
+
+
+@pytest.mark.slow
+def test_uncoarsening_refinement_5k_under_budget():
+    """The MLKP per-level step (rebalance + greedy refine) on one state."""
+    n, k = 5000, 8
+    g = random_process_network(n, int(2.5 * n), seed=1)
+    rng = np.random.default_rng(1)
+    a = rng.choice(k, size=n, p=np.array([3, 2, 1.5, 1, 1, 0.5, 0.5, 0.5]) / 10)
+    cap = 1.03 * g.total_node_weight / k
+    start = time.perf_counter()
+    from repro.partition.refine_state import RefinementState
+
+    state = RefinementState(g, a, k)
+    out = rebalance_pass(g, a, k, cap, state=state)
+    out = greedy_kway_refine(
+        g, out, k, max_part_weight=cap, seed=1, state=state
+    )
+    elapsed = time.perf_counter() - start
+    w = evaluate_partition(g, out, k).max_resource
+    assert w <= cap + 1e-9
+    assert elapsed < 15.0, f"5k-node un-coarsening refinement took {elapsed:.1f}s"
