@@ -1,0 +1,112 @@
+"""Study X10 — connectivity metric vs the 2-pin edge-cut model.
+
+For every instance two partitions are produced at **equal constraints**
+(balanced ``Rmax``, unconstrained ``Bmax``) and both are priced on the
+hypergraph's (λ−1) connectivity metric — the traffic a multicast actually
+generates, one copy per extra FPGA:
+
+* **gallery PPNs** — the paper pipeline as-is: GP on the token-weighted
+  2-pin mapping graph (``ppn_to_mapped_graph``, where a broadcast pays
+  once per consumer) vs the hypergraph pipeline
+  (``PPN.to_hypergraph`` + ``hyper_partition``).  LU's pivot-row broadcast
+  and FIR's tap fan-out are the multicast-bearing cases; chain and
+  split/merge are the control group where the models coincide and must tie.
+* **synthetic sweeps** — ``multicast_network`` over rising broadcast
+  fan-out; the 2-pin side partitions the star expansion (one full-weight
+  edge per consumer) of the same hypergraph.
+
+Artefact: ``benchmarks/artifacts/x10_hypergraph_traffic.txt``.
+"""
+
+from conftest import emit
+
+from repro.graph import multicast_network
+from repro.hypergraph import evaluate_hyper_partition, hyper_partition
+from repro.kpn.traffic import ppn_to_mapped_graph
+from repro.partition.gp import gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.polyhedral.gallery import chain, fir_filter, lu, split_merge
+from repro.polyhedral.ppn import derive_ppn
+from repro.util.tables import format_table
+
+
+def _constraints(total_node_weight: float, k: int) -> ConstraintSpec:
+    return ConstraintSpec(rmax=float(round(1.15 * total_node_weight / k)))
+
+
+def _compare(name, g, hg, k, seed=0):
+    """Partition both models at equal constraints; price both on hg."""
+    cons = _constraints(hg.total_node_weight, k)
+    res_g = gp_partition(g, k, cons, seed=seed)
+    res_h = hyper_partition(hg, k, cons, seed=seed)
+    priced_g = evaluate_hyper_partition(hg, res_g.assign, k, cons)
+    priced_h = evaluate_hyper_partition(hg, res_h.assign, k, cons)
+    n_multi = sum(1 for e in range(hg.n_nets) if hg.net_size(e) > 2)
+    saved = (
+        (priced_g.cut - priced_h.cut) / priced_g.cut * 100.0
+        if priced_g.cut
+        else 0.0
+    )
+    row = [
+        name, hg.n, hg.n_nets, n_multi, k,
+        priced_g.cut, priced_h.cut, f"{saved:.1f}%",
+        "yes" if (priced_g.feasible and priced_h.feasible) else "no",
+    ]
+    return row, priced_g.cut, priced_h.cut
+
+
+def test_hypergraph_vs_edge_cut_traffic(benchmark, artifacts_dir):
+    rows = []
+    multicast_wins = {}
+
+    def sweep():
+        # gallery PPNs through the two real pipelines
+        for name, prog, k in [
+            ("lu(10)", lu(10), 2),
+            ("fir(8,64)", fir_filter(8, 64), 3),
+            ("fir(6,48)", fir_filter(6, 48), 3),
+            ("chain(12,64)", chain(12, 64), 3),
+            ("split_merge(6,60)", split_merge(6, 60), 3),
+        ]:
+            ppn = derive_ppn(prog)
+            hg, _ = ppn.to_hypergraph()
+            g, _ = ppn_to_mapped_graph(ppn, mode="tokens")
+            row, cut_g, cut_h = _compare(name, g, hg, k)
+            rows.append(row)
+            if any(hg.net_size(e) > 2 for e in range(hg.n_nets)):
+                multicast_wins[name] = (cut_g, cut_h)
+
+        # synthetic multicast-heavy sweeps: fan-out is the lever
+        for fanout in (4, 8, 12):
+            hg = multicast_network(
+                120, seed=fanout, fanout=fanout, n_broadcasts=24
+            )
+            g = hg.star_expansion()
+            row, cut_g, cut_h = _compare(f"synthetic f={fanout}", g, hg, 4)
+            rows.append(row)
+            multicast_wins[f"synthetic f={fanout}"] = (cut_g, cut_h)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["instance", "n", "nets", "multicast", "k",
+         "edge-cut model traffic", "hypergraph model traffic",
+         "saved", "both feasible"],
+        rows,
+        title=(
+            "X10 modeled inter-partition traffic ((λ-1) connectivity) at "
+            "equal constraints: partitioned via 2-pin edge-cut vs hypergraph"
+        ),
+    )
+    emit("x10_hypergraph_traffic.txt", table)
+
+    # acceptance: on multicast-heavy gallery PPNs (LU pivot broadcast, FIR
+    # tap fan-out) the hypergraph model yields strictly lower modeled
+    # inter-partition traffic than the 2-pin edge-cut model
+    for name in ("lu(10)", "fir(8,64)"):
+        cut_g, cut_h = multicast_wins[name]
+        assert cut_h < cut_g, (
+            f"{name}: hypergraph model traffic {cut_h} not below "
+            f"edge-cut model traffic {cut_g}"
+        )
+    # and it never loses on any multicast-bearing instance
+    assert all(h <= g for g, h in multicast_wins.values()), multicast_wins

@@ -2,8 +2,12 @@
 # CI entry point — no Makefile/tox required.
 #
 # Stage 1 is the tier-1 contract verbatim (fast tests + everything else);
-# stage 2 re-runs the perf smoke tests alone so timing regressions are
-# reported separately from functional failures and can't hide behind -x.
+# stage 2 re-runs the perf smoke tests alone (graph engine + hypergraph Φ
+# engine, both slow-marked) so timing regressions are reported separately
+# from functional failures and can't hide behind -x; stage 3 re-runs the
+# hypergraph subsystem suite explicitly — structure, Φ invariants and the
+# 2-pin differential corpus — so a connectivity-engine regression is named
+# in the CI log even when stage 1 already caught it.
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -16,5 +20,11 @@ python -m pytest -x -q "$@"
 
 echo "== stage 2: perf smoke (slow marker) =="
 python -m pytest -q -m slow
+
+echo "== stage 3: hypergraph subsystem suite =="
+python -m pytest -q \
+  tests/test_hypergraph.py \
+  tests/test_hyper_refine_invariants.py \
+  tests/test_hyper_differential.py
 
 echo "CI OK"

@@ -3,12 +3,16 @@
 Usage (see ``python -m repro --help``):
 
 * ``python -m repro partition --input g.json --k 4 --bmax 16 --rmax 165``
-  — partition a graph (JSON, METIS ``.graph`` or incidence text) with any
-  of the four methods and print the paper-style report.
+  — partition a graph (JSON, METIS ``.graph``, incidence text or hMETIS
+  ``.hgr``) with any of the methods and print the paper-style report.
+  ``--model hypergraph`` partitions under the (λ−1) connectivity metric
+  (multicasts charged once per extra FPGA); graph inputs are lifted to
+  2-pin hypergraphs, ``.hgr`` inputs are taken as-is.
 * ``python -m repro tables [--experiment N]`` — regenerate the paper tables.
 * ``python -m repro figures --out DIR`` — regenerate Figures 2-13 artefacts.
 * ``python -m repro generate --n 12 --m 30 --out g.json`` — synthesise a
-  process-network instance.
+  process-network instance; with ``--fanout F`` a multicast-heavy
+  *hypergraph* instance is written instead (``.hgr``).
 """
 
 from __future__ import annotations
@@ -22,11 +26,13 @@ from repro.bench.experiments import paper_experiment_table
 from repro.bench.figures import write_figure_artifacts
 from repro.core.api import partition_graph
 from repro.core.report import comparison_report
-from repro.graph.generators import random_process_network
+from repro.graph.generators import multicast_network, random_process_network
 from repro.graph.io import graph_from_json, graph_to_json
 from repro.graph.matrixio import parse_incidence_text
-from repro.graph.metisio import parse_metis
+from repro.graph.metisio import parse_hmetis, parse_metis, save_hmetis
 from repro.graph.wgraph import WGraph
+from repro.hypergraph.hgraph import HGraph
+from repro.hypergraph.partition import hyper_partition
 from repro.partition.metrics import ConstraintSpec
 from repro.util.errors import ReproError
 from repro.viz.ascii_art import render_ascii
@@ -38,6 +44,10 @@ __all__ = ["main", "build_parser"]
 def _load_graph(path: str) -> WGraph:
     text = Path(path).read_text()
     suffix = Path(path).suffix.lower()
+    if suffix == ".hgr":
+        raise ReproError(
+            f"{path} is a hypergraph instance; re-run with --model hypergraph"
+        )
     if suffix == ".json":
         return graph_from_json(text)
     if suffix == ".graph":
@@ -53,6 +63,13 @@ def _load_graph(path: str) -> WGraph:
     return parse_metis(text)
 
 
+def _load_hypergraph(path: str) -> HGraph:
+    """`.hgr` files load natively; every graph format lifts to 2-pin nets."""
+    if Path(path).suffix.lower() == ".hgr":
+        return parse_hmetis(Path(path).read_text())
+    return HGraph.from_wgraph(_load_graph(path))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -64,14 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("partition", help="partition a process-network graph")
-    p.add_argument("--input", required=True, help=".json/.graph/.inc file")
+    p.add_argument("--input", required=True, help=".json/.graph/.inc/.hgr file")
     p.add_argument("--k", type=int, required=True, help="number of FPGAs")
     p.add_argument("--bmax", type=float, default=float("inf"))
     p.add_argument("--rmax", type=float, default=float("inf"))
     p.add_argument(
         "--method",
         default="gp",
-        choices=["gp", "mlkp", "spectral", "exact"],
+        choices=["gp", "mlkp", "spectral", "exact", "hyper"],
+    )
+    p.add_argument(
+        "--model",
+        default="graph",
+        choices=["graph", "hypergraph"],
+        help="traffic model: 2-pin edge cut (graph) or (λ-1) connectivity "
+             "(hypergraph; .hgr inputs load natively, graphs are lifted)",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--compare", action="store_true",
@@ -90,19 +114,70 @@ def build_parser() -> argparse.ArgumentParser:
 
     g = sub.add_parser("generate", help="synthesise a process network")
     g.add_argument("--n", type=int, required=True)
-    g.add_argument("--m", type=int, required=True)
+    g.add_argument("--m", type=int, default=None,
+                   help="edge count (graph output; ignored with --fanout)")
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--node-weights", default="10,60",
                    help="node weight range lo,hi")
     g.add_argument("--edge-weights", default="1,8",
                    help="edge weight range lo,hi")
-    g.add_argument("--out", required=True, help="output .json path")
+    g.add_argument("--fanout", type=int, default=None,
+                   help="emit a multicast-heavy hypergraph (.hgr) with this "
+                        "broadcast fan-out instead of a graph; --edge-weights "
+                        "then sets the backbone chain-net range (broadcast "
+                        "nets stay heavier)")
+    g.add_argument("--out", required=True, help="output .json (or .hgr) path")
     return parser
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    g = _load_graph(args.input)
     constraints = ConstraintSpec(bmax=args.bmax, rmax=args.rmax)
+    if args.model == "hypergraph":
+        if args.method not in ("gp", "hyper"):
+            raise ReproError(
+                f"--model hypergraph supports --method gp/hyper, "
+                f"got {args.method!r}"
+            )
+        if args.dot:
+            raise ReproError(
+                "--dot renders 2-pin graphs only; re-run with "
+                "--model graph or export the instance via star expansion"
+            )
+        hg = _load_hypergraph(args.input)
+        result = hyper_partition(hg, args.k, constraints, seed=args.seed)
+        results = [result]
+        if args.compare:
+            # the 2-pin edge-cut baseline: GP on the per-consumer star
+            # expansion, priced on the hypergraph's connectivity metric
+            from repro.hypergraph.metrics import evaluate_hyper_partition
+
+            baseline = partition_graph(
+                hg.star_expansion(), args.k, bmax=args.bmax, rmax=args.rmax,
+                method="gp", seed=args.seed,
+            )
+            baseline.algorithm = "GP (2-pin model)"
+            baseline.metrics = evaluate_hyper_partition(
+                hg, baseline.assign, args.k, constraints
+            )
+            results.insert(0, baseline)
+        print(comparison_report(results, constraints))
+        print(f"(connectivity objective: {result.metrics.cut:g}; "
+              f"a multicast net counts once per extra FPGA)")
+        if args.assign_out:
+            Path(args.assign_out).write_text(
+                json.dumps({
+                    "k": args.k,
+                    "assign": [int(c) for c in result.assign],
+                    "feasible": result.feasible,
+                    # "cut" keeps the graph branch's schema; here it is the
+                    # connectivity objective, also under its proper name
+                    "cut": result.metrics.cut,
+                    "connectivity": result.metrics.cut,
+                }, indent=1)
+            )
+            print(f"wrote {args.assign_out}")
+        return 0 if result.feasible or constraints.unconstrained else 2
+    g = _load_graph(args.input)
     result = partition_graph(
         g, args.k, bmax=args.bmax, rmax=args.rmax,
         method=args.method, seed=args.seed,
@@ -160,6 +235,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         lo, hi = (int(x) for x in text.split(","))
         return lo, hi
 
+    if args.fanout is not None:
+        node_range = parse_range(args.node_weights)
+        edge_range = parse_range(args.edge_weights)
+        if node_range[0] < 1 or edge_range[0] < 1:
+            raise ReproError(
+                ".hgr output needs positive integer weights; "
+                "use ranges with lower bound >= 1"
+            )
+        hg = multicast_network(
+            args.n, seed=args.seed, fanout=args.fanout,
+            node_weight_range=node_range,
+            chain_weight_range=edge_range,
+        )
+        save_hmetis(hg, args.out, comment=f"multicast_network n={args.n} "
+                                          f"fanout={args.fanout} seed={args.seed}")
+        print(f"wrote {args.out} (n={hg.n}, nets={hg.n_nets}, "
+              f"pins={hg.n_pins}, total resources {hg.total_node_weight:g})")
+        return 0
+    if args.m is None:
+        raise ReproError("--m is required unless --fanout is given")
     g = random_process_network(
         args.n, args.m, seed=args.seed,
         node_weight_range=parse_range(args.node_weights),

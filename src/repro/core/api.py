@@ -2,11 +2,21 @@
 
 ``partition_graph``
     Graph + constraints → :class:`~repro.partition.base.PartitionResult`
-    via any of the four partitioners.
+    via any of the partitioners: the paper's constrained ``"gp"``, the
+    METIS-like ``"mlkp"``, ``"spectral"``, ``"exact"``, or ``"hyper"`` —
+    the connectivity-metric multilevel partitioner run on the graph's
+    2-pin hypergraph lift (equivalent objective, hypergraph machinery).
 
 ``partition_ppn``
-    SANLP or derived PPN → mapping graph (token or sustained-bandwidth
-    weights) → partition.
+    SANLP or derived PPN → mapping model → partition.  Two traffic models:
+
+    * ``model="graph"`` (default) — the paper's 2-pin edge-cut model via
+      :func:`~repro.kpn.traffic.ppn_to_mapped_graph` (token or sustained
+      bandwidth weights).
+    * ``model="hypergraph"`` — one hyperedge per producer token set via
+      :meth:`~repro.polyhedral.ppn.PPN.to_hypergraph`, partitioned under
+      the (λ−1) connectivity metric, which charges a multicast once per
+      extra FPGA instead of once per consumer (see ``docs/hypergraph.md``).
 
 ``map_to_fpgas``
     Partition → :class:`~repro.fpga.mapping.Mapping` on a homogeneous
@@ -20,6 +30,8 @@ import numpy as np
 from repro.fpga.mapping import Mapping
 from repro.fpga.system import MultiFPGASystem
 from repro.graph.wgraph import WGraph
+from repro.hypergraph.hgraph import HGraph
+from repro.hypergraph.partition import HyperConfig, hyper_partition
 from repro.kpn.traffic import ppn_to_mapped_graph
 from repro.partition.base import PartitionResult
 from repro.partition.exact import exact_partition
@@ -33,7 +45,8 @@ from repro.util.errors import PartitionError
 
 __all__ = ["partition_graph", "partition_ppn", "map_to_fpgas"]
 
-_METHODS = ("gp", "mlkp", "spectral", "exact")
+_METHODS = ("gp", "mlkp", "spectral", "exact", "hyper")
+_MODELS = ("graph", "hypergraph")
 
 
 def partition_graph(
@@ -43,16 +56,22 @@ def partition_graph(
     rmax: float = float("inf"),
     method: str = "gp",
     seed=None,
-    config: GPConfig | None = None,
+    config: GPConfig | HyperConfig | None = None,
 ) -> PartitionResult:
     """Partition *g* into *k* parts under the paper's two constraints.
 
     *method*: ``"gp"`` (the paper's constrained partitioner, default),
     ``"mlkp"`` (METIS-like, constraints audited only), ``"spectral"``,
-    or ``"exact"`` (≤20 nodes, constraints enforced).
+    ``"exact"`` (≤20 nodes, constraints enforced), or ``"hyper"`` (the
+    connectivity-metric multilevel partitioner on the 2-pin hypergraph
+    lift; takes a :class:`~repro.hypergraph.partition.HyperConfig`).
     """
     constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
     if method == "gp":
+        if config is not None and not isinstance(config, GPConfig):
+            raise PartitionError(
+                f"method='gp' takes a GPConfig, got {type(config).__name__}"
+            )
         return gp_partition(g, k, constraints, config=config, seed=seed)
     if method == "mlkp":
         return mlkp_partition(g, k, seed=seed, constraints=constraints)
@@ -60,6 +79,15 @@ def partition_graph(
         return spectral_partition(g, k, constraints=constraints)
     if method == "exact":
         return exact_partition(g, k, constraints, enforce=not constraints.unconstrained)
+    if method == "hyper":
+        if config is not None and not isinstance(config, HyperConfig):
+            raise PartitionError(
+                "method='hyper' takes a HyperConfig, got "
+                f"{type(config).__name__}"
+            )
+        return hyper_partition(
+            HGraph.from_wgraph(g), k, constraints, config=config, seed=seed
+        )
     raise PartitionError(
         f"unknown method {method!r}; valid methods: {_METHODS}"
     )
@@ -71,22 +99,51 @@ def partition_ppn(
     bmax: float = float("inf"),
     rmax: float = float("inf"),
     method: str = "gp",
+    model: str = "graph",
     bandwidth_mode: str = "tokens",
     bandwidth_scale: float = 1.0,
     seed=None,
-    config: GPConfig | None = None,
-) -> tuple[PartitionResult, WGraph, list[str]]:
+    config: GPConfig | HyperConfig | None = None,
+) -> tuple[PartitionResult, WGraph | HGraph, list[str]]:
     """Derive (if needed), weight, and partition a process network.
 
-    Returns ``(result, graph, names)`` — *names[i]* is the process mapped
-    to node *i*, so ``names[j] for j where assign[j]==c`` lists FPGA *c*'s
-    processes.
+    With ``model="graph"`` the PPN is flattened to the paper's 2-pin
+    mapping graph and *method* picks the graph partitioner.  With
+    ``model="hypergraph"`` multicast channels stay hyperedges and the
+    connectivity-metric partitioner runs (*method* must be ``"gp"`` or
+    ``"hyper"``; only ``bandwidth_mode="tokens"`` weights exist for nets).
+
+    Returns ``(result, mapping_structure, names)`` — the second element is
+    the :class:`WGraph` or :class:`HGraph` that was partitioned, and
+    *names[i]* is the process mapped to node *i*.
     """
+    if model not in _MODELS:
+        raise PartitionError(f"unknown model {model!r}; valid models: {_MODELS}")
     ppn = (
         program_or_ppn
         if isinstance(program_or_ppn, PPN)
         else derive_ppn(program_or_ppn)
     )
+    if model == "hypergraph":
+        if method not in ("gp", "hyper"):
+            raise PartitionError(
+                f"model='hypergraph' supports methods 'gp'/'hyper', "
+                f"got {method!r}"
+            )
+        if bandwidth_mode != "tokens":
+            raise PartitionError(
+                "model='hypergraph' supports only bandwidth_mode='tokens' "
+                f"(net weights are token-set sizes), got {bandwidth_mode!r}"
+            )
+        if config is not None and not isinstance(config, HyperConfig):
+            raise PartitionError(
+                "model='hypergraph' takes a HyperConfig, got "
+                f"{type(config).__name__}"
+            )
+        hg, names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
+        constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
+        result = hyper_partition(hg, k, constraints, config=config, seed=seed)
+        return result, hg, names
     g, names = ppn_to_mapped_graph(
         ppn, mode=bandwidth_mode, scale=bandwidth_scale
     )

@@ -18,6 +18,7 @@ from repro.graph.builders import (
     to_networkx,
 )
 from repro.graph.generators import (
+    multicast_network,
     paper_graph,
     planted_partition_network,
     random_connected_graph,
@@ -50,6 +51,7 @@ __all__ = [
     "random_connected_graph",
     "random_process_network",
     "planted_partition_network",
+    "multicast_network",
     "paper_graph",
     "check_graph",
 ]

@@ -22,6 +22,12 @@ weight.  Three families are provided:
     not publish exact edge lists, so these are deterministic reconstructions
     matching the published envelope: node/edge counts, weight regimes and
     constraint tightness (see DESIGN.md, "Figure-weight provenance").
+
+``multicast_network``
+    Multicast-heavy synthetic PN as a *hypergraph*: a pipeline backbone of
+    2-pin nets plus heavy broadcast nets with a parametrised fan-out —
+    the workload family where the (λ−1) connectivity model and the 2-pin
+    edge-cut model diverge most (see ``docs/hypergraph.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ __all__ = [
     "random_connected_graph",
     "random_process_network",
     "planted_partition_network",
+    "multicast_network",
     "paper_graph",
     "PaperExperimentSpec",
     "PAPER_SPECS",
@@ -262,6 +269,60 @@ def planted_partition_network(
             pair_edges += 1
 
     return WGraph(n, edges, node_weights=node_weights), assign
+
+
+def multicast_network(
+    n: int,
+    seed=None,
+    fanout: int = 4,
+    n_broadcasts: int | None = None,
+    node_weight_range: tuple[int, int] = (10, 60),
+    chain_weight_range: tuple[int, int] = (1, 4),
+    broadcast_weight_range: tuple[int, int] = (8, 24),
+    total_node_weight: int | None = None,
+):
+    """Multicast-heavy process network as an :class:`~repro.hypergraph.hgraph.HGraph`.
+
+    A pipeline backbone of ``n - 1`` light 2-pin nets carries streaming
+    traffic; on top, *n_broadcasts* (default ``max(2, n // 6)``) heavy
+    broadcast nets each connect a random producer (the net's root) to
+    *fanout* distinct consumers — the pivot-broadcast / tap-fan-out shape
+    the polyhedral front-end produces for LU and FIR-like kernels.
+
+    Deterministic for a given *seed*.  Broadcast fan-out is clamped to
+    ``n - 1`` consumers.
+    """
+    from repro.hypergraph.hgraph import HGraph  # local: avoids import cycle
+
+    if n < 3:
+        raise GraphError("a multicast network needs at least three processes")
+    if fanout < 2:
+        raise GraphError(f"fanout must be >= 2, got {fanout}")
+    rng = as_rng(seed)
+    if n_broadcasts is None:
+        n_broadcasts = max(2, n // 6)
+    fanout = min(fanout, n - 1)
+
+    nets: list[tuple[list[int], float]] = []
+    chain_w = _integer_weights_with_sum(
+        n - 1, chain_weight_range[0], chain_weight_range[1], None, rng
+    )
+    for i in range(n - 1):
+        nets.append(([i, i + 1], float(chain_w[i])))
+    bcast_w = _integer_weights_with_sum(
+        n_broadcasts, broadcast_weight_range[0], broadcast_weight_range[1],
+        None, rng,
+    )
+    for b in range(n_broadcasts):
+        root = int(rng.integers(0, n))
+        others = np.setdiff1d(np.arange(n), [root])
+        consumers = rng.choice(others, size=fanout, replace=False)
+        nets.append(([root] + sorted(int(c) for c in consumers),
+                     float(bcast_w[b])))
+    nw = _integer_weights_with_sum(
+        n, node_weight_range[0], node_weight_range[1], total_node_weight, rng
+    )
+    return HGraph(n, nets, node_weights=nw.astype(np.float64))
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,7 @@
-"""METIS ``.graph`` file format read/write.
+"""METIS ``.graph`` and hMETIS ``.hgr`` file format read/write.
 
-The de-facto interchange format of the graph-partitioning community (and
-the input METIS 5.1.0 itself consumes).  Format (CHACO/METIS):
+The de-facto interchange formats of the (hyper)graph-partitioning
+community.  METIS ``.graph`` (CHACO/METIS):
 
 * header: ``n m [fmt [ncon]]`` — *fmt* is a 3-digit flag string: hundreds =
   vertex sizes (unsupported here), tens = vertex weights, units = edge
@@ -10,16 +10,39 @@ the input METIS 5.1.0 itself consumes).  Format (CHACO/METIS):
 * line *i* (1-based): ``[vweight] (neighbour [eweight])*`` — neighbours are
   1-based; every edge appears twice (once per endpoint).
 * ``%``-prefixed lines are comments.
+
+hMETIS ``.hgr`` (also consumed by KaHyPar/Mt-KaHyPar):
+
+* header: ``n_nets n [fmt]`` — *fmt* ``1`` = net weights, ``10`` = vertex
+  weights, ``11`` = both.
+* one line per net: ``[weight] pin pin ...`` — pins are 1-based; this
+  library writes each net's **root** (producer) pin first and reads the
+  first pin back as the root.
+* with vertex weights, ``n`` further lines of one weight each.
+* ``%``-prefixed lines are comments.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.graph.wgraph import WGraph
 from repro.util.errors import GraphError
 
-__all__ = ["render_metis", "parse_metis", "save_metis", "load_metis"]
+if TYPE_CHECKING:  # imported lazily at runtime: this is the low-level I/O
+    from repro.hypergraph.hgraph import HGraph  # layer, below the subsystem
+
+__all__ = [
+    "render_metis",
+    "parse_metis",
+    "save_metis",
+    "load_metis",
+    "render_hmetis",
+    "parse_hmetis",
+    "save_hmetis",
+    "load_hmetis",
+]
 
 
 def render_metis(g: WGraph, comment: str | None = None) -> str:
@@ -144,3 +167,112 @@ def save_metis(g: WGraph, path: str | Path, comment: str | None = None) -> None:
 
 def load_metis(path: str | Path) -> WGraph:
     return parse_metis(Path(path).read_text())
+
+
+# --------------------------------------------------------------------- #
+# hMETIS .hgr
+# --------------------------------------------------------------------- #
+def _as_hmetis_int(x: float, what: str) -> int:
+    if x != int(x) or x < 1:
+        raise GraphError(f"hMETIS format needs positive integer {what}, got {x}")
+    return int(x)
+
+
+def render_hmetis(hg: HGraph, comment: str | None = None) -> str:
+    """Serialise to hMETIS .hgr text (weights emitted iff non-trivial).
+
+    Each net line starts with the net's root pin so producer attribution
+    survives a round trip; remaining pins follow in ascending order.
+    """
+    has_vw = not all(w == 1 for w in hg.node_weights)
+    has_ew = not all(w == 1 for w in hg.net_weights)
+    fmt = f"{int(has_vw)}{int(has_ew)}"
+    lines = []
+    if comment:
+        for c_line in comment.splitlines():
+            lines.append(f"% {c_line}")
+    header = f"{hg.n_nets} {hg.n}"
+    if fmt != "00":
+        header += f" {fmt.lstrip('0')}"
+    lines.append(header)
+    for e in range(hg.n_nets):
+        parts: list[str] = []
+        if has_ew:
+            parts.append(
+                str(_as_hmetis_int(float(hg.net_weights[e]), "net weight"))
+            )
+        root = int(hg.roots[e])
+        parts.append(str(root + 1))
+        parts.extend(str(int(p) + 1) for p in hg.pins_of(e) if int(p) != root)
+        lines.append(" ".join(parts))
+    if has_vw:
+        for u in range(hg.n):
+            lines.append(
+                str(_as_hmetis_int(float(hg.node_weights[u]), "vertex weight"))
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_hmetis(text: str) -> HGraph:
+    """Parse hMETIS .hgr text into an :class:`HGraph` (first pin = root)."""
+    from repro.hypergraph.hgraph import HGraph
+
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.lstrip().startswith("%")
+    ]
+    if not lines:
+        raise GraphError("empty hMETIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphError(f"bad hMETIS header {lines[0]!r}")
+    try:
+        n_nets, n = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphError(f"bad hMETIS header {lines[0]!r}") from exc
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt not in ("0", "1", "10", "11"):
+        raise GraphError(f"unsupported hMETIS fmt {fmt!r}")
+    has_vw = fmt in ("10", "11")
+    has_ew = fmt in ("1", "11")
+    body = lines[1:]
+    expected = n_nets + (n if has_vw else 0)
+    if len(body) != expected:
+        raise GraphError(
+            f"expected {expected} body lines ({n_nets} nets"
+            f"{f' + {n} vertex weights' if has_vw else ''}), found {len(body)}"
+        )
+    nets: list[tuple[list[int], float]] = []
+    for i in range(n_nets):
+        tokens = body[i].split()
+        if has_ew:
+            if len(tokens) < 2:
+                raise GraphError(f"net on line {i + 2} has no pins")
+            w = float(tokens[0])
+            pin_tokens = tokens[1:]
+        else:
+            if not tokens:
+                raise GraphError(f"net on line {i + 2} has no pins")
+            w = 1.0
+            pin_tokens = tokens
+        pins = []
+        for t in pin_tokens:
+            p = int(t) - 1
+            if not 0 <= p < n:
+                raise GraphError(f"pin {p + 1} out of range on line {i + 2}")
+            pins.append(p)
+        nets.append((pins, w))
+    if has_vw:
+        node_weights = [float(body[n_nets + u]) for u in range(n)]
+    else:
+        node_weights = None
+    return HGraph(n, nets, node_weights=node_weights)
+
+
+def save_hmetis(hg: HGraph, path: str | Path, comment: str | None = None) -> None:
+    Path(path).write_text(render_hmetis(hg, comment=comment))
+
+
+def load_hmetis(path: str | Path) -> HGraph:
+    return parse_hmetis(Path(path).read_text())

@@ -1,0 +1,182 @@
+"""Multilevel hypergraph coarsening (heavy-edge contraction, n-level style).
+
+Follows the multilevel recipe of Schlag et al.'s recursive-bisection and
+n-level partitioners, adapted to the matching-based level structure the
+rest of this library uses:
+
+* **Heavy-edge rating** — pair rating ``r(u, v) = Σ_{e ⊇ {u,v}} w_e /
+  (|e| − 1)``: nets almost contracted away count most, big nets are
+  discounted (for 2-pin-only hypergraphs this is exactly the edge weight,
+  so the coarsening degenerates to graph HEM).
+* **Matching** — visit nodes in random order, match each unmatched node
+  with the unmatched partner of highest rating (ties: smaller id).
+* **Contraction** — matched pairs merge; node weights sum; each net maps
+  its pins through the node map and drops duplicates; nets left with a
+  single pin disappear (they can never be cut again); nets whose pin sets
+  become identical are merged with summed weights — the *identical-net
+  detection* that keeps coarse hypergraphs small.  (The last two rules are
+  byproducts of :class:`~repro.hypergraph.hgraph.HGraph` construction.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hypergraph.hgraph import HGraph
+from repro.util.errors import PartitionError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "heavy_pin_matching",
+    "contract_hyper",
+    "coarsen_hyper_once",
+    "HyperLevel",
+    "HyperHierarchy",
+    "build_hyper_hierarchy",
+]
+
+
+def heavy_pin_matching(hg: HGraph, seed=None) -> np.ndarray:
+    """Heavy-edge matching by pair rating: ``match[u] == v`` iff paired."""
+    rng = as_rng(seed)
+    match = np.arange(hg.n, dtype=np.int64)
+    matched = np.zeros(hg.n, dtype=bool)
+    w = hg.net_weights
+    for u in rng.permutation(hg.n):
+        u = int(u)
+        if matched[u]:
+            continue
+        rating: dict[int, float] = {}
+        for e in hg.nets_of(u):
+            e = int(e)
+            pins = hg.pins_of(e)
+            if pins.size < 2:
+                continue
+            r = float(w[e]) / (pins.size - 1)
+            for v in pins:
+                v = int(v)
+                if v != u and not matched[v]:
+                    rating[v] = rating.get(v, 0.0) + r
+        if not rating:
+            continue
+        # highest rating first, smallest id breaks ties
+        v = min(rating, key=lambda x: (-rating[x], x))
+        match[u], match[v] = v, u
+        matched[u] = matched[v] = True
+    return match
+
+
+def _validate_matching(hg: HGraph, match: np.ndarray) -> None:
+    if match.shape != (hg.n,):
+        raise PartitionError(
+            f"matching has shape {match.shape}, expected ({hg.n},)"
+        )
+    for u in range(hg.n):
+        v = int(match[u])
+        if not 0 <= v < hg.n:
+            raise PartitionError(f"match[{u}]={v} out of range")
+        if v != u and int(match[v]) != u:
+            raise PartitionError(f"matching not symmetric at ({u}, {v})")
+
+
+def contract_hyper(hg: HGraph, match: np.ndarray) -> tuple[HGraph, np.ndarray]:
+    """Contract matched pairs into coarse nodes.
+
+    Returns ``(coarse, node_map)`` with ``node_map[u]`` the coarse id of
+    fine node *u*.  Pin dedup, single-pin-net removal and identical-net
+    merging all happen here (the latter two via HGraph construction).
+    """
+    _validate_matching(hg, match)
+    node_map = np.full(hg.n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(hg.n):
+        if node_map[u] >= 0:
+            continue
+        v = int(match[u])
+        node_map[u] = next_id
+        if v != u:
+            node_map[v] = next_id
+        next_id += 1
+    coarse_w = np.zeros(next_id, dtype=np.float64)
+    np.add.at(coarse_w, node_map, hg.node_weights)
+
+    nets: list[tuple[list[int], float]] = []
+    w = hg.net_weights
+    roots = hg.roots
+    for e in range(hg.n_nets):
+        coarse_root = int(node_map[roots[e]])
+        seen = {coarse_root}
+        pins = [coarse_root]  # root first: HGraph keeps pins[0] as root
+        for p in hg.pins_of(e):
+            cp = int(node_map[p])
+            if cp not in seen:
+                seen.add(cp)
+                pins.append(cp)
+        if len(pins) >= 2:  # single-pin nets can never be cut again
+            nets.append((pins, float(w[e])))
+    return HGraph(next_id, nets, node_weights=coarse_w), node_map
+
+
+def coarsen_hyper_once(hg: HGraph, seed=None) -> tuple[HGraph, np.ndarray]:
+    """One coarsening step: heavy-edge matching + contraction."""
+    match = heavy_pin_matching(hg, seed=seed)
+    return contract_hyper(hg, match)
+
+
+@dataclass
+class HyperLevel:
+    """One level of the multilevel hierarchy."""
+
+    hgraph: HGraph
+    #: fine-node -> coarse-node map *into this level* (None for the original).
+    node_map: np.ndarray | None
+
+
+@dataclass
+class HyperHierarchy:
+    """Coarsening hierarchy; ``levels[0]`` is the input hypergraph."""
+
+    levels: list[HyperLevel] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def coarsest(self) -> HGraph:
+        return self.levels[-1].hgraph
+
+    def project(self, assign_coarse: np.ndarray, level: int) -> np.ndarray:
+        """Project an assignment on ``levels[level]`` down to
+        ``levels[level-1]`` through the stored node map."""
+        if not 1 <= level < self.depth:
+            raise PartitionError(f"cannot project from level {level}")
+        node_map = self.levels[level].node_map
+        return np.asarray(assign_coarse, dtype=np.int64)[node_map]
+
+
+def build_hyper_hierarchy(
+    hg: HGraph,
+    coarsen_to: int = 100,
+    seed=None,
+    min_shrink: float = 0.02,
+) -> HyperHierarchy:
+    """Coarsen *hg* until it has at most *coarsen_to* nodes.
+
+    Stops early when a step shrinks the node count by less than
+    *min_shrink* (no useful matching left, e.g. one giant net).
+    """
+    if coarsen_to < 1:
+        raise PartitionError(f"coarsen_to must be >= 1, got {coarsen_to}")
+    rng = as_rng(seed)
+    hier = HyperHierarchy(levels=[HyperLevel(hgraph=hg, node_map=None)])
+    current = hg
+    while current.n > coarsen_to:
+        coarse, node_map = coarsen_hyper_once(current, seed=rng)
+        if coarse.n >= current.n * (1 - min_shrink):
+            break
+        hier.levels.append(HyperLevel(hgraph=coarse, node_map=node_map))
+        current = coarse
+    return hier

@@ -1,0 +1,378 @@
+"""Vectorized incremental state for connectivity-metric refinement.
+
+:class:`HyperRefinementState` generalises
+:class:`~repro.partition.refine_state.RefinementState` from graphs to
+hypergraphs.  In place of the per-node part-connectivity matrix it keeps
+the **pin-count matrix** ``Φ`` of shape ``(k, n_nets)``: ``Φ[p, e]`` is the
+number of net *e*'s pins currently assigned to part *p* — the KaHyPar-style
+state from which every connectivity quantity is one comparison away:
+
+* net connectivity ``λ(e) = |{p : Φ[p, e] > 0}|`` (tracked incrementally),
+* the (λ−1) objective ``Σ w_e (λ(e) − 1)``,
+* gain of moving *u* to *d*: a net contributes ``+w_e`` iff *u* is its last
+  pin in the source part, ``−w_e`` iff part *d* holds none of its pins yet,
+* the pairwise traffic matrix ``bw`` under root attribution (the net's
+  value travels from the root's part to each other connected part), whose
+  upper triangle sums to the objective — exactly the ``bw``/cut relation
+  the graph engine has, so the paper's ``Bmax`` cap carries over.
+
+A move costs **O(pins(u) + k)** amortised: each incident net updates two
+``Φ`` entries and at most two ``bw`` pairs, except when the *root* pin
+itself moves, which re-attributes that net's ≤ λ pairs.  The move trail,
+rollback, epoch counter and lexicographic ``(violation, cut, dest)`` move
+selection mirror the graph engine bit for bit — on a 2-pin-only hypergraph
+every tracked quantity and every chosen move is identical to
+``RefinementState`` (pinned by ``tests/test_hyper_differential.py``).
+
+Data-structure invariants are documented in ``docs/hypergraph.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.hgraph import HGraph
+from repro.hypergraph.metrics import check_hyper_assignment
+from repro.partition.metrics import ConstraintSpec, PartitionMetrics
+from repro.partition.refine_state import (
+    constrained_key,
+    metrics_from_matrices,
+    select_best_move,
+)
+from repro.util.errors import PartitionError
+
+__all__ = ["HyperRefinementState"]
+
+
+class HyperRefinementState:
+    """Mutable k-way assignment over a hypergraph with incremental Φ/bw.
+
+    Parameters
+    ----------
+    hg, assign, k:
+        Hypergraph, initial node→part assignment (validated, copied),
+        part count.
+
+    Notes
+    -----
+    All tracked quantities are exact under integer-valued weights; the
+    invariant suite (``tests/test_hyper_refine_invariants.py``) checks them
+    against from-scratch recomputation after every pass.
+    """
+
+    __slots__ = (
+        "hg",
+        "k",
+        "assign",
+        "phi",
+        "lam",
+        "part_weight",
+        "part_size",
+        "bw",
+        "_trail",
+        "_iu",
+        "_epoch",
+    )
+
+    def __init__(self, hg: HGraph, assign: np.ndarray, k: int) -> None:
+        self.hg = hg
+        self.k = int(k)
+        a = check_hyper_assignment(hg, assign, k).copy()
+        self.assign = a
+
+        pins, net_ids = hg.pin_arrays
+        phi = np.zeros((self.k, hg.n_nets), dtype=np.int64)
+        np.add.at(phi, (a[pins], net_ids), 1)
+        self.phi = phi
+        self.lam = (phi > 0).sum(axis=0)
+
+        pw = np.zeros(self.k, dtype=np.float64)
+        np.add.at(pw, a, hg.node_weights)
+        self.part_weight = pw
+        self.part_size = np.bincount(a, minlength=self.k)
+
+        bw = np.zeros((self.k, self.k), dtype=np.float64)
+        w = hg.net_weights
+        root_parts = a[hg.roots] if hg.n_nets else np.empty(0, dtype=np.int64)
+        for e in np.nonzero(self.lam > 1)[0]:
+            rp = int(root_parts[e])
+            we = float(w[e])
+            for p in np.nonzero(phi[:, e])[0]:
+                p = int(p)
+                if p != rp:
+                    bw[rp, p] += we
+                    bw[p, rp] += we
+        self.bw = bw
+
+        self._trail: list[tuple[int, int]] = []
+        self._iu = np.triu_indices(self.k, k=1)
+        self._epoch = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def cut(self) -> float:
+        """The (λ−1) connectivity objective (== triu of ``bw``)."""
+        return float(self.bw[self._iu].sum())
+
+    @property
+    def epoch(self) -> int:
+        """Monotone move counter (same caching contract as the graph engine)."""
+        return self._epoch
+
+    def connection_vector(self, u: int) -> np.ndarray:
+        """Summed weight of *u*'s nets with another pin in each part,
+        shape ``(k,)``.  Equals the graph engine's ``conn[:, u]`` on a
+        2-pin-only hypergraph."""
+        nets = self.hg.nets_of(u)
+        src = int(self.assign[u])
+        cu = np.zeros(self.k, dtype=np.float64)
+        if nets.size == 0:
+            return cu
+        phi_e = self.phi[:, nets]
+        mask = phi_e > 0
+        mask[src] = phi_e[src] > 1  # discount u's own pin
+        return mask @ self.hg.net_weights[nets]
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask of nodes incident to at least one cut net (λ > 1)."""
+        out = np.zeros(self.hg.n, dtype=bool)
+        pins, net_ids = self.hg.pin_arrays
+        out[pins[self.lam[net_ids] > 1]] = True
+        return out
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Sorted array of boundary-node ids."""
+        return np.nonzero(self.boundary_mask())[0]
+
+    def key(self, constraints: ConstraintSpec) -> tuple[float, float]:
+        """``(total violation, connectivity objective)`` — the FM key,
+        computed by the exact function the graph engine uses."""
+        return constrained_key(self.bw, self.part_weight, self._iu, constraints)
+
+    def metrics(self, constraints: ConstraintSpec | None = None) -> PartitionMetrics:
+        """:class:`PartitionMetrics` from the tracked matrices (no rescan)."""
+        constraints = constraints or ConstraintSpec()
+        return metrics_from_matrices(
+            self.bw, self.part_weight, self.k, constraints
+        )
+
+    # ------------------------------------------------------------------ #
+    # moves and rollback
+    # ------------------------------------------------------------------ #
+    def move(self, u: int, dest: int) -> None:
+        """Move node *u* to part *dest*, logging the move on the trail."""
+        src = self._move(u, dest)
+        if src >= 0:
+            self._trail.append((u, src))
+
+    def _move(self, u: int, dest: int) -> int:
+        """Unlogged move; returns the source part, or -1 for a no-op."""
+        src = int(self.assign[u])
+        dest = int(dest)
+        if not (0 <= dest < self.k):
+            raise PartitionError(f"destination part {dest} out of range")
+        if dest == src:
+            return -1
+        hg = self.hg
+        phi, bw, lam = self.phi, self.bw, self.lam
+        a = self.assign
+        w = hg.net_weights
+        roots = hg.roots
+        for e in hg.nets_of(u):
+            e = int(e)
+            we = float(w[e])
+            r = int(roots[e])
+            if r == u:
+                # the root moves with u: re-attribute every pair of this net
+                for p in np.nonzero(phi[:, e])[0]:
+                    p = int(p)
+                    if p != src:
+                        bw[src, p] -= we
+                        bw[p, src] -= we
+                phi[src, e] -= 1
+                phi[dest, e] += 1
+                if phi[src, e] == 0:
+                    lam[e] -= 1
+                if phi[dest, e] == 1:
+                    lam[e] += 1
+                for p in np.nonzero(phi[:, e])[0]:
+                    p = int(p)
+                    if p != dest:
+                        bw[dest, p] += we
+                        bw[p, dest] += we
+            else:
+                rp = int(a[r])
+                if phi[src, e] == 1 and src != rp:
+                    bw[src, rp] -= we
+                    bw[rp, src] -= we
+                if phi[dest, e] == 0 and dest != rp:
+                    bw[dest, rp] += we
+                    bw[rp, dest] += we
+                phi[src, e] -= 1
+                phi[dest, e] += 1
+                if phi[src, e] == 0:
+                    lam[e] -= 1
+                if phi[dest, e] == 1:
+                    lam[e] += 1
+        w_u = float(hg.node_weights[u])
+        self.part_weight[src] -= w_u
+        self.part_weight[dest] += w_u
+        self.part_size[src] -= 1
+        self.part_size[dest] += 1
+        a[u] = dest
+        self._epoch += 1
+        return src
+
+    def snapshot(self) -> int:
+        """Opaque mark of the current move-trail position."""
+        return len(self._trail)
+
+    def rollback(self, mark: int) -> None:
+        """Rewind to :meth:`snapshot` mark *mark*, undoing moves in reverse."""
+        if not (0 <= mark <= len(self._trail)):
+            raise PartitionError(
+                f"rollback mark {mark} outside trail of {len(self._trail)}"
+            )
+        while len(self._trail) > mark:
+            u, src = self._trail.pop()
+            self._move(u, src)
+
+    def clear_trail(self) -> None:
+        """Drop rollback history (call when a prefix is committed for good)."""
+        self._trail.clear()
+
+    def copy(self) -> "HyperRefinementState":
+        """Independent copy sharing only the immutable hypergraph."""
+        out = object.__new__(HyperRefinementState)
+        out.hg = self.hg
+        out.k = self.k
+        out.assign = self.assign.copy()
+        out.phi = self.phi.copy()
+        out.lam = self.lam.copy()
+        out.part_weight = self.part_weight.copy()
+        out.part_size = self.part_size.copy()
+        out.bw = self.bw.copy()
+        out._trail = list(self._trail)
+        out._iu = self._iu
+        out._epoch = 0
+        return out
+
+    # ------------------------------------------------------------------ #
+    # move evaluation
+    # ------------------------------------------------------------------ #
+    def move_deltas(
+        self, u: int, constraints: ConstraintSpec
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(violation_delta, cut_delta)`` of moving *u* to every part.
+
+        Shape ``(k,)`` each; entries at ``assign[u]`` are zero, negative
+        values are improvements.  The connectivity deltas are one masked
+        matrix-vector product; the bandwidth-violation deltas accumulate
+        the exact per-pair ``bw`` changes net by net and apply the
+        ``relu(· − Bmax)`` difference once per touched pair — the same
+        per-entry arithmetic as the graph engine, so the two agree exactly
+        on 2-pin-only hypergraphs with integer weights.
+        """
+        hg = self.hg
+        src = int(self.assign[u])
+        k = self.k
+        nets = hg.nets_of(u)
+        w = hg.net_weights[nets]
+        phi_e = self.phi[:, nets]  # (k, nE) gather
+        dv = np.zeros(k, dtype=np.float64)
+        # connectivity (cut) deltas: +w_e when dest holds no pin of e yet,
+        # -w_e when u is the last pin of e in src
+        leaves = float(w[phi_e[src] == 1].sum()) if nets.size else 0.0
+        dc = (phi_e == 0).astype(np.float64) @ w - leaves if nets.size else (
+            np.zeros(k, dtype=np.float64)
+        )
+        rmax, bmax = constraints.rmax, constraints.bmax
+        pw = self.part_weight
+        if np.isfinite(rmax):
+            w_u = float(hg.node_weights[u])
+            shed = max(0.0, pw[src] - w_u - rmax) - max(0.0, pw[src] - rmax)
+            dv += shed + (
+                np.maximum(pw + w_u - rmax, 0.0) - np.maximum(pw - rmax, 0.0)
+            )
+        if np.isfinite(bmax) and nets.size:
+            bw = self.bw
+            roots = hg.roots[nets]
+            root_parts = self.assign[roots]
+            # per net: the parts it currently touches (computed once)
+            touched = [np.nonzero(phi_e[:, j])[0] for j in range(nets.size)]
+            for dest in range(k):
+                if dest == src:
+                    continue
+                acc: dict[tuple[int, int], float] = {}
+                for j in range(nets.size):
+                    we = float(w[j])
+                    if int(roots[j]) == u:
+                        # root moves: pairs (src, p) die, pairs (dest, p) rise
+                        stays = phi_e[src, j] > 1
+                        for p in touched[j]:
+                            p = int(p)
+                            if p != src:
+                                key = (p, src) if p < src else (src, p)
+                                acc[key] = acc.get(key, 0.0) - we
+                            if (p != src or stays) and p != dest:
+                                key = (p, dest) if p < dest else (dest, p)
+                                acc[key] = acc.get(key, 0.0) + we
+                    else:
+                        rp = int(root_parts[j])
+                        if phi_e[src, j] == 1 and src != rp:
+                            key = (src, rp) if src < rp else (rp, src)
+                            acc[key] = acc.get(key, 0.0) - we
+                        if phi_e[dest, j] == 0 and dest != rp:
+                            key = (dest, rp) if dest < rp else (rp, dest)
+                            acc[key] = acc.get(key, 0.0) + we
+                v = 0.0
+                for (p, q), d in acc.items():
+                    if d != 0.0:
+                        old = bw[p, q]
+                        v += max(old + d - bmax, 0.0) - max(old - bmax, 0.0)
+                dv[dest] += v
+        dv[src] = 0.0
+        dc[src] = 0.0
+        return dv, dc
+
+    def best_move(
+        self, u: int, constraints: ConstraintSpec
+    ) -> tuple[float, float, int] | None:
+        """Best ``(violation_delta, cut_delta, dest)`` for node *u* under
+        the graph engine's candidate and tie-breaking rules."""
+        src = int(self.assign[u])
+        cu = self.connection_vector(u)
+        escape = bool(
+            np.isfinite(constraints.rmax)
+            and self.part_weight[src] > constraints.rmax
+        )
+        dv, dc = self.move_deltas(u, constraints)
+        return select_best_move(
+            self.k, dv.tolist(), dc.tolist(), cu.tolist(), src, escape
+        )
+
+    def best_moves(
+        self, nodes: np.ndarray, constraints: ConstraintSpec
+    ) -> list[tuple[float, float, int] | None]:
+        """:meth:`best_move` over *nodes* (order preserved)."""
+        return [self.best_move(int(u), constraints) for u in np.asarray(nodes)]
+
+    def recompute(self) -> None:
+        """Rebuild everything from scratch (tests/debugging only)."""
+        fresh = HyperRefinementState(self.hg, self.assign, self.k)
+        self.phi = fresh.phi
+        self.lam = fresh.lam
+        self.part_weight = fresh.part_weight
+        self.part_size = fresh.part_size
+        self.bw = fresh.bw
+        self._epoch += 1
+        self._trail.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"HyperRefinementState(n={self.hg.n}, nets={self.hg.n_nets}, "
+            f"k={self.k}, connectivity={self.cut:g}, "
+            f"boundary={int(self.boundary_mask().sum())})"
+        )

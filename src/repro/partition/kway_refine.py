@@ -42,6 +42,7 @@ __all__ = [
     "greedy_kway_refine",
     "rebalance_pass",
     "constrained_kway_fm",
+    "run_constrained_fm",
     "move_delta",
 ]
 
@@ -337,16 +338,44 @@ def constrained_kway_fm(
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
     a = check_assignment(g, assign, k)
     st = _as_state(g, a, k, state)
+    return run_constrained_fm(
+        st, g.n, g.neighbors, constraints,
+        max_passes=max_passes, seed=seed, abort_after=abort_after,
+    )
+
+
+def run_constrained_fm(
+    st,
+    n: int,
+    neighbors_of,
+    constraints: ConstraintSpec,
+    max_passes: int = 6,
+    seed=None,
+    abort_after: int | None = None,
+) -> np.ndarray:
+    """The constrained-FM pass discipline, engine-agnostic.
+
+    *st* is any refinement-state engine exposing the
+    :class:`~repro.partition.refine_state.RefinementState` move protocol
+    (``assign``/``part_weight``/``epoch``, ``boundary_nodes``, ``key``,
+    ``best_move``/``best_moves``, ``move``/``snapshot``/``rollback``/
+    ``clear_trail``); *neighbors_of(u)* returns the nodes whose gains a move
+    of *u* can change.  The graph engine passes ``g.neighbors``; the
+    hypergraph Φ engine passes ``HGraph.adjacent_nodes``.  Keeping one
+    driver means both objectives share move ordering, tie-breaking, queue
+    discipline and best-prefix recovery exactly — the 2-pin differential
+    parity between the two engines is a property of their states alone.
+    """
     rng = as_rng(seed)
     if abort_after is None:
-        abort_after = max(50, g.n // 10)
+        abort_after = max(50, n // 10)
 
     st.clear_trail()
     best_key = st.key(constraints)
     best_mark = st.snapshot()
 
     for _ in range(max_passes):
-        locked = np.zeros(g.n, dtype=bool)
+        locked = np.zeros(n, dtype=bool)
         start_key = st.key(constraints)
 
         queue = BucketQueue()
@@ -398,7 +427,7 @@ def constrained_kway_fm(
                 stagnant += 1
             if stagnant > abort_after:
                 break
-            nbrs = g.neighbors(u)
+            nbrs = neighbors_of(u)
             push_all(nbrs[~locked[nbrs]])
 
         # FM discipline: rewind to the best prefix seen so far

@@ -6,10 +6,18 @@ small portfolio: several configurations on the same instance, best result
 by the goodness order wins.  The portfolio never returns anything worse
 than its best member, so it safely wraps GP in pipelines that must not
 regress (at the cost of portfolio-size × runtime).
+
+``race_models`` extends the idea across *traffic models*: the same PPN is
+partitioned once through the 2-pin edge-cut flattening and once through
+the multicast-preserving hypergraph model, both candidates are scored on
+the hypergraph's connectivity metrics (the common currency — what the
+multicasts actually cost on the wire), and the goodness order picks the
+winner.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Sequence
 
 from repro.graph.wgraph import WGraph
@@ -21,7 +29,7 @@ from repro.util.errors import InfeasibleError, PartitionError
 from repro.util.rng import spawn_seeds
 from repro.util.stopwatch import Stopwatch
 
-__all__ = ["default_portfolio", "portfolio_partition"]
+__all__ = ["default_portfolio", "portfolio_partition", "race_models"]
 
 
 def default_portfolio() -> list[GPConfig]:
@@ -74,7 +82,7 @@ def portfolio_partition(
         member_cfg = (
             cfg
             if cfg.on_infeasible == "return"
-            else GPConfig(**{**cfg.__dict__, "on_infeasible": "return"})
+            else dataclasses.replace(cfg, on_infeasible="return")
         )
         res = gp_partition(g, k, constraints, member_cfg, seed=s)
         runs.append(
@@ -108,3 +116,86 @@ def portfolio_partition(
             best=result,
         )
     return result
+
+
+def race_models(
+    program_or_ppn,
+    k: int,
+    constraints: ConstraintSpec,
+    seed=None,
+    gp_config: GPConfig | None = None,
+    hyper_config=None,
+    bandwidth_scale: float = 1.0,
+) -> PartitionResult:
+    """Race the 2-pin edge-cut model against the hypergraph model on a PPN.
+
+    Both partitions are evaluated on the **hypergraph connectivity
+    metrics** — the (λ−1) traffic a multicast really generates — so the
+    goodness order compares like with like; the edge-cut candidate's own
+    (over-counted) metrics are kept in ``info["graph"]["edge_cut_metrics"]``
+    for reference.  The winner is returned with ``algorithm
+    "model-portfolio"`` and per-model summaries in ``info``.
+
+    Imports of the polyhedral/KPN substrates are deferred so the partition
+    package stays importable on its own.
+    """
+    from repro.hypergraph.metrics import evaluate_hyper_partition
+    from repro.hypergraph.partition import hyper_partition
+    from repro.kpn.traffic import ppn_to_mapped_graph
+    from repro.polyhedral.ppn import PPN, derive_ppn
+
+    ppn = (
+        program_or_ppn
+        if isinstance(program_or_ppn, PPN)
+        else derive_ppn(program_or_ppn)
+    )
+    s_graph, s_hyper = spawn_seeds(seed, 2)
+    hg, _names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
+
+    sw = Stopwatch().start()
+    g, _ = ppn_to_mapped_graph(ppn, mode="tokens", scale=bandwidth_scale)
+    member_cfg = gp_config or GPConfig()
+    if member_cfg.on_infeasible != "return":
+        member_cfg = dataclasses.replace(member_cfg, on_infeasible="return")
+    # members never raise: an infeasible model must still lose the race,
+    # not abort it
+    if hyper_config is not None and hyper_config.on_infeasible != "return":
+        hyper_config = dataclasses.replace(hyper_config, on_infeasible="return")
+    res_graph = gp_partition(g, k, constraints, member_cfg, seed=s_graph)
+    res_hyper = hyper_partition(
+        hg, k, constraints, config=hyper_config, seed=s_hyper
+    )
+    sw.stop()
+
+    # common currency: both assignments priced on the hypergraph
+    candidates = {
+        "graph": (
+            res_graph,
+            evaluate_hyper_partition(hg, res_graph.assign, k, constraints),
+        ),
+        "hypergraph": (res_hyper, res_hyper.metrics),
+    }
+    winner_name, (winner, winner_metrics) = min(
+        candidates.items(), key=lambda kv: goodness_key(kv[1][1], constraints)
+    )
+    info = {
+        "winner": winner_name,
+        "graph": {
+            "connectivity": candidates["graph"][1].cut,
+            "feasible": candidates["graph"][1].feasible,
+            "edge_cut_metrics": res_graph.metrics,
+        },
+        "hypergraph": {
+            "connectivity": candidates["hypergraph"][1].cut,
+            "feasible": candidates["hypergraph"][1].feasible,
+        },
+    }
+    return PartitionResult(
+        assign=winner.assign,
+        k=k,
+        metrics=winner_metrics,
+        algorithm="model-portfolio",
+        runtime=sw.elapsed,
+        constraints=constraints,
+        info=info,
+    )

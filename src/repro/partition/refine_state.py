@@ -45,9 +45,92 @@ from repro.partition.metrics import (
 )
 from repro.util.errors import PartitionError
 
-__all__ = ["RefinementState", "BucketQueue"]
+__all__ = [
+    "RefinementState",
+    "BucketQueue",
+    "select_best_move",
+    "constrained_key",
+    "metrics_from_matrices",
+]
 
 _EPS = 1e-12
+
+
+def constrained_key(
+    bw: np.ndarray,
+    part_weight: np.ndarray,
+    iu: tuple[np.ndarray, np.ndarray],
+    constraints: ConstraintSpec,
+) -> tuple[float, float]:
+    """``(total violation, cut)`` from tracked matrices — the FM best-prefix
+    key.  Shared by the graph engine and the hypergraph Φ engine so the
+    two can never drift apart (their 2-pin move-for-move parity depends on
+    computing this identically)."""
+    upper = bw[iu]
+    cut = float(upper.sum())
+    v = 0.0
+    if np.isfinite(constraints.rmax):
+        v += float(np.maximum(part_weight - constraints.rmax, 0.0).sum())
+    if np.isfinite(constraints.bmax):
+        v += float(np.maximum(upper - constraints.bmax, 0.0).sum())
+    return (v, cut)
+
+
+def metrics_from_matrices(
+    bw: np.ndarray,
+    part_weight: np.ndarray,
+    k: int,
+    constraints: ConstraintSpec,
+) -> PartitionMetrics:
+    """:class:`PartitionMetrics` from tracked matrices, no graph rescan.
+    Shared by both engines (see :func:`constrained_key`)."""
+    if np.isfinite(constraints.bmax):
+        bw_violation = float(
+            np.triu(np.maximum(bw - constraints.bmax, 0.0), k=1).sum()
+        )
+    else:
+        bw_violation = 0.0
+    if np.isfinite(constraints.rmax):
+        res_violation = float(
+            np.maximum(part_weight - constraints.rmax, 0.0).sum()
+        )
+    else:
+        res_violation = 0.0
+    return PartitionMetrics(
+        k=k,
+        cut=float(np.triu(bw, k=1).sum()),
+        max_local_bandwidth=float(bw.max()) if k > 1 else 0.0,
+        max_resource=float(part_weight.max()) if k > 0 else 0.0,
+        bandwidth_violation=bw_violation,
+        resource_violation=res_violation,
+    )
+
+
+def select_best_move(
+    k: int,
+    dv_row: list[float],
+    dc_row: list[float],
+    cu_row: list[float],
+    src: int,
+    escape: bool,
+) -> tuple[float, float, int] | None:
+    """Min ``(dv, dc, dest)`` over one node's candidate destinations.
+
+    Candidates are the parts the node already connects to (``cu_row > 0``),
+    widened to every part when *escape* is set (the over-``Rmax`` rule).
+    Shared by the graph engine and the hypergraph Φ engine so both pick
+    moves under exactly the same lexicographic tie-breaking.
+    """
+    best = None
+    for dest in range(k):
+        if dest == src:
+            continue
+        if not escape and cu_row[dest] <= 0.0:
+            continue
+        key = (dv_row[dest], dc_row[dest], dest)
+        if best is None or key < best:
+            best = key
+    return best
 
 
 class BucketQueue:
@@ -201,39 +284,14 @@ class RefinementState:
     def key(self, constraints: ConstraintSpec) -> tuple[float, float]:
         """``(total violation, cut)`` — the FM best-prefix key — computed
         from one gather of the upper bandwidth triangle."""
-        upper = self.bw[self._iu]
-        cut = float(upper.sum())
-        v = 0.0
-        if np.isfinite(constraints.rmax):
-            v += float(
-                np.maximum(self.part_weight - constraints.rmax, 0.0).sum()
-            )
-        if np.isfinite(constraints.bmax):
-            v += float(np.maximum(upper - constraints.bmax, 0.0).sum())
-        return (v, cut)
+        return constrained_key(self.bw, self.part_weight, self._iu, constraints)
 
     def metrics(self, constraints: ConstraintSpec | None = None) -> PartitionMetrics:
         """:class:`PartitionMetrics` from the tracked matrices — no graph
         rescan (the whole point of the incremental engine)."""
         constraints = constraints or ConstraintSpec()
-        b, w, k = self.bw, self.part_weight, self.k
-        if np.isfinite(constraints.bmax):
-            bw_violation = float(
-                np.triu(np.maximum(b - constraints.bmax, 0.0), k=1).sum()
-            )
-        else:
-            bw_violation = 0.0
-        if np.isfinite(constraints.rmax):
-            res_violation = float(np.maximum(w - constraints.rmax, 0.0).sum())
-        else:
-            res_violation = 0.0
-        return PartitionMetrics(
-            k=k,
-            cut=float(np.triu(b, k=1).sum()),
-            max_local_bandwidth=float(b.max()) if k > 1 else 0.0,
-            max_resource=float(w.max()) if k > 0 else 0.0,
-            bandwidth_violation=bw_violation,
-            resource_violation=res_violation,
+        return metrics_from_matrices(
+            self.bw, self.part_weight, self.k, constraints
         )
 
     # ------------------------------------------------------------------ #
@@ -429,16 +487,7 @@ class RefinementState:
         escape: bool,
     ) -> tuple[float, float, int] | None:
         """Min ``(dv, dc, dest)`` over the candidate destinations of one node."""
-        best = None
-        for dest in range(self.k):
-            if dest == src:
-                continue
-            if not escape and cu_row[dest] <= 0.0:
-                continue
-            key = (dv_row[dest], dc_row[dest], dest)
-            if best is None or key < best:
-                best = key
-        return best
+        return select_best_move(self.k, dv_row, dc_row, cu_row, src, escape)
 
     def best_move(
         self, u: int, constraints: ConstraintSpec

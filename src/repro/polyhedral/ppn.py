@@ -160,6 +160,96 @@ class PPN:
         g = WGraph(self.n_processes, edges, node_weights=node_weights)
         return g, [p.name for p in self.processes]
 
+    def to_hypergraph(self, bandwidth_scale: float = 1.0):
+        """Export as a hypergraph: one net per producer **token set**.
+
+        The graph export flattens a multicast (one value read by several
+        consumers, e.g. the LU pivot-row broadcast) into one 2-pin edge per
+        consumer, over-counting inter-FPGA traffic.  Here the channels of
+        each ``(producer, array)`` group become **one hyperedge** whose
+        pins are the producer (the net's root) and its consumers, weighted
+        by the number of *distinct values* produced — under the (λ−1)
+        connectivity metric a value is then charged once per extra
+        partition it reaches, not once per consumer.
+
+        Groups whose consumers read pairwise-disjoint token sets (scatter,
+        e.g. a split/merge distributor) carry no shared data and stay as
+        2-pin nets, as do single-consumer channels; channels without
+        recorded dependence pairs fall back to ``token_count`` weights.
+        Self-loop traffic is dropped as in :meth:`to_wgraph`.
+
+        Returns ``(hgraph, names)`` with ``names[i]`` the process name of
+        node *i*.  Weights are scaled by *bandwidth_scale* and ceiled to
+        integers (the paper's integral bandwidth units).
+        """
+        import math
+
+        from repro.hypergraph.hgraph import HGraph
+
+        index = self.process_index()
+        groups: dict[tuple[str, str], list[Channel]] = {}
+        for ch in self.channels:
+            groups.setdefault((ch.src, ch.array), []).append(ch)
+
+        def scaled(w: float) -> float:
+            return float(math.ceil(w * bandwidth_scale))
+
+        nets: list[tuple[list[int], float]] = []
+        for (src, _array), chans in sorted(groups.items()):
+            root = index[src]
+            # self-loop channels never cross FPGAs: drop them before the
+            # value-set union, or intra-process-only values would inflate
+            # multicast weights and mask genuine scatters
+            chans = [ch for ch in chans if ch.dst != ch.src]
+            if not chans:
+                continue
+            # per-consumer value sets (a consumer may own several parallel
+            # channels; sharing is judged *between* consumers, never within
+            # one, or intra-consumer overlap would fake a multicast)
+            consumer_values: dict[int, set[int] | None] = {}
+            consumer_tokens: dict[int, int] = {}
+            for ch in chans:
+                dst = index[ch.dst]
+                consumer_tokens[dst] = (
+                    consumer_tokens.get(dst, 0) + ch.token_count
+                )
+                vals = (
+                    {wf for wf, _ in ch.dependence.pairs}
+                    if ch.dependence is not None and ch.dependence.pairs
+                    else None
+                )
+                if vals is None or consumer_values.get(dst, set()) is None:
+                    consumer_values[dst] = None
+                elif dst in consumer_values:
+                    consumer_values[dst] |= vals
+                else:
+                    consumer_values[dst] = vals
+            consumers = sorted(consumer_values)
+            have_pairs = all(s is not None for s in consumer_values.values())
+            if have_pairs:
+                union = set().union(*consumer_values.values())
+                disjoint = len(union) == sum(
+                    len(s) for s in consumer_values.values()
+                )
+            else:
+                union, disjoint = set(), True
+            if len(consumers) >= 2 and have_pairs and not disjoint:
+                # genuine multicast: one net, root first
+                w = scaled(len(union))
+                if w > 0:
+                    nets.append(([root] + consumers, w))
+                continue
+            # scatter / single consumer / no dependence info: 2-pin nets
+            for dst in consumers:
+                vals = consumer_values[dst]
+                volume = len(vals) if vals is not None else consumer_tokens[dst]
+                w = scaled(volume)
+                if w > 0:
+                    nets.append(([root, dst], w))
+        node_weights = [p.resources for p in self.processes]
+        hg = HGraph(self.n_processes, nets, node_weights=node_weights)
+        return hg, [p.name for p in self.processes]
+
     def __repr__(self) -> str:
         return (
             f"PPN({self.name!r}, processes={self.n_processes}, "

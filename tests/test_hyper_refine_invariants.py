@@ -1,0 +1,237 @@
+"""Property-based invariants of the Φ pin-count refinement engine,
+mirroring ``tests/test_refine_invariants.py`` for the hypergraph case:
+
+1. :class:`~repro.hypergraph.refine_state.HyperRefinementState`'s
+   incrementally maintained Φ / λ / bw / part-weight / boundary quantities
+   equal a from-scratch recomputation after arbitrary move sequences and
+   after whole FM passes,
+2. the move trail rewinds exactly (rollback is the inverse of the applied
+   move sequence),
+3. ``move_deltas`` equals the measured before/after difference for every
+   destination, and
+4. the constrained FM pass never worsens the goodness key.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import multicast_network
+from repro.hypergraph import (
+    HyperRefinementState,
+    connectivity_objective,
+    constrained_hyper_fm,
+    evaluate_hyper_partition,
+    hyper_bandwidth_matrix,
+    pin_count_matrix,
+)
+from repro.partition.goodness import goodness_key
+from repro.partition.metrics import ConstraintSpec
+from repro.util.errors import PartitionError
+from repro.util.rng import as_rng
+
+
+def _hg(seed, n=20, fanout=5):
+    return multicast_network(
+        n, seed=seed, fanout=fanout, node_weight_range=(1, 5),
+        chain_weight_range=(1, 3), broadcast_weight_range=(4, 12),
+    )
+
+
+def _assert_state_consistent(state: HyperRefinementState) -> None:
+    """Incremental quantities must equal a from-scratch rebuild."""
+    hg, k, a = state.hg, state.k, state.assign
+    np.testing.assert_array_equal(state.phi, pin_count_matrix(hg, a, k))
+    np.testing.assert_array_equal(
+        state.lam, (state.phi > 0).sum(axis=0)
+    )
+    np.testing.assert_allclose(
+        state.bw, hyper_bandwidth_matrix(hg, a, k), atol=1e-9
+    )
+    pw = np.zeros(k)
+    np.add.at(pw, a, hg.node_weights)
+    np.testing.assert_allclose(state.part_weight, pw, atol=1e-9)
+    np.testing.assert_array_equal(state.part_size, np.bincount(a, minlength=k))
+    fresh = HyperRefinementState(hg, a, k)
+    np.testing.assert_array_equal(
+        state.boundary_nodes(), fresh.boundary_nodes()
+    )
+
+
+class TestPhiIncrementalEqualsScratch:
+    @given(seed=st.integers(0, 4000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_move_sequences(self, seed):
+        rng = as_rng(seed)
+        n, k = 20, 4
+        hg = _hg(seed, n=n)
+        state = HyperRefinementState(hg, rng.integers(0, k, size=n), k)
+        cons = ConstraintSpec(bmax=12.0, rmax=float(hg.total_node_weight) / 3)
+        for _ in range(15):
+            state.move(int(rng.integers(0, n)), int(rng.integers(0, k)))
+        _assert_state_consistent(state)
+        m_inc = state.metrics(cons)
+        m_ref = evaluate_hyper_partition(hg, state.assign, k, cons)
+        assert m_inc.cut == pytest.approx(m_ref.cut, abs=1e-9)
+        assert m_inc.total_violation == pytest.approx(
+            m_ref.total_violation, abs=1e-9
+        )
+        assert state.cut == connectivity_objective(hg, state.assign, k)
+        assert state.key(cons) == pytest.approx(
+            (m_ref.total_violation, m_ref.cut), abs=1e-9
+        )
+
+    @given(seed=st.integers(0, 4000))
+    @settings(max_examples=20, deadline=None)
+    def test_state_consistent_after_fm_pass(self, seed):
+        rng = as_rng(seed)
+        n, k = 18, 3
+        hg = _hg(seed, n=n, fanout=4)
+        a = rng.integers(0, k, size=n)
+        cons = ConstraintSpec(
+            bmax=10.0, rmax=1.2 * hg.total_node_weight / k
+        )
+        state = HyperRefinementState(hg, a, k)
+        out = constrained_hyper_fm(
+            hg, a, k, cons, max_passes=2, seed=seed, state=state
+        )
+        np.testing.assert_array_equal(out, state.assign)
+        _assert_state_consistent(state)
+
+    @given(seed=st.integers(0, 4000))
+    @settings(max_examples=25, deadline=None)
+    def test_move_deltas_match_actual_move(self, seed):
+        """The (violation, cut) deltas equal the measured before/after
+        difference for every destination — including root-pin moves."""
+        rng = as_rng(seed)
+        n, k = 16, 4
+        hg = _hg(seed, n=n)
+        state = HyperRefinementState(hg, rng.integers(0, k, size=n), k)
+        cons = ConstraintSpec(bmax=8.0, rmax=float(hg.total_node_weight) / 3)
+        u = int(rng.integers(0, n))
+        dv, dc = state.move_deltas(u, cons)
+        v0, c0 = state.key(cons)
+        for dest in range(k):
+            trial = state.copy()
+            trial.move(u, dest)
+            v1, c1 = trial.key(cons)
+            assert dv[dest] == pytest.approx(v1 - v0, abs=1e-9), dest
+            assert dc[dest] == pytest.approx(c1 - c0, abs=1e-9), dest
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_boundary_matches_bruteforce(self, seed):
+        rng = as_rng(seed)
+        n, k = 15, 3
+        hg = _hg(seed, n=n, fanout=4)
+        a = rng.integers(0, k, size=n)
+        state = HyperRefinementState(hg, a, k)
+        expect = set()
+        for e in range(hg.n_nets):
+            parts = {int(a[p]) for p in hg.pins_of(e)}
+            if len(parts) > 1:
+                expect.update(int(p) for p in hg.pins_of(e))
+        assert set(state.boundary_nodes().tolist()) == expect
+
+
+class TestRollback:
+    def test_rollback_restores_everything(self):
+        hg = _hg(9, n=18)
+        rng = as_rng(7)
+        state = HyperRefinementState(hg, rng.integers(0, 3, size=18), 3)
+        before = state.copy()
+        mark = state.snapshot()
+        for _ in range(12):
+            state.move(int(rng.integers(0, 18)), int(rng.integers(0, 3)))
+        state.rollback(mark)
+        np.testing.assert_array_equal(state.assign, before.assign)
+        np.testing.assert_array_equal(state.phi, before.phi)
+        np.testing.assert_array_equal(state.lam, before.lam)
+        np.testing.assert_allclose(state.bw, before.bw, atol=1e-9)
+        np.testing.assert_array_equal(state.part_size, before.part_size)
+
+    def test_partial_rollback(self):
+        hg = _hg(3, n=12)
+        state = HyperRefinementState(hg, np.arange(12) % 2, 2)
+        state.move(0, 1)
+        mid = state.snapshot()
+        mid_assign = state.assign.copy()
+        state.move(1, 1)
+        state.move(2, 1)
+        state.rollback(mid)
+        np.testing.assert_array_equal(state.assign, mid_assign)
+        _assert_state_consistent(state)
+
+    def test_bad_mark_rejected(self):
+        hg = _hg(0, n=8, fanout=3)
+        state = HyperRefinementState(hg, np.zeros(8, dtype=np.int64), 2)
+        with pytest.raises(PartitionError):
+            state.rollback(5)
+
+
+class TestPassesNeverWorsen:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_hyper_fm_never_worsens_goodness(self, seed):
+        rng = as_rng(seed)
+        n, k = 18, 3
+        hg = _hg(seed, n=n)
+        a = rng.integers(0, k, size=n)
+        cons = ConstraintSpec(
+            bmax=9.0, rmax=float(round(1.2 * hg.total_node_weight / k))
+        )
+        out = constrained_hyper_fm(hg, a, k, cons, seed=seed)
+        assert out.shape == (n,) and out.min() >= 0 and out.max() < k
+        key_in = goodness_key(evaluate_hyper_partition(hg, a, k, cons), cons)
+        key_out = goodness_key(evaluate_hyper_partition(hg, out, k, cons), cons)
+        assert key_out <= key_in
+
+
+class TestStateThreading:
+    def test_state_mismatch_rejected(self):
+        hg1, hg2 = _hg(0), _hg(1)
+        a = np.zeros(20, dtype=np.int64)
+        state = HyperRefinementState(hg2, a, 2)
+        with pytest.raises(PartitionError):
+            constrained_hyper_fm(hg1, a, 2, ConstraintSpec(), state=state)
+
+    def test_stale_assignment_rejected(self):
+        hg = _hg(0)
+        a = np.zeros(20, dtype=np.int64)
+        state = HyperRefinementState(hg, a, 2)
+        state.move(0, 1)
+        with pytest.raises(PartitionError):
+            constrained_hyper_fm(hg, a, 2, ConstraintSpec(), state=state)
+
+
+class TestEdgeCases:
+    def test_single_part(self):
+        hg = _hg(0, n=10, fanout=3)
+        a = np.zeros(10, dtype=np.int64)
+        state = HyperRefinementState(hg, a, 1)
+        assert state.cut == 0.0
+        assert state.boundary_nodes().size == 0
+
+    def test_netless_hypergraph(self):
+        from repro.hypergraph import HGraph
+
+        hg = HGraph(5, [], node_weights=[2, 1, 1, 1, 1])
+        a = np.array([0, 0, 1, 1, 1])
+        state = HyperRefinementState(hg, a, 2)
+        assert state.cut == 0.0
+        assert state.boundary_nodes().size == 0
+        out = constrained_hyper_fm(
+            hg, a, 2, ConstraintSpec(bmax=1.0, rmax=100.0), seed=0
+        )
+        np.testing.assert_array_equal(out, a)
+
+    def test_zero_weight_net_keeps_boundary_exact(self):
+        """Boundary membership is by pin adjacency, not weight: a
+        zero-weight crossing net still marks its pins as boundary."""
+        from repro.hypergraph import HGraph
+
+        hg = HGraph(4, [((0, 1), 0.0), ((2, 3), 5.0)])
+        a = np.array([0, 1, 0, 0])
+        state = HyperRefinementState(hg, a, 2)
+        assert set(state.boundary_nodes().tolist()) == {0, 1}

@@ -102,6 +102,94 @@ class TestMetisIO:
             parse_metis("2 1 100\n1 2\n1 1\n")
 
 
+class TestHmetisIO:
+    def _hg(self):
+        from repro.hypergraph import HGraph
+
+        return HGraph(
+            5,
+            [((0, 1, 2), 7.0), ((2, 3), 2.0), ((4, 0, 3), 3.0)],
+            node_weights=[10, 20, 30, 40, 50],
+        )
+
+    def test_roundtrip_weighted(self):
+        from repro.graph.metisio import parse_hmetis, render_hmetis
+
+        hg = self._hg()
+        back = parse_hmetis(render_hmetis(hg))
+        assert back == hg
+        np.testing.assert_array_equal(back.roots, hg.roots)
+
+    def test_roundtrip_unweighted(self):
+        from repro.graph.metisio import parse_hmetis, render_hmetis
+        from repro.hypergraph import HGraph
+
+        hg = HGraph(4, [((0, 1, 2), 1.0), ((2, 3), 1.0)])
+        text = render_hmetis(hg)
+        assert text.splitlines()[0] == "2 4"  # no fmt flag needed
+        assert parse_hmetis(text) == hg
+
+    def test_header_fmt_flags(self):
+        from repro.graph.metisio import render_hmetis
+
+        assert render_hmetis(self._hg()).splitlines()[0] == "3 5 11"
+
+    def test_root_pin_written_first(self):
+        from repro.graph.metisio import render_hmetis
+        from repro.hypergraph import HGraph
+
+        hg = HGraph(4, [((2, 0, 1), 5.0)], node_weights=[1, 1, 1, 1])
+        net_line = render_hmetis(hg).splitlines()[1].split()
+        assert net_line == ["5", "3", "1", "2"]  # weight, root 2 first
+
+    def test_comment_emitted_and_ignored(self):
+        from repro.graph.metisio import parse_hmetis, render_hmetis
+
+        hg = self._hg()
+        text = render_hmetis(hg, comment="multicast instance")
+        assert text.startswith("% multicast instance")
+        assert parse_hmetis(text) == hg
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.graph.metisio import load_hmetis, save_hmetis
+
+        hg = self._hg()
+        p = tmp_path / "h.hgr"
+        save_hmetis(hg, p)
+        assert load_hmetis(p) == hg
+
+    def test_generator_roundtrip(self):
+        from repro.graph import multicast_network
+        from repro.graph.metisio import parse_hmetis, render_hmetis
+
+        hg = multicast_network(25, seed=9, fanout=5)
+        back = parse_hmetis(render_hmetis(hg))
+        assert back == hg
+        np.testing.assert_array_equal(back.roots, hg.roots)
+
+    def test_bad_headers_rejected(self):
+        from repro.graph.metisio import parse_hmetis
+
+        with pytest.raises(GraphError):
+            parse_hmetis("")
+        with pytest.raises(GraphError):
+            parse_hmetis("nope\n")
+        with pytest.raises(GraphError):
+            parse_hmetis("1 2 7\n1 2\n")  # bad fmt
+        with pytest.raises(GraphError):
+            parse_hmetis("2 3\n1 2\n")  # missing net line
+        with pytest.raises(GraphError):
+            parse_hmetis("1 2\n1 5\n")  # pin out of range
+
+    def test_fractional_weights_rejected_on_write(self):
+        from repro.graph.metisio import render_hmetis
+        from repro.hypergraph import HGraph
+
+        hg = HGraph(3, [((0, 1), 1.5)])
+        with pytest.raises(GraphError):
+            render_hmetis(hg)
+
+
 class TestCLI:
     def _write_graph(self, tmp_path):
         g = random_process_network(12, 26, seed=3, node_weight_range=(10, 40))
