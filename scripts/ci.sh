@@ -7,7 +7,11 @@
 # from functional failures and can't hide behind -x; stage 3 re-runs the
 # hypergraph subsystem suite explicitly — structure, Φ invariants and the
 # 2-pin differential corpus — so a connectivity-engine regression is named
-# in the CI log even when stage 1 already caught it.
+# in the CI log even when stage 1 already caught it; stage 4 re-runs the
+# parallel-execution differential suite with real worker processes
+# (REPRO_TEST_JOBS=2: parallel==serial bit-identity, cache behaviour,
+# vectorized-vs-legacy coarsening) so a determinism break is named even
+# when stage 1 already caught it.
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -26,5 +30,10 @@ python -m pytest -q \
   tests/test_hypergraph.py \
   tests/test_hyper_refine_invariants.py \
   tests/test_hyper_differential.py
+
+echo "== stage 4: parallel differential suite (n_jobs=2) =="
+REPRO_TEST_JOBS=2 python -m pytest -q \
+  tests/test_parallel_portfolio.py \
+  tests/test_coarsen_vectorized.py
 
 echo "CI OK"

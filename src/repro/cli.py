@@ -98,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(hypergraph; .hgr inputs load natively, graphs are lifted)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes racing GP's retry cycles "
+                        "(-1 = all CPUs; results are bit-identical to "
+                        "--jobs 1, only faster; --method gp with "
+                        "--model graph only)")
     p.add_argument("--compare", action="store_true",
                    help="also run the METIS-like baseline and compare")
     p.add_argument("--dot", metavar="FILE", help="write partitioned DOT here")
@@ -137,6 +142,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"--model hypergraph supports --method gp/hyper, "
                 f"got {args.method!r}"
+            )
+        if args.jobs not in (None, 1):
+            raise ReproError(
+                "--jobs applies to --model graph with --method gp only"
             )
         if args.dot:
             raise ReproError(
@@ -178,9 +187,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print(f"wrote {args.assign_out}")
         return 0 if result.feasible or constraints.unconstrained else 2
     g = _load_graph(args.input)
+    if args.jobs not in (None, 1) and args.method != "gp":
+        raise ReproError("--jobs applies to --method gp only")
     result = partition_graph(
         g, args.k, bmax=args.bmax, rmax=args.rmax,
-        method=args.method, seed=args.seed,
+        method=args.method, seed=args.seed, n_jobs=args.jobs,
     )
     results = [result]
     if args.compare and args.method != "mlkp":

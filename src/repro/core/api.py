@@ -57,6 +57,7 @@ def partition_graph(
     method: str = "gp",
     seed=None,
     config: GPConfig | HyperConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> PartitionResult:
     """Partition *g* into *k* parts under the paper's two constraints.
 
@@ -65,14 +66,27 @@ def partition_graph(
     ``"exact"`` (≤20 nodes, constraints enforced), or ``"hyper"`` (the
     connectivity-metric multilevel partitioner on the 2-pin hypergraph
     lift; takes a :class:`~repro.hypergraph.partition.HyperConfig`).
+
+    *n_jobs* races GP's randomized retry cycles across worker processes
+    (``-1`` = all CPUs); results are bit-identical for every value (see
+    ``docs/parallel.md``).  It is honoured by ``method="gp"`` — the other
+    methods are deterministic single-pass algorithms with nothing
+    independent to race — and rejected with any other method to keep the
+    knob honest.
     """
     constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
+    if n_jobs not in (None, 1) and method != "gp":
+        raise PartitionError(
+            f"n_jobs is only supported by method='gp', got method={method!r}"
+        )
     if method == "gp":
         if config is not None and not isinstance(config, GPConfig):
             raise PartitionError(
                 f"method='gp' takes a GPConfig, got {type(config).__name__}"
             )
-        return gp_partition(g, k, constraints, config=config, seed=seed)
+        return gp_partition(
+            g, k, constraints, config=config, seed=seed, n_jobs=n_jobs
+        )
     if method == "mlkp":
         return mlkp_partition(g, k, seed=seed, constraints=constraints)
     if method == "spectral":
@@ -104,6 +118,7 @@ def partition_ppn(
     bandwidth_scale: float = 1.0,
     seed=None,
     config: GPConfig | HyperConfig | None = None,
+    n_jobs: int | None = 1,
 ) -> tuple[PartitionResult, WGraph | HGraph, list[str]]:
     """Derive (if needed), weight, and partition a process network.
 
@@ -112,6 +127,10 @@ def partition_ppn(
     ``model="hypergraph"`` multicast channels stay hyperedges and the
     connectivity-metric partitioner runs (*method* must be ``"gp"`` or
     ``"hyper"``; only ``bandwidth_mode="tokens"`` weights exist for nets).
+
+    *n_jobs* is forwarded to :func:`partition_graph` (GP cycle racing;
+    ``model="graph"`` + ``method="gp"`` only — the hypergraph path
+    rejects it like every non-GP method).
 
     Returns ``(result, mapping_structure, names)`` — the second element is
     the :class:`WGraph` or :class:`HGraph` that was partitioned, and
@@ -140,6 +159,10 @@ def partition_ppn(
                 "model='hypergraph' takes a HyperConfig, got "
                 f"{type(config).__name__}"
             )
+        if n_jobs not in (None, 1):
+            raise PartitionError(
+                "n_jobs is only supported by model='graph' with method='gp'"
+            )
         hg, names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
         constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
         result = hyper_partition(hg, k, constraints, config=config, seed=seed)
@@ -148,7 +171,8 @@ def partition_ppn(
         ppn, mode=bandwidth_mode, scale=bandwidth_scale
     )
     result = partition_graph(
-        g, k, bmax=bmax, rmax=rmax, method=method, seed=seed, config=config
+        g, k, bmax=bmax, rmax=rmax, method=method, seed=seed, config=config,
+        n_jobs=n_jobs,
     )
     return result, g, names
 

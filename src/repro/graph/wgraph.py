@@ -58,6 +58,7 @@ class WGraph:
         "_indices",
         "_weights",
         "_adj_edge_id",
+        "_digest",
     )
 
     def __init__(
@@ -141,6 +142,90 @@ class WGraph:
         self._adj_edge_id = adj_edge_id
         for a in (indptr, indices, weights, adj_edge_id):
             a.setflags(write=False)
+        self._digest: str | None = None
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        n: int,
+        eu: np.ndarray,
+        ev: np.ndarray,
+        ew: np.ndarray,
+        node_weights: np.ndarray,
+    ) -> "WGraph":
+        """Fast construction from already-canonical edge arrays.
+
+        The caller guarantees what ``__init__`` normally establishes:
+        ``eu[i] < ev[i]``, pairs strictly lexicographically sorted and
+        unique, endpoints in range, weights finite and non-negative.  The
+        CSR layout built here is element-for-element identical to the one
+        ``__init__`` builds from the same edges (each node's adjacency is
+        ordered by ascending canonical edge id), which the coarsening
+        differential tests assert.  Internal use only — contraction and
+        other hot paths that produce canonical arrays by construction.
+        """
+        self = object.__new__(cls)
+        self._n = int(n)
+        nw = np.ascontiguousarray(node_weights, dtype=np.float64).copy()
+        if nw.shape != (self._n,):
+            raise GraphError(f"expected {self._n} node weights, got {nw.shape}")
+        self._node_weights = nw
+        eu = np.ascontiguousarray(eu, dtype=np.int64)
+        ev = np.ascontiguousarray(ev, dtype=np.int64)
+        ew = np.ascontiguousarray(ew, dtype=np.float64).copy()
+        m = eu.size
+        self._edge_u, self._edge_v, self._edge_w = eu, ev, ew
+
+        deg = np.bincount(eu, minlength=self._n) + np.bincount(
+            ev, minlength=self._n
+        )
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        # directed entries: edge i contributes (u -> v) and (v -> u); sorting
+        # by (endpoint, edge id) reproduces __init__'s fill order exactly
+        ends = np.concatenate([eu, ev])
+        partners = np.concatenate([ev, eu])
+        eid = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.lexsort((eid, ends))
+        self._indices = partners[order]
+        self._weights = np.concatenate([ew, ew])[order]
+        self._adj_edge_id = eid[order]
+        self._indptr = indptr
+        for a in (
+            self._node_weights,
+            eu,
+            ev,
+            ew,
+            self._indptr,
+            self._indices,
+            self._weights,
+            self._adj_edge_id,
+        ):
+            a.setflags(write=False)
+        self._digest = None
+        return self
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the full graph content (structure + weights).
+
+        Two graphs compare ``==`` iff their digests agree, so the digest is
+        a safe dictionary key for memoising partitioning results (see
+        :class:`repro.util.parallel.KeyedCache`).  Computed lazily, cached.
+        """
+        if self._digest is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(str(self._n).encode())
+            for a in (
+                self._node_weights,
+                self._edge_u,
+                self._edge_v,
+                self._edge_w,
+            ):
+                h.update(np.ascontiguousarray(a).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # ------------------------------------------------------------------ #
     # basic accessors

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hypergraph.hgraph import HGraph
+from repro.partition.coarsen import greedy_match_by_rank
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng
 
@@ -37,10 +38,22 @@ __all__ = [
     "build_hyper_hierarchy",
 ]
 
+#: The vectorized matching materialises every ordered pin pair, Σ|e|²
+#: entries at once, across roughly eight int64/float64 arrays (~64 bytes
+#: per pair at peak, so this bound caps the transient at a few hundred
+#: MB); past it the exact per-node loop runs instead (identical output,
+#: O(max net) working memory — giant broadcast nets must not OOM the
+#: machine the legacy loop handled).
+_MAX_PAIR_ENTRIES = 5_000_000
 
-def heavy_pin_matching(hg: HGraph, seed=None) -> np.ndarray:
-    """Heavy-edge matching by pair rating: ``match[u] == v`` iff paired."""
-    rng = as_rng(seed)
+
+def _heavy_pin_matching_loop(hg: HGraph, rng) -> np.ndarray:
+    """Sequential form of :func:`heavy_pin_matching` (same output).
+
+    Bounded-memory fallback for pathological Σ|e|² instances; the
+    vectorized kernel is pinned to this process by the differential
+    suite, so dispatching between them can never change a matching.
+    """
     match = np.arange(hg.n, dtype=np.int64)
     matched = np.zeros(hg.n, dtype=bool)
     w = hg.net_weights
@@ -61,11 +74,84 @@ def heavy_pin_matching(hg: HGraph, seed=None) -> np.ndarray:
                     rating[v] = rating.get(v, 0.0) + r
         if not rating:
             continue
-        # highest rating first, smallest id breaks ties
         v = min(rating, key=lambda x: (-rating[x], x))
         match[u], match[v] = v, u
         matched[u] = matched[v] = True
     return match
+
+
+def heavy_pin_matching(hg: HGraph, seed=None) -> np.ndarray:
+    """Heavy-edge matching by pair rating: ``match[u] == v`` iff paired.
+
+    The pair rating ``r(u, v)`` is *static* — it never depends on which
+    nodes are already matched — so the sequential process (visit nodes in
+    a seeded random order; pair each unmatched node with its best-rated
+    unmatched partner, ties to the smaller id) is a greedy over a fixed
+    priority order and vectorizes via the locally-dominant rounds kernel
+    (:func:`repro.partition.coarsen.greedy_match_by_rank`).  Ratings are
+    accumulated in ascending-net order per pair, reproducing the float
+    sums of the per-node dict reference exactly
+    (``benchmarks._legacy_coarsen.heavy_pin_matching_legacy``).
+
+    The array formulation holds all Σ|e|² ordered pin pairs at once;
+    instances past ``_MAX_PAIR_ENTRIES`` (a few giant broadcast nets)
+    take the bounded-memory sequential path instead — same matching
+    either way.
+    """
+    rng = as_rng(seed)
+    match = np.arange(hg.n, dtype=np.int64)
+    if hg.n == 0:
+        return match
+    pins, net_ids = hg.pin_arrays
+    sizes_all = np.bincount(net_ids, minlength=hg.n_nets)
+    big = sizes_all[sizes_all >= 2]
+    if float((big.astype(np.float64) ** 2).sum()) > _MAX_PAIR_ENTRIES:
+        return _heavy_pin_matching_loop(hg, rng)
+    visit = rng.permutation(hg.n)
+    if pins.size == 0:
+        return match
+    keep = sizes_all[net_ids] >= 2  # single-pin nets rate nothing
+    p, e = pins[keep], net_ids[keep]
+    if p.size == 0:
+        return match
+    kept_nets = np.unique(e)  # ascending net ids
+    s = sizes_all[kept_nets]
+    b = np.zeros(s.size, dtype=np.int64)
+    np.cumsum(s[:-1], out=b[1:])
+    # all ordered pin pairs per net (diagonal filtered below); per-pair
+    # rating contribution w_e / (|e| - 1)
+    s2 = s * s
+    tot = int(s2.sum())
+    net_of_pair = np.repeat(np.arange(s.size), s2)
+    c2 = np.zeros(s.size, dtype=np.int64)
+    np.cumsum(s2[:-1], out=c2[1:])
+    q = np.arange(tot) - c2[net_of_pair]
+    U = np.repeat(p, np.repeat(s, s))
+    V = p[b[net_of_pair] + q % s[net_of_pair]]
+    r = np.repeat(hg.net_weights[kept_nets] / (s - 1.0), s2)
+    off = U != V
+    U, V, r = U[off], V[off], r[off]
+    # aggregate per ordered pair; a *stable* sort on the composite key
+    # keeps ascending-net order within each pair so float sums match the
+    # dict reference (node ids < 2**31 fit the composite)
+    order = np.argsort((U << np.int64(32)) | V, kind="stable")
+    U, V, r = U[order], V[order], r[order]
+    new_group = np.empty(U.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (U[1:] != U[:-1]) | (V[1:] != V[:-1])
+    seg = np.cumsum(new_group) - 1
+    rating = np.zeros(int(seg[-1]) + 1, dtype=np.float64)
+    np.add.at(rating, seg, r)
+    Uu, Vu = U[new_group], V[new_group]
+    # priority: visit position of u, then descending rating, then smaller v
+    # — realised as chained stable sorts, least-significant key first
+    # (radix for the int keys beats a multi-key lexsort here)
+    pos = np.empty(hg.n, dtype=np.int64)
+    pos[visit] = np.arange(hg.n)
+    pair_order = np.argsort(Vu, kind="stable")
+    pair_order = pair_order[np.argsort(-rating[pair_order], kind="stable")]
+    pair_order = pair_order[np.argsort(pos[Uu[pair_order]], kind="stable")]
+    return greedy_match_by_rank(hg.n, Uu[pair_order], Vu[pair_order])
 
 
 def _validate_matching(hg: HGraph, match: np.ndarray) -> None:

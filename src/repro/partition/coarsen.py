@@ -13,6 +13,25 @@ multiple times, in order to find the best matching for the given graph":
 Contraction merges each matched pair into one coarse node whose weight is the
 sum of the pair's weights; parallel edges produced by common neighbours are
 merged with summed weights (exactly the rules spelled out in IV.A).
+
+Vectorization
+-------------
+The matching and contraction kernels here are NumPy array passes, not
+per-node Python loops (see ``docs/parallel.md``, "Vectorized coarsening").
+Sequential greedy matching — take candidate pairs in a fixed priority
+order, skip pairs with a matched endpoint — is computed by iterated
+*locally-dominant* selection: per round, a candidate is matched iff it
+holds the best (lowest) priority rank at **both** endpoints, then dead
+candidates are dropped.  That fixpoint equals the sequential greedy result
+exactly, so HEM is bit-identical to its pre-vectorization loop (frozen in
+``benchmarks/_legacy_coarsen.py``).  Random maximal matching pre-draws one
+random priority per adjacency slot (each node pairs with its
+lowest-priority free neighbour — still a uniformly random free neighbour)
+precisely so it fits
+the same static-priority scheme; its loop-form reference lives next to the
+legacy copy and the differential tests pin both kernels to their
+references.  Contraction reproduces the legacy coarse graph
+array-for-array via :meth:`~repro.graph.wgraph.WGraph._from_canonical`.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ from repro.util.errors import PartitionError
 from repro.util.rng import as_rng
 
 __all__ = [
+    "greedy_match_by_rank",
     "random_maximal_matching",
     "heavy_edge_matching",
     "kmeans_matching",
@@ -42,37 +62,133 @@ __all__ = [
 def _validate_matching(g: WGraph, match: np.ndarray) -> None:
     if match.shape != (g.n,):
         raise PartitionError(f"matching has shape {match.shape}, expected ({g.n},)")
-    for u in range(g.n):
-        v = int(match[u])
-        if not 0 <= v < g.n:
-            raise PartitionError(f"match[{u}]={v} out of range")
-        if v != u and int(match[v]) != u:
-            raise PartitionError(f"matching not symmetric at ({u}, {v})")
+    if g.n == 0:
+        return
+    if not ((match >= 0) & (match < g.n)).all():
+        u = int(np.argmax((match < 0) | (match >= g.n)))
+        raise PartitionError(f"match[{u}]={int(match[u])} out of range")
+    sym = match[match] == np.arange(g.n)
+    if not sym.all():
+        u = int(np.argmax(~sym))
+        raise PartitionError(f"matching not symmetric at ({u}, {int(match[u])})")
+
+
+def greedy_match_by_rank(
+    n: int, tails: np.ndarray, heads: np.ndarray, rank: np.ndarray | None = None
+) -> np.ndarray:
+    """Matching of sequential greedy over rank-ordered candidate pairs.
+
+    Candidates ``(tails[i], heads[i])`` carry unique integer priorities
+    ``rank[i]`` (lower = earlier); with ``rank=None`` the candidates are
+    taken to be listed in priority order already (callers that sorted
+    anyway skip a redundant argsort).  The sequential process — scan
+    candidates in rank order, match a pair iff both endpoints are still
+    unmatched — is computed without the scan: per round, select every
+    *live* candidate whose rank is the minimum over live candidates at
+    both its endpoints (selected candidates are node-disjoint because
+    ranks are unique), mark endpoints matched, drop candidates with a
+    matched endpoint, repeat.  The round fixpoint equals the sequential
+    result exactly; rounds are O(log candidates) expected, each a full
+    array pass.
+    """
+    match = np.arange(n, dtype=np.int64)
+    E = tails.size
+    if E == 0:
+        return match
+    if rank is None:
+        t = np.ascontiguousarray(tails, dtype=np.int64)
+        h = np.ascontiguousarray(heads, dtype=np.int64)
+    else:
+        order = np.argsort(rank)
+        # entries in rank order; from here on an entry's id is its position
+        t = np.ascontiguousarray(tails[order])
+        h = np.ascontiguousarray(heads[order])
+    # per-node incidence over entries (each entry listed under both
+    # endpoints, ascending rank within a node): a node's lowest live
+    # incident rank is simply the entry behind its advance pointer
+    nodes = np.concatenate([t, h])
+    eids = np.concatenate([np.arange(E), np.arange(E)])
+    inc = eids[np.argsort((nodes << np.int64(33)) | eids)]
+    cnt = np.bincount(nodes, minlength=n)
+    bound = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(cnt, out=bound[1:])
+    ptr = bound[:-1].copy()
+    end = bound[1:]
+    matched = np.zeros(n, dtype=bool)
+    head_of = np.full(n, -1, dtype=np.int64)
+    active = np.nonzero(cnt > 0)[0]
+    while active.size:
+        # lazily advance pointers past dead entries (an endpoint matched);
+        # after the first check only nodes that just advanced are
+        # re-checked, so total advancement work is bounded by 2E overall
+        adv = active
+        while adv.size:
+            e = inc[np.minimum(ptr[adv], end[adv] - 1)]
+            dead = (ptr[adv] < end[adv]) & (matched[t[e]] | matched[h[e]])
+            adv = adv[dead]
+            if adv.size:
+                ptr[adv] += 1
+        active = active[ptr[active] < end[active]]
+        if active.size == 0:
+            return match
+        e = inc[ptr[active]]
+        # locally-dominant selection: an entry matches iff it is the head
+        # entry of both its endpoints (the globally minimal live entry
+        # always qualifies, so every round makes progress)
+        head_of[active] = e
+        sel = np.unique(e[(head_of[t[e]] == e) & (head_of[h[e]] == e)])
+        head_of[active] = -1
+        st, sh = t[sel], h[sel]
+        match[st] = sh
+        match[sh] = st
+        matched[st] = True
+        matched[sh] = True
+        active = active[~matched[active]]
+    return match
 
 
 def random_maximal_matching(g: WGraph, seed=None) -> np.ndarray:
-    """Random maximal matching: ``match[u] == v`` iff u,v are paired; u if single."""
+    """Random maximal matching: ``match[u] == v`` iff u,v are paired; u if single.
+
+    Visits nodes in a seeded random order; each unmatched node pairs with
+    a uniformly random free neighbour (realised as the lowest pre-drawn
+    priority among its free adjacency slots — slot priorities are one
+    random permutation, so the pick is uniform and tie-free, and the whole
+    matching becomes one static-priority greedy computable in array passes;
+    see the module docstring).  Exactly reproduces
+    ``benchmarks._legacy_coarsen.random_maximal_matching_loopref``.
+    """
     rng = as_rng(seed)
     match = np.arange(g.n, dtype=np.int64)
-    matched = np.zeros(g.n, dtype=bool)
-    for u in rng.permutation(g.n):
-        u = int(u)
-        if matched[u]:
-            continue
-        nbrs = g.neighbors(u)
-        free = nbrs[~matched[nbrs]]
-        if free.size == 0:
-            continue
-        v = int(free[rng.integers(0, free.size)])
-        match[u], match[v] = v, u
-        matched[u] = matched[v] = True
-    return match
+    if g.n == 0:
+        return match
+    indptr, indices, _ = g.csr
+    # draw order matters for stream-compatibility with the loop reference:
+    # slot priorities first, visit permutation second
+    slot_pri = rng.permutation(indices.size)
+    visit = rng.permutation(g.n)
+    if indices.size == 0:
+        return match
+    pos = np.empty(g.n, dtype=np.int64)
+    pos[visit] = np.arange(g.n)
+    deg = np.diff(indptr)
+    tails = np.repeat(np.arange(g.n, dtype=np.int64), deg)
+    # one int64 composite: visit position of the tail, then slot priority
+    # (both ascending; slot_pri < 2**33 fits the low bits for any graph
+    # whose adjacency this process can hold in memory)
+    order = np.argsort((pos[tails] << np.int64(33)) | slot_pri)
+    return greedy_match_by_rank(g.n, tails[order], indices[order])
 
 
 def heavy_edge_matching(g: WGraph, seed=None) -> np.ndarray:
     """HEM per the paper: globally sort edges by descending weight, take edges
     with both endpoints unmatched.  Ties are broken by a seeded shuffle so
-    repeated invocations explore different maximal matchings."""
+    repeated invocations explore different maximal matchings.
+
+    Bit-identical to the sequential greedy over the sorted edge list
+    (``benchmarks._legacy_coarsen.heavy_edge_matching_legacy``), computed
+    by locally-dominant rounds instead of a per-edge Python loop.
+    """
     rng = as_rng(seed)
     match = np.arange(g.n, dtype=np.int64)
     if g.m == 0:
@@ -80,13 +196,7 @@ def heavy_edge_matching(g: WGraph, seed=None) -> np.ndarray:
     eu, ev, ew = g.edge_array
     jitter = rng.permutation(g.m)  # deterministic tie-break among equal weights
     order = np.lexsort((jitter, -ew))
-    matched = np.zeros(g.n, dtype=bool)
-    for i in order:
-        u, v = int(eu[i]), int(ev[i])
-        if not matched[u] and not matched[v]:
-            match[u], match[v] = v, u
-            matched[u] = matched[v] = True
-    return match
+    return greedy_match_by_rank(g.n, eu[order], ev[order])
 
 
 def _node_features(g: WGraph) -> np.ndarray:
@@ -166,13 +276,16 @@ def kmeans_matching(g: WGraph, seed=None) -> np.ndarray:
 
 def matching_quality(g: WGraph, match: np.ndarray) -> float:
     """Total weight of matched edges (higher = better coarsening: more edge
-    weight hidden inside coarse nodes, following the HEM rationale)."""
-    total = 0.0
-    for u in range(g.n):
-        v = int(match[u])
-        if v > u:
-            total += g.edge_weight(u, v)
-    return total
+    weight hidden inside coarse nodes, following the HEM rationale).
+
+    One masked reduction over the edge array; non-adjacent matched pairs
+    (k-means may produce them) contribute nothing, as before.
+    """
+    eu, ev, ew = g.edge_array
+    if ew.size == 0:
+        return 0.0
+    m = np.asarray(match, dtype=np.int64)
+    return float(ew[m[eu] == ev].sum())
 
 
 def contract(g: WGraph, match: np.ndarray) -> tuple[WGraph, np.ndarray]:
@@ -181,29 +294,54 @@ def contract(g: WGraph, match: np.ndarray) -> tuple[WGraph, np.ndarray]:
     Returns ``(coarse, node_map)`` with ``node_map[u]`` the coarse id of fine
     node *u* — the paper's "map from the nodes in the un-coarsened graph to
     those in the coarsened graph".
+
+    Runs as array passes (coarse ids by cumulative count of pair
+    representatives, parallel-edge merge by lexicographic grouping) and
+    reproduces the dict-merge reference
+    (``benchmarks._legacy_coarsen.contract_legacy``) array-for-array:
+    same node map, same coarse graph, same CSR layout.
     """
+    match = np.asarray(match)
     _validate_matching(g, match)
-    node_map = np.full(g.n, -1, dtype=np.int64)
-    next_id = 0
-    for u in range(g.n):
-        if node_map[u] >= 0:
-            continue
-        v = int(match[u])
-        node_map[u] = next_id
-        if v != u:
-            node_map[v] = next_id
-        next_id += 1
+    match = match.astype(np.int64, copy=False)
+    ids = np.arange(g.n, dtype=np.int64)
+    # a node represents its pair iff it is its pair's smaller endpoint (or
+    # single); coarse ids count representatives in node order, matching the
+    # first-visit numbering of the sequential reference
+    reps = match >= ids
+    coarse_ids = np.cumsum(reps) - 1
+    node_map = coarse_ids[np.minimum(ids, match)]
+    next_id = int(coarse_ids[-1]) + 1 if g.n else 0
     coarse_w = np.zeros(next_id, dtype=np.float64)
     np.add.at(coarse_w, node_map, g.node_weights)
-    merged: dict[tuple[int, int], float] = {}
-    for u, v, w in g.edges():
-        cu, cv = int(node_map[u]), int(node_map[v])
-        if cu == cv:
-            continue  # edge hidden inside a coarse node
-        key = (cu, cv) if cu < cv else (cv, cu)
-        merged[key] = merged.get(key, 0.0) + w
-    edges = [(u, v, w) for (u, v), w in merged.items()]
-    return WGraph(next_id, edges, node_weights=coarse_w), node_map
+
+    eu, ev, ew = g.edge_array
+    cu, cv = node_map[eu], node_map[ev]
+    keep = cu != cv  # edges hidden inside a coarse node vanish
+    lo = np.minimum(cu[keep], cv[keep])
+    hi = np.maximum(cu[keep], cv[keep])
+    w = ew[keep]
+    if lo.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        coarse = WGraph._from_canonical(
+            next_id, empty, empty, np.empty(0, dtype=np.float64), coarse_w
+        )
+        return coarse, node_map
+    # group parallel coarse edges; the tertiary key keeps fine-edge order
+    # within each group so weight sums accumulate in the reference's order
+    order = np.lexsort((np.arange(lo.size), hi, lo))
+    lo, hi, w = lo[order], hi[order], w[order]
+    new_group = np.empty(lo.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+    seg = np.cumsum(new_group) - 1
+    n_edges = int(seg[-1]) + 1
+    merged_w = np.zeros(n_edges, dtype=np.float64)
+    np.add.at(merged_w, seg, w)
+    coarse = WGraph._from_canonical(
+        next_id, lo[new_group], hi[new_group], merged_w, coarse_w
+    )
+    return coarse, node_map
 
 
 MATCHING_METHODS = {

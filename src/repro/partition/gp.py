@@ -34,6 +34,7 @@ from repro.partition.kway_refine import constrained_kway_fm
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
 from repro.partition.refine_state import RefinementState
 from repro.util.errors import InfeasibleError, PartitionError
+from repro.util.parallel import parallel_map
 from repro.util.rng import as_rng, spawn_seeds
 from repro.util.stopwatch import Stopwatch
 
@@ -68,6 +69,17 @@ class GPConfig:
     on_infeasible:
         ``"return"`` — give back the least-violating partition with
         ``feasible=False``; ``"raise"`` — raise :class:`InfeasibleError`.
+    seed:
+        Default random seed for the run; the ``seed`` argument of
+        :func:`gp_partition` overrides it when given, and ``None`` falls
+        back to the library-default seed (runs are deterministic unless
+        the caller passes a live Generator).
+
+    This docstring is the canonical field-by-field reference for the GP
+    knobs — ``docs/architecture.md`` and ``docs/parallel.md`` link here
+    rather than re-listing them.  Execution concerns (``n_jobs``) are
+    deliberately *not* config fields: they change wall-clock, never
+    results, and live on the call sites instead.
     """
 
     coarsen_to: int = 100
@@ -81,6 +93,9 @@ class GPConfig:
     seed: int | None = None
 
     def __post_init__(self) -> None:
+        # normalise matchings to a tuple so configs stay hashable (cache
+        # keys) and equality-comparable however the caller spelled them
+        object.__setattr__(self, "matchings", tuple(self.matchings))
         if self.coarsen_to < 1:
             raise PartitionError("coarsen_to must be >= 1")
         if self.vcycles < 0:
@@ -144,12 +159,52 @@ def _uncoarsen(
     return assign
 
 
+def _run_gp_cycle(context, seeds) -> tuple[np.ndarray, "PartitionMetrics", int]:
+    """One coarsen/partition/un-coarsen cycle (a parallel_map worker).
+
+    Independent of every other cycle given its four pre-spawned seeds, so
+    cycles race across processes without changing any result.  The
+    instance travels in the shared *context* (shipped once per worker);
+    only the seed quadruple is per-task.  Returns ``(assign, metrics,
+    hierarchy_depth)``.
+    """
+    g, k, constraints, config = context
+    s_hier, s_init, s_unc, s_vc = seeds
+    # Re-coarsening each cycle realises the paper's "go back to
+    # coarsening phase ... (randomly), cyclically".
+    # never coarsen below 2k nodes: a halving step from just above the
+    # threshold must still leave enough nodes to seed k partitions
+    hier = build_hierarchy(
+        g,
+        coarsen_to=max(config.coarsen_to, 2 * k),
+        seed=s_hier,
+        methods=config.matchings,
+    )
+    assign_c = greedy_initial_partition(
+        hier.coarsest, k, constraints,
+        restarts=config.restarts, seed=s_init,
+    )
+    assign = _uncoarsen(hier, assign_c, k, constraints, config, s_unc)
+    if config.vcycles:
+        from repro.partition.vcycle import vcycle_refine
+
+        assign = vcycle_refine(
+            g, assign, k, constraints,
+            rounds=config.vcycles,
+            refine_passes=config.refine_passes,
+            seed=s_vc,
+        )
+    metrics = evaluate_partition(g, assign, k, constraints)
+    return assign, metrics, hier.depth
+
+
 def gp_partition(
     g: WGraph,
     k: int,
     constraints: ConstraintSpec,
     config: GPConfig | None = None,
     seed=None,
+    n_jobs: int | None = 1,
 ) -> PartitionResult:
     """Partition *g* into *k* parts meeting the paper's two constraints.
 
@@ -166,6 +221,14 @@ def gp_partition(
         :class:`GPConfig`; paper defaults when omitted.
     seed:
         Overrides ``config.seed`` when given.
+    n_jobs:
+        Worker processes racing the retry cycles (``1`` = in-process
+        serial, ``-1`` = all CPUs).  Every cycle's seeds are derived up
+        front, results are consumed in cycle order, and the first
+        feasible cycle still wins — so the returned partition is
+        **bit-identical for every** ``n_jobs``; only wall-clock changes.
+        Workers past the first feasible cycle are wasted speculation,
+        the price of racing an early-exit loop.
 
     Returns
     -------
@@ -188,46 +251,26 @@ def gp_partition(
     rng = as_rng(seed if seed is not None else config.seed)
 
     sw = Stopwatch().start()
+    # all cycle seeds up front (the same rng stream the serial loop drew
+    # from, one quadruple per cycle) — what makes the cycles independent
+    cycle_seeds = [spawn_seeds(rng, 4) for _ in range(config.max_cycles)]
+    results = parallel_map(
+        _run_gp_cycle,
+        cycle_seeds,
+        n_jobs=n_jobs,
+        stop=lambda r: r[1].feasible,
+        context=(g, k, constraints, config),
+    )
+
     best_assign: np.ndarray | None = None
     best_key = None
-    cycles_used = 0
-    levels_last = 1
-
-    for cycle in range(config.max_cycles):
-        cycles_used = cycle + 1
-        s_hier, s_init, s_unc, s_vc = spawn_seeds(rng, 4)
-        # Re-coarsening each cycle realises the paper's "go back to
-        # coarsening phase ... (randomly), cyclically".
-        # never coarsen below 2k nodes: a halving step from just above the
-        # threshold must still leave enough nodes to seed k partitions
-        hier = build_hierarchy(
-            g,
-            coarsen_to=max(config.coarsen_to, 2 * k),
-            seed=s_hier,
-            methods=config.matchings,
-        )
-        levels_last = hier.depth
-        assign_c = greedy_initial_partition(
-            hier.coarsest, k, constraints,
-            restarts=config.restarts, seed=s_init,
-        )
-        assign = _uncoarsen(hier, assign_c, k, constraints, config, s_unc)
-        if config.vcycles:
-            from repro.partition.vcycle import vcycle_refine
-
-            assign = vcycle_refine(
-                g, assign, k, constraints,
-                rounds=config.vcycles,
-                refine_passes=config.refine_passes,
-                seed=s_vc,
-            )
-        metrics = evaluate_partition(g, assign, k, constraints)
+    for assign, metrics, _depth in results:
         key = goodness_key(metrics, constraints)
         if best_key is None or key < best_key:
             best_key = key
             best_assign = assign
-        if metrics.feasible:
-            break
+    cycles_used = len(results)
+    levels_last = results[-1][2]
     sw.stop()
 
     assert best_assign is not None

@@ -7,6 +7,21 @@ by the goodness order wins.  The portfolio never returns anything worse
 than its best member, so it safely wraps GP in pipelines that must not
 regress (at the cost of portfolio-size × runtime).
 
+Execution layer (see ``docs/parallel.md``):
+
+* **Racing** — members are independent given their ``spawn_seeds``-derived
+  seeds, so ``n_jobs>1`` races them across worker processes through
+  :func:`repro.util.parallel.parallel_map` with results consumed in
+  member order: the winner (assignment, metrics, goodness key, ``info``
+  except measured runtime) is **bit-identical for every** ``n_jobs``.
+* **Early cancel** — ``stop_on_feasible`` truncates at the first feasible
+  member in portfolio order, serial and parallel alike.
+* **Memoisation** — completed portfolio runs are cached in-process keyed
+  by ``(graph digest, k, constraints, configs, seed, stop_on_feasible)``;
+  repeated calls (parameter sweeps, notebook re-runs) are free.  Only
+  reproducible seeds (``int`` / ``None``) are cached — a live Generator
+  is consumed by the call and cannot key anything.
+
 ``race_models`` extends the idea across *traffic models*: the same PPN is
 partitioned once through the 2-pin edge-cut flattening and once through
 the multicast-preserving hypergraph model, both candidates are scored on
@@ -17,6 +32,7 @@ winner.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 from collections.abc import Sequence
 
@@ -26,10 +42,25 @@ from repro.partition.goodness import goodness_key
 from repro.partition.gp import GPConfig, gp_partition
 from repro.partition.metrics import ConstraintSpec
 from repro.util.errors import InfeasibleError, PartitionError
+from repro.util.parallel import KeyedCache, parallel_map
 from repro.util.rng import spawn_seeds
 from repro.util.stopwatch import Stopwatch
 
-__all__ = ["default_portfolio", "portfolio_partition", "race_models"]
+__all__ = [
+    "default_portfolio",
+    "portfolio_partition",
+    "race_models",
+    "portfolio_cache",
+    "clear_portfolio_cache",
+]
+
+#: In-process memo of completed portfolio runs (see module docstring).
+portfolio_cache = KeyedCache(maxsize=64)
+
+
+def clear_portfolio_cache() -> None:
+    """Drop every memoised portfolio result (and reset hit/miss stats)."""
+    portfolio_cache.clear()
 
 
 def default_portfolio() -> list[GPConfig]:
@@ -42,6 +73,26 @@ def default_portfolio() -> list[GPConfig]:
     ]
 
 
+def _run_member(context, task) -> PartitionResult:
+    """Run one portfolio member (a parallel_map worker).
+
+    The instance travels in the shared *context* (shipped once per
+    worker); only the member's config and seed are per-task.
+    """
+    g, k, constraints = context
+    cfg, s = task
+    return gp_partition(g, k, constraints, cfg, seed=s)
+
+
+def _cached_copy(result: PartitionResult) -> PartitionResult:
+    """Deliver a cached result without aliasing the stored arrays/info."""
+    return dataclasses.replace(
+        result,
+        assign=result.assign.copy(),
+        info={**copy.deepcopy(result.info), "cache_hit": True},
+    )
+
+
 def portfolio_partition(
     g: WGraph,
     k: int,
@@ -50,19 +101,50 @@ def portfolio_partition(
     seed=None,
     on_infeasible: str = "return",
     stop_on_feasible: bool = False,
+    n_jobs: int | None = 1,
+    cache: bool = True,
 ) -> PartitionResult:
     """Run every configuration; return the goodness-best result.
 
     Parameters
     ----------
+    g:
+        Process-network graph (node weights = resources, edge weights =
+        bandwidth).
+    k:
+        Number of partitions (FPGAs).
+    constraints:
+        ``Bmax`` / ``Rmax`` caps; either may be ``inf``.
     configs:
         The portfolio; :func:`default_portfolio` when omitted.
-    stop_on_feasible:
-        Return the first feasible result instead of racing the full
-        portfolio (latency over quality).
+    seed:
+        Reproducible member seeds are derived from this with
+        :func:`~repro.util.rng.spawn_seeds` (member *i* always gets the
+        same seed regardless of execution order or ``n_jobs``).
     on_infeasible:
         ``"return"`` or ``"raise"`` — applied to the portfolio outcome,
         regardless of member configs' own settings.
+    stop_on_feasible:
+        Return the best result among members up to and including the
+        first feasible one in portfolio order, instead of racing the full
+        portfolio (latency over quality).
+    n_jobs:
+        Worker processes racing the members (``1`` = serial in-process,
+        ``-1`` = all CPUs).  The result is bit-identical for every value;
+        see the module docstring.
+    cache:
+        Memoise the outcome in :data:`portfolio_cache` and reuse it for
+        identical ``(graph, k, constraints, configs, seed,
+        stop_on_feasible)`` calls.  Hits return a fresh copy flagged with
+        ``info["cache_hit"]=True``; only ``int``/``None`` seeds
+        participate.
+
+    Returns
+    -------
+    PartitionResult
+        Algorithm ``"GP-portfolio"``, with per-member summaries in
+        ``info["runs"]`` and the winner's own ``info`` under
+        ``info["winner"]``.
     """
     if on_infeasible not in ("return", "raise"):
         raise PartitionError(
@@ -71,33 +153,64 @@ def portfolio_partition(
     configs = list(configs) if configs is not None else default_portfolio()
     if not configs:
         raise PartitionError("portfolio must contain at least one config")
-    seeds = spawn_seeds(seed, len(configs))
+    # members never raise; the portfolio applies its own policy at the end
+    members = [
+        cfg
+        if cfg.on_infeasible == "return"
+        else dataclasses.replace(cfg, on_infeasible="return")
+        for cfg in configs
+    ]
 
+    cacheable = cache and (seed is None or isinstance(seed, int))
+    key = None
+    hit = None
+    if cacheable:
+        key = (
+            "portfolio",
+            g.content_digest(),
+            k,
+            constraints,
+            tuple(members),
+            seed,
+            stop_on_feasible,
+        )
+        try:
+            hit = portfolio_cache.get(key)
+        except TypeError:
+            # a config subclass smuggled in an unhashable field: run
+            # uncached rather than refuse the call
+            cacheable, key = False, None
+        if hit is not None:
+            result = _cached_copy(hit)
+            if not result.feasible and on_infeasible == "raise":
+                raise InfeasibleError(
+                    f"no portfolio member found a feasible partitioning "
+                    f"({result.info['members']} configurations tried)",
+                    best=result,
+                )
+            return result
+
+    seeds = spawn_seeds(seed, len(members))
     sw = Stopwatch().start()
+    results = parallel_map(
+        _run_member,
+        list(zip(members, seeds)),
+        n_jobs=n_jobs,
+        stop=(lambda r: r.feasible) if stop_on_feasible else None,
+        context=(g, k, constraints),
+    )
+    sw.stop()
+
     best: PartitionResult | None = None
     best_key = None
     runs = []
-    for cfg, s in zip(configs, seeds):
-        # members never raise; the portfolio applies its own policy at the end
-        member_cfg = (
-            cfg
-            if cfg.on_infeasible == "return"
-            else dataclasses.replace(cfg, on_infeasible="return")
-        )
-        res = gp_partition(g, k, constraints, member_cfg, seed=s)
+    for cfg, res in zip(members, results):
         runs.append(
-            {
-                "config": member_cfg,
-                "feasible": res.feasible,
-                "cut": res.metrics.cut,
-            }
+            {"config": cfg, "feasible": res.feasible, "cut": res.metrics.cut}
         )
-        key = goodness_key(res.metrics, constraints)
-        if best_key is None or key < best_key:
-            best, best_key = res, key
-        if stop_on_feasible and res.feasible:
-            break
-    sw.stop()
+        gkey = goodness_key(res.metrics, constraints)
+        if best_key is None or gkey < best_key:
+            best, best_key = res, gkey
 
     assert best is not None
     result = PartitionResult(
@@ -109,6 +222,15 @@ def portfolio_partition(
         constraints=constraints,
         info={"members": len(runs), "runs": runs, "winner": best.info},
     )
+    if cacheable:
+        portfolio_cache.put(
+            key,
+            dataclasses.replace(
+                result,
+                assign=result.assign.copy(),
+                info=copy.deepcopy(result.info),
+            ),
+        )
     if not result.feasible and on_infeasible == "raise":
         raise InfeasibleError(
             f"no portfolio member found a feasible partitioning "
@@ -116,6 +238,22 @@ def portfolio_partition(
             best=result,
         )
     return result
+
+
+def _run_race_member(task) -> PartitionResult:
+    """Run one traffic-model candidate (a parallel_map worker).
+
+    Imports of the hypergraph substrate are deferred so the partition
+    package stays importable on its own.
+    """
+    kind, payload = task
+    if kind == "graph":
+        g, k, constraints, cfg, s = payload
+        return gp_partition(g, k, constraints, cfg, seed=s)
+    from repro.hypergraph.partition import hyper_partition
+
+    hg, k, constraints, cfg, s = payload
+    return hyper_partition(hg, k, constraints, config=cfg, seed=s)
 
 
 def race_models(
@@ -126,6 +264,7 @@ def race_models(
     gp_config: GPConfig | None = None,
     hyper_config=None,
     bandwidth_scale: float = 1.0,
+    n_jobs: int | None = 1,
 ) -> PartitionResult:
     """Race the 2-pin edge-cut model against the hypergraph model on a PPN.
 
@@ -136,11 +275,11 @@ def race_models(
     for reference.  The winner is returned with ``algorithm
     "model-portfolio"`` and per-model summaries in ``info``.
 
-    Imports of the polyhedral/KPN substrates are deferred so the partition
-    package stays importable on its own.
+    ``n_jobs=2`` runs the two models in separate worker processes; each
+    model's seed is derived up front, so the winner is identical to a
+    serial race.  Imports of the polyhedral/KPN substrates are deferred
+    so the partition package stays importable on its own.
     """
-    from repro.hypergraph.metrics import evaluate_hyper_partition
-    from repro.hypergraph.partition import hyper_partition
     from repro.kpn.traffic import ppn_to_mapped_graph
     from repro.polyhedral.ppn import PPN, derive_ppn
 
@@ -161,11 +300,17 @@ def race_models(
     # not abort it
     if hyper_config is not None and hyper_config.on_infeasible != "return":
         hyper_config = dataclasses.replace(hyper_config, on_infeasible="return")
-    res_graph = gp_partition(g, k, constraints, member_cfg, seed=s_graph)
-    res_hyper = hyper_partition(
-        hg, k, constraints, config=hyper_config, seed=s_hyper
+    res_graph, res_hyper = parallel_map(
+        _run_race_member,
+        [
+            ("graph", (g, k, constraints, member_cfg, s_graph)),
+            ("hyper", (hg, k, constraints, hyper_config, s_hyper)),
+        ],
+        n_jobs=n_jobs,
     )
     sw.stop()
+
+    from repro.hypergraph.metrics import evaluate_hyper_partition
 
     # common currency: both assignments priced on the hypergraph
     candidates = {

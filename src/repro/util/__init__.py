@@ -7,6 +7,7 @@ from repro.util.errors import (
     ReproError,
     ValidationError,
 )
+from repro.util.parallel import KeyedCache, parallel_map, resolve_jobs
 from repro.util.rng import as_rng, spawn_seeds
 from repro.util.stopwatch import Stopwatch
 from repro.util.tables import format_table
@@ -21,4 +22,7 @@ __all__ = [
     "spawn_seeds",
     "Stopwatch",
     "format_table",
+    "KeyedCache",
+    "parallel_map",
+    "resolve_jobs",
 ]

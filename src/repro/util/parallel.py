@@ -1,0 +1,214 @@
+"""Deterministic process-pool racing and result memoisation.
+
+The paper's GP partitioner is a race of randomized attempts: portfolio
+configurations, coarsen/partition retry cycles, per-level refinement
+candidates.  Every attempt is independent given its seed, and all seeds
+are derived up front with :func:`repro.util.rng.spawn_seeds` — so racing
+attempts across worker processes cannot change any result, only the
+wall-clock.  This module supplies the two primitives the partitioning
+layer builds on (see ``docs/parallel.md``):
+
+``parallel_map``
+    An order-preserving map over picklable tasks with an optional
+    early-stop predicate.  Its contract is the determinism guarantee:
+    **the returned list is identical for every ``n_jobs``**, because
+    results are collected in submission order and the stop predicate is
+    applied in that order, exactly as a serial loop would.  With
+    ``n_jobs=1`` (or an unavailable pool) no processes are spawned at
+    all, which doubles as the fallback path on platforms without a
+    usable ``fork``/``spawn``.
+
+``KeyedCache``
+    A small LRU used to memoise full partitioning runs keyed by
+    ``(graph digest, k, constraints, configs, seed, ...)`` — see
+    :func:`repro.partition.portfolio.portfolio_partition`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.util.errors import ReproError
+
+__all__ = ["resolve_jobs", "parallel_map", "KeyedCache"]
+
+
+def resolve_jobs(n_jobs: int | None) -> int:
+    """Normalise an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per visible
+    CPU; any other positive integer is taken as given.  Raises
+    :class:`~repro.util.errors.ReproError` on zero or other negatives.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ReproError(f"n_jobs must be >= 1 or -1 (all CPUs), got {n_jobs}")
+    return n_jobs
+
+
+_NO_CONTEXT = object()
+_WORKER_CONTEXT: Any = _NO_CONTEXT
+
+
+def _set_worker_context(ctx) -> None:
+    """Pool initializer: stash the shared per-call payload in the worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ctx
+
+
+def _apply_with_context(fn, task):
+    return fn(_WORKER_CONTEXT, task)
+
+
+def _serial_map(fn, tasks, stop, context=_NO_CONTEXT):
+    call = fn if context is _NO_CONTEXT else (lambda t: fn(context, t))
+    out = []
+    for task in tasks:
+        res = call(task)
+        out.append(res)
+        if stop is not None and stop(res):
+            break
+    return out
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Any],
+    n_jobs: int | None = 1,
+    stop: Callable[[Any], bool] | None = None,
+    context: Any = _NO_CONTEXT,
+) -> list[Any]:
+    """Map *fn* over *tasks*, racing up to *n_jobs* worker processes.
+
+    Returns ``[fn(t) for t in tasks]`` truncated — when *stop* is given —
+    right after the first result (in **task order**) for which
+    ``stop(result)`` is true.  The output is bit-identical for every
+    ``n_jobs``: parallel execution only reorders *work*, never results.
+    Tasks and results must be picklable and *fn* must be a module-level
+    callable when ``n_jobs > 1``.
+
+    *context* carries a payload shared by every task — typically the
+    graph and constraints, which dwarf the per-task seeds.  When given,
+    *fn* is called as ``fn(context, task)`` and the payload is shipped
+    **once per worker** (through the pool initializer) instead of once
+    per task.
+
+    With a *stop* predicate, workers run in submission waves of
+    ``n_jobs`` so an early stop cancels everything not yet needed;
+    without one, all tasks are submitted up front (no wave barrier).  A
+    pool that cannot be created (restricted platforms, missing
+    semaphores) or that breaks mid-flight because a worker died
+    (``BrokenProcessPool``) degrades silently to the serial path, which
+    is also taken for ``n_jobs=1`` or single tasks.  Exceptions *raised
+    by fn* propagate to the caller exactly like serial ones.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    tasks = list(tasks)
+    if n_jobs == 1 or len(tasks) <= 1:
+        return _serial_map(fn, tasks, stop, context)
+    try:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        if context is _NO_CONTEXT:
+            executor = ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(tasks))
+            )
+            submit = lambda t: executor.submit(fn, t)  # noqa: E731
+        else:
+            executor = ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(tasks)),
+                initializer=_set_worker_context,
+                initargs=(context,),
+            )
+            submit = lambda t: executor.submit(  # noqa: E731
+                _apply_with_context, fn, t
+            )
+    except Exception:  # pragma: no cover - platform-dependent
+        return _serial_map(fn, tasks, stop, context)
+    out: list[Any] = []
+    try:
+        with executor:
+            if stop is None:
+                # no early exit possible: submit everything up front so no
+                # worker idles at a wave boundary
+                futures = [submit(t) for t in tasks]
+                for fut in futures:
+                    out.append(fut.result())
+                return out
+            # waves of n_jobs bound the speculation an early stop discards
+            for wave_start in range(0, len(tasks), n_jobs):
+                wave = tasks[wave_start : wave_start + n_jobs]
+                futures = [submit(t) for t in wave]
+                stopped = False
+                for fut in futures:
+                    res = fut.result()
+                    out.append(res)
+                    if stop(res):
+                        stopped = True
+                        break
+                if stopped:
+                    for fut in futures:
+                        fut.cancel()
+                    break
+    except BrokenExecutor:
+        # the pool itself died (worker OOM-killed, pipes torn down) — an
+        # infrastructure failure, not a task failure: recompute serially.
+        # Exceptions raised by fn inside a live pool re-raise above as-is.
+        return _serial_map(fn, tasks, stop, context)
+    return out
+
+
+class KeyedCache:
+    """Bounded LRU cache for partitioning results (or anything hashable-keyed).
+
+    ``get`` returns ``None`` on a miss and refreshes recency on a hit;
+    ``put`` inserts/overwrites and evicts the least-recently-used entry
+    beyond *maxsize*.  ``stats()`` reports hits/misses/size for
+    benchmarks and tests.  Not thread-safe (the library races *processes*,
+    and each process owns its cache).
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ReproError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data

@@ -1,0 +1,248 @@
+"""Differential + invariant tests for the vectorized coarsening kernels.
+
+The vectorized matchings and contraction in :mod:`repro.partition.coarsen`
+and :mod:`repro.hypergraph.coarsen` must reproduce their loop-form
+references in ``benchmarks/_legacy_coarsen.py`` **exactly** — identical
+matching arrays, identical contracted graphs down to the CSR layout —
+under every fixed seed.  HEM, contraction and the hypergraph heavy-pin
+matching are pinned to verbatim snapshots of the pre-vectorization code;
+random maximal matching is pinned to the loop form of its reworked
+(pre-drawn slot priority) semantics, since the old one-draw-per-node RNG
+stream cannot be replayed by array passes.  On top of the differentials,
+matching invariants (symmetry, maximality, adjacency) are fuzzed over the
+generator corpus, and the locally-dominant greedy kernel is checked
+against a naive sequential greedy on arbitrary candidate lists.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+import _legacy_coarsen as legacy  # noqa: E402
+
+from repro.graph import WGraph  # noqa: E402
+from repro.graph.generators import (  # noqa: E402
+    multicast_network,
+    random_process_network,
+)
+from repro.hypergraph.coarsen import heavy_pin_matching  # noqa: E402
+from repro.hypergraph.hgraph import HGraph  # noqa: E402
+from repro.partition.coarsen import (  # noqa: E402
+    contract,
+    greedy_match_by_rank,
+    heavy_edge_matching,
+    matching_quality,
+    random_maximal_matching,
+)
+
+
+def graph_corpus():
+    for seed in range(12):
+        yield random_process_network(10 + seed * 9, 18 + seed * 21, seed=seed)
+    for seed in range(4):
+        yield random_process_network(30, 90, seed=100 + seed, locality=0.2)
+    yield WGraph(0)
+    yield WGraph(7)
+    yield WGraph(2, [(0, 1, 3.0)])
+    yield WGraph(4, [(0, 1, 2.0), (2, 3, 2.0)])  # equal-weight HEM ties
+
+
+def hyper_corpus():
+    for seed in range(8):
+        yield multicast_network(10 + seed * 8, seed=seed, fanout=3 + seed % 5)
+    for seed in range(4):
+        g = random_process_network(12 + seed * 7, 20 + seed * 12, seed=seed)
+        yield HGraph.from_wgraph(g)
+    yield HGraph(0)
+    yield HGraph(5)
+    yield HGraph(3, [([0], 1.0)])  # single-pin net rates nothing
+    yield HGraph(4, [([0, 1, 2, 3], 2.0)])  # one net covering everything
+
+
+class TestDifferentialVsLegacy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hem_identical_to_frozen_loop(self, seed):
+        for g in graph_corpus():
+            assert np.array_equal(
+                heavy_edge_matching(g, seed=seed),
+                legacy.heavy_edge_matching_legacy(g, seed=seed),
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rmm_identical_to_loop_reference(self, seed):
+        for g in graph_corpus():
+            assert np.array_equal(
+                random_maximal_matching(g, seed=seed),
+                legacy.random_maximal_matching_loopref(g, seed=seed),
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_contract_identical_including_csr(self, seed):
+        for g in graph_corpus():
+            for fn in (random_maximal_matching, heavy_edge_matching):
+                match = fn(g, seed=seed)
+                c_new, map_new = contract(g, match)
+                c_old, map_old = legacy.contract_legacy(g, match)
+                assert np.array_equal(map_new, map_old)
+                assert c_new == c_old
+                # the fast canonical constructor must agree with __init__'s
+                # CSR layout element for element
+                assert np.array_equal(c_new.csr[0], c_old.csr[0])
+                assert np.array_equal(c_new.csr[1], c_old.csr[1])
+                assert np.array_equal(c_new.csr[2], c_old.csr[2])
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matching_quality_identical(self, seed):
+        # integer weights: the reference's sequential float sums are exact
+        for g in graph_corpus():
+            for fn in (random_maximal_matching, heavy_edge_matching):
+                match = fn(g, seed=seed)
+                assert matching_quality(g, match) == (
+                    legacy.matching_quality_legacy(g, match)
+                )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_heavy_pin_identical_to_frozen_loop(self, seed):
+        for hg in hyper_corpus():
+            assert np.array_equal(
+                heavy_pin_matching(hg, seed=seed),
+                legacy.heavy_pin_matching_legacy(hg, seed=seed),
+            )
+
+    def test_heavy_pin_pair_budget_fallback(self, monkeypatch):
+        """Past the Σ|e|² budget the bounded-memory sequential path runs —
+        and must produce the same matching as the array path."""
+        import repro.hypergraph.coarsen as hc
+
+        hg = multicast_network(60, seed=1, fanout=6)
+        expected = heavy_pin_matching(hg, seed=3)
+        monkeypatch.setattr(hc, "_MAX_PAIR_ENTRIES", 1)
+        assert np.array_equal(hc.heavy_pin_matching(hg, seed=3), expected)
+
+    def test_rmm_stream_matches_shared_generator_use(self):
+        """coarsen_once passes one shared Generator through all matchings;
+        the vectorized kernels must consume the stream exactly like their
+        loop references so downstream draws stay aligned."""
+        g = random_process_network(40, 90, seed=5)
+        rng_a = np.random.default_rng(123)
+        rng_b = np.random.default_rng(123)
+        a1 = random_maximal_matching(g, seed=rng_a)
+        b1 = legacy.random_maximal_matching_loopref(g, seed=rng_b)
+        assert np.array_equal(a1, b1)
+        # post-call generator states agree iff draw counts/shapes agree
+        assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+
+def naive_greedy(n, tails, heads, rank):
+    match = np.arange(n, dtype=np.int64)
+    matched = np.zeros(n, dtype=bool)
+    for i in np.argsort(rank):
+        u, v = int(tails[i]), int(heads[i])
+        if not matched[u] and not matched[v] and u != v:
+            match[u], match[v] = v, u
+            matched[u] = matched[v] = True
+    return match
+
+
+class TestGreedyKernel:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_sequential_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        m = int(rng.integers(0, 120))
+        tails = rng.integers(0, n, size=m)
+        heads = rng.integers(0, n, size=m)
+        keep = tails != heads  # kernel candidates never pair a node with itself
+        tails, heads = tails[keep], heads[keep]
+        rank = rng.permutation(tails.size)
+        got = greedy_match_by_rank(n, tails, heads, rank)
+        assert np.array_equal(got, naive_greedy(n, tails, heads, rank))
+
+    def test_rank_none_means_listed_order(self):
+        n = 4
+        tails = np.array([0, 0, 2])
+        heads = np.array([1, 2, 3])
+        got = greedy_match_by_rank(n, tails, heads)
+        assert got.tolist() == [1, 0, 3, 2]
+
+    def test_arbitrary_unique_ranks(self):
+        n = 4
+        tails = np.array([0, 0])
+        heads = np.array([1, 2])
+        # higher-valued rank loses even if listed first
+        got = greedy_match_by_rank(n, tails, heads, np.array([900, -5]))
+        assert got.tolist() == [2, 1, 0, 3]
+
+    def test_empty(self):
+        e = np.empty(0, dtype=np.int64)
+        assert np.array_equal(greedy_match_by_rank(3, e, e, e), np.arange(3))
+
+
+class TestMatchingInvariants:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_and_adjacency(self, seed):
+        n = 10 + seed % 30
+        m = min(2 * n + (seed * 3) % 40, n * (n - 1) // 2)
+        g = random_process_network(n, m, seed=seed)
+        for fn in (random_maximal_matching, heavy_edge_matching):
+            match = fn(g, seed=seed)
+            assert match.shape == (g.n,)
+            assert np.array_equal(match[match], np.arange(g.n))  # symmetric
+            for u in range(g.n):
+                v = int(match[u])
+                if v != u:
+                    assert g.has_edge(u, v)  # only adjacent pairs
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_maximality(self, seed):
+        n = 10 + seed % 30
+        m = min(2 * n + (seed * 3) % 40, n * (n - 1) // 2)
+        g = random_process_network(n, m, seed=seed)
+        for fn in (random_maximal_matching, heavy_edge_matching):
+            match = fn(g, seed=seed)
+            eu, ev, _ = g.edge_array
+            both_single = (match[eu] == eu) & (match[ev] == ev)
+            assert not both_single.any()
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_hyper_matching_invariants(self, seed):
+        hg = multicast_network(8 + seed % 30, seed=seed, fanout=2 + seed % 4)
+        match = heavy_pin_matching(hg, seed=seed)
+        assert np.array_equal(match[match], np.arange(hg.n))
+        for u in range(hg.n):
+            v = int(match[u])
+            if v != u:  # partners must share at least one (≥2-pin) net
+                shared = np.intersect1d(hg.nets_of(u), hg.nets_of(v))
+                assert any(hg.net_size(int(e)) >= 2 for e in shared)
+
+
+class TestCanonicalConstructor:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_regular_constructor(self, seed):
+        n = 5 + seed % 30
+        m = min(8 + seed % 60, n * (n - 1) // 2)
+        g = random_process_network(n, m, seed=seed)
+        eu, ev, ew = g.edge_array
+        g2 = WGraph._from_canonical(g.n, eu, ev, ew, g.node_weights)
+        assert g2 == g
+        assert np.array_equal(g2.csr[0], g.csr[0])
+        assert np.array_equal(g2.csr[1], g.csr[1])
+        assert np.array_equal(g2.csr[2], g.csr[2])
+        assert g2.content_digest() == g.content_digest()
+
+    def test_digest_distinguishes_content(self):
+        a = WGraph(3, [(0, 1, 1.0)])
+        b = WGraph(3, [(0, 1, 2.0)])
+        c = WGraph(3, [(0, 1, 1.0)], node_weights=[1, 2, 3])
+        assert a.content_digest() == WGraph(3, [(0, 1, 1.0)]).content_digest()
+        assert len({x.content_digest() for x in (a, b, c)}) == 3

@@ -1,0 +1,303 @@
+"""Tests for the parallel execution layer (util.parallel + portfolio/GP).
+
+The load-bearing property is the determinism contract of
+``docs/parallel.md``: for every ``n_jobs``, ``parallel_map`` returns the
+same list a serial loop would, and therefore ``gp_partition``,
+``portfolio_partition`` and ``race_models`` return bit-identical
+partitions (assignments, metrics, goodness keys, ``info`` minus measured
+runtime) whether raced across processes or run in-process.  The
+differential corpus below pins exactly that, alongside cache-hit
+behaviour and the serial fallback taken on platforms without a usable
+process pool.
+
+Worker counts honour ``REPRO_TEST_JOBS`` (default 2) so CI can raise the
+parallelism without editing the suite.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import paper_graph, random_process_network
+from repro.partition.goodness import goodness_key
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.portfolio import (
+    clear_portfolio_cache,
+    portfolio_cache,
+    portfolio_partition,
+    race_models,
+)
+from repro.polyhedral.gallery import GALLERY
+from repro.util.errors import InfeasibleError, ReproError
+from repro.util.parallel import KeyedCache, parallel_map, resolve_jobs
+
+N_JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+def _die_if_worker(x):
+    import multiprocessing
+    import os
+    import signal
+
+    # SIGKILL only inside a pool worker; the serial fallback re-runs this
+    # in the parent, where it just returns
+    if x == 2 and multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("n_jobs", [1, N_JOBS])
+    def test_order_preserved(self, n_jobs):
+        assert parallel_map(_square, range(9), n_jobs=n_jobs) == [
+            x * x for x in range(9)
+        ]
+
+    @pytest.mark.parametrize("n_jobs", [1, N_JOBS])
+    def test_stop_truncates_in_task_order(self, n_jobs):
+        out = parallel_map(
+            _square, range(9), n_jobs=n_jobs, stop=lambda r: r >= 16
+        )
+        # everything up to and including the first stop hit, nothing after
+        assert out == [0, 1, 4, 9, 16]
+
+    @pytest.mark.parametrize("n_jobs", [1, N_JOBS])
+    def test_worker_exception_propagates(self, n_jobs):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_raise_on_three, range(6), n_jobs=n_jobs)
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], n_jobs=N_JOBS) == []
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(-1) >= 1
+        with pytest.raises(ReproError):
+            resolve_jobs(0)
+        with pytest.raises(ReproError):
+            resolve_jobs(-2)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        """Platforms where process pools cannot start must still compute."""
+        import concurrent.futures as cf
+
+        def broken(*a, **kw):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(cf, "ProcessPoolExecutor", broken)
+        assert parallel_map(_square, range(5), n_jobs=4) == [
+            0, 1, 4, 9, 16,
+        ]
+
+    def test_pool_death_mid_flight_falls_back_to_serial(self):
+        """A worker killed externally (OOM killer, ulimit) breaks the pool
+        with BrokenProcessPool; the call must recompute serially instead
+        of propagating it."""
+        assert parallel_map(_die_if_worker, range(5), n_jobs=2) == list(
+            range(5)
+        )
+
+
+class TestKeyedCache:
+    def test_lru_eviction(self):
+        c = KeyedCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # refreshes "a"
+        c.put("c", 3)  # evicts "b"
+        assert "b" not in c and c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+
+    def test_stats_and_clear(self):
+        c = KeyedCache()
+        assert c.get("x") is None
+        c.put("x", 7)
+        assert c.get("x") == 7
+        assert c.stats() == {"size": 1, "hits": 1, "misses": 1}
+        c.clear()
+        assert len(c) == 0 and c.stats()["hits"] == 0
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ReproError):
+            KeyedCache(maxsize=0)
+
+
+def differential_corpus():
+    g1, spec1 = paper_graph(1)
+    yield g1, spec1.k, ConstraintSpec(bmax=spec1.bmax, rmax=spec1.rmax)
+    g2, spec2 = paper_graph(2)
+    yield g2, spec2.k, ConstraintSpec(bmax=spec2.bmax, rmax=spec2.rmax)
+    g3 = random_process_network(40, 100, seed=11)
+    yield g3, 4, ConstraintSpec(bmax=60.0, rmax=0.5 * g3.total_node_weight)
+    g4 = random_process_network(25, 55, seed=3, node_weight_range=(10, 20))
+    yield g4, 3, ConstraintSpec(bmax=1.0, rmax=40.0)  # likely infeasible
+
+
+def assert_same_result(a, b, constraints):
+    assert np.array_equal(a.assign, b.assign)
+    assert a.metrics == b.metrics
+    assert goodness_key(a.metrics, constraints) == goodness_key(
+        b.metrics, constraints
+    )
+    assert a.algorithm == b.algorithm
+    assert a.info == b.info  # runtime lives outside info
+
+
+class TestParallelEqualsSerial:
+    def test_gp_differential(self):
+        cfg = GPConfig(max_cycles=4, restarts=3)
+        for i, (g, k, cons) in enumerate(differential_corpus()):
+            serial = gp_partition(g, k, cons, cfg, seed=i)
+            parallel = gp_partition(g, k, cons, cfg, seed=i, n_jobs=N_JOBS)
+            assert_same_result(serial, parallel, cons)
+
+    def test_portfolio_differential(self):
+        configs = [
+            GPConfig(max_cycles=2, restarts=2),
+            GPConfig(max_cycles=2, restarts=2, matchings=("hem",)),
+            GPConfig(max_cycles=1, restarts=4, level_candidates=2),
+        ]
+        for i, (g, k, cons) in enumerate(differential_corpus()):
+            serial = portfolio_partition(
+                g, k, cons, configs=configs, seed=i, cache=False
+            )
+            parallel = portfolio_partition(
+                g, k, cons, configs=configs, seed=i, n_jobs=N_JOBS, cache=False
+            )
+            assert_same_result(serial, parallel, cons)
+
+    def test_portfolio_stop_on_feasible_differential(self):
+        g, spec = paper_graph(1)
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        serial = portfolio_partition(
+            g, spec.k, cons, seed=0, stop_on_feasible=True, cache=False
+        )
+        parallel = portfolio_partition(
+            g, spec.k, cons, seed=0, stop_on_feasible=True,
+            n_jobs=N_JOBS, cache=False,
+        )
+        assert_same_result(serial, parallel, cons)
+        assert serial.info["members"] <= 4
+
+    def test_race_models_differential(self):
+        prog = GALLERY["split_merge"]()
+        cons = ConstraintSpec()
+        serial = race_models(prog, 2, cons, seed=0)
+        parallel = race_models(prog, 2, cons, seed=0, n_jobs=N_JOBS)
+        assert np.array_equal(serial.assign, parallel.assign)
+        assert serial.metrics == parallel.metrics
+        assert serial.info["winner"] == parallel.info["winner"]
+
+    def test_gp_n_jobs_minus_one(self):
+        g, spec = paper_graph(1)
+        cons = ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+        cfg = GPConfig(max_cycles=2, restarts=2)
+        a = gp_partition(g, spec.k, cons, cfg, seed=0)
+        b = gp_partition(g, spec.k, cons, cfg, seed=0, n_jobs=-1)
+        assert_same_result(a, b, cons)
+
+
+class TestPortfolioCache:
+    def setup_method(self):
+        clear_portfolio_cache()
+
+    def teardown_method(self):
+        clear_portfolio_cache()
+
+    def _instance(self):
+        g, spec = paper_graph(1)
+        return g, spec.k, ConstraintSpec(bmax=spec.bmax, rmax=spec.rmax)
+
+    def test_hit_returns_identical_flagged_copy(self):
+        g, k, cons = self._instance()
+        configs = [GPConfig(max_cycles=2, restarts=2)]
+        first = portfolio_partition(g, k, cons, configs=configs, seed=0)
+        assert "cache_hit" not in first.info
+        second = portfolio_partition(g, k, cons, configs=configs, seed=0)
+        assert second.info["cache_hit"] is True
+        assert np.array_equal(first.assign, second.assign)
+        assert first.metrics == second.metrics
+        assert second.assign is not first.assign  # no aliasing
+        assert portfolio_cache.stats()["hits"] == 1
+
+    def test_equal_graph_rebuild_hits(self):
+        """The key is the graph *content*, not the object identity."""
+        g, k, cons = self._instance()
+        configs = [GPConfig(max_cycles=1, restarts=2)]
+        portfolio_partition(g, k, cons, configs=configs, seed=0)
+        g2, _ = paper_graph(1)
+        res = portfolio_partition(g2, k, cons, configs=configs, seed=0)
+        assert res.info.get("cache_hit") is True
+
+    def test_different_parameters_miss(self):
+        g, k, cons = self._instance()
+        configs = [GPConfig(max_cycles=1, restarts=2)]
+        portfolio_partition(g, k, cons, configs=configs, seed=0)
+        for kwargs in (
+            {"seed": 1},
+            {"seed": 0, "stop_on_feasible": True},
+            {"seed": 0, "configs": [GPConfig(max_cycles=1, restarts=3)]},
+        ):
+            kwargs.setdefault("configs", configs)
+            res = portfolio_partition(g, k, cons, **kwargs)
+            assert "cache_hit" not in res.info
+        assert portfolio_cache.stats()["hits"] == 0
+
+    def test_list_matchings_config_is_cacheable(self):
+        """GPConfig normalises matchings to a tuple, so a list-spelled
+        config must neither crash the cache key nor miss against the
+        tuple spelling."""
+        g, k, cons = self._instance()
+        res = portfolio_partition(
+            g, k, cons,
+            configs=[GPConfig(max_cycles=1, restarts=2, matchings=["hem"])],
+            seed=0,
+        )
+        assert "cache_hit" not in res.info
+        res2 = portfolio_partition(
+            g, k, cons,
+            configs=[GPConfig(max_cycles=1, restarts=2, matchings=("hem",))],
+            seed=0,
+        )
+        assert res2.info.get("cache_hit") is True
+        assert np.array_equal(res.assign, res2.assign)
+
+    def test_generator_seed_not_cached(self):
+        g, k, cons = self._instance()
+        configs = [GPConfig(max_cycles=1, restarts=2)]
+        rng = np.random.default_rng(0)
+        portfolio_partition(g, k, cons, configs=configs, seed=rng)
+        assert len(portfolio_cache) == 0
+
+    def test_cache_false_bypasses(self):
+        g, k, cons = self._instance()
+        configs = [GPConfig(max_cycles=1, restarts=2)]
+        portfolio_partition(g, k, cons, configs=configs, seed=0, cache=False)
+        assert len(portfolio_cache) == 0
+
+    def test_cached_infeasible_still_raises(self):
+        g = random_process_network(8, 14, seed=0, node_weight_range=(10, 20))
+        cons = ConstraintSpec(bmax=0.0, rmax=1.0)
+        configs = [GPConfig(max_cycles=1, restarts=1)]
+        res = portfolio_partition(g, 2, cons, configs=configs, seed=0)
+        assert not res.feasible
+        with pytest.raises(InfeasibleError):
+            portfolio_partition(
+                g, 2, cons, configs=configs, seed=0, on_infeasible="raise"
+            )
+        # and the raising path reused the cached run
+        assert portfolio_cache.stats()["hits"] == 1
