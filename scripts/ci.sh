@@ -11,7 +11,11 @@
 # parallel-execution differential suite with real worker processes
 # (REPRO_TEST_JOBS=2: parallel==serial bit-identity, cache behaviour,
 # vectorized-vs-legacy coarsening) so a determinism break is named even
-# when stage 1 already caught it.
+# when stage 1 already caught it; stage 5 runs the evolutionary-search
+# suite with real workers plus the X12 equal-budget smoke benchmark
+# (evolve vs restart-only GP vs portfolio on LU + multicast synthetics;
+# the gated asserts fail the stage if the EA ever loses to GP, and the
+# artefact lands in benchmarks/artifacts/x12_evolve_quality.txt).
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -35,5 +39,12 @@ echo "== stage 4: parallel differential suite (n_jobs=2) =="
 REPRO_TEST_JOBS=2 python -m pytest -q \
   tests/test_parallel_portfolio.py \
   tests/test_coarsen_vectorized.py
+
+echo "== stage 5: evolutionary search suite + equal-budget smoke =="
+REPRO_TEST_JOBS=2 python -m pytest -q \
+  tests/test_evolve.py \
+  tests/test_rng_properties.py \
+  tests/test_cli_parity.py
+python -m pytest -q benchmarks/bench_evolve.py
 
 echo "CI OK"

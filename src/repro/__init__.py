@@ -8,6 +8,8 @@ Public API highlights
   multi-level K-way partitioner ("GP").
 * :func:`repro.partition.mlkp.mlkp_partition` — METIS-like unconstrained
   multilevel baseline.
+* :func:`repro.evolve.evolve_partition` — memetic population search with
+  V-cycle recombination over the graph and hypergraph engines.
 * :mod:`repro.polyhedral` — SANLP → Polyhedral Process Network derivation.
 * :mod:`repro.kpn` — process-network simulator (bandwidth measurement).
 * :mod:`repro.fpga` — multi-FPGA platform model and mapping validator.

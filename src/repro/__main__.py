@@ -1,4 +1,11 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Delegates to :func:`repro.cli.main` unchanged, so the module form exposes
+the **full** CLI surface — every subcommand and option of the ``repro``
+console script and of ``python -m repro.cli``.  The three invocations are
+kept identical by ``tests/test_cli_parity.py`` (subcommand-set parity on
+``--help``).
+"""
 
 import sys
 

@@ -13,6 +13,16 @@ Usage (see ``python -m repro --help``):
 * ``python -m repro generate --n 12 --m 30 --out g.json`` — synthesise a
   process-network instance; with ``--fanout F`` a multicast-heavy
   *hypergraph* instance is written instead (``.hgr``).
+* ``python -m repro cache [--clear]`` — inspect (or drop) the in-process
+  portfolio/evolve memo caches; ``partition --no-cache`` forces a cold
+  evolve run.
+
+``--method evolve`` selects the memetic population search (either
+``--model``); ``--generations`` / ``--time-budget`` / ``--pop-size``
+shape its budget (see ``docs/evolve.md``).
+
+``python -m repro`` and the ``repro`` console script expose the identical
+surface (``tests/test_cli_parity.py`` pins the parity).
 """
 
 from __future__ import annotations
@@ -25,6 +35,12 @@ from pathlib import Path
 from repro.bench.experiments import paper_experiment_table
 from repro.bench.figures import write_figure_artifacts
 from repro.core.api import partition_graph
+from repro.evolve.ea import (
+    EvolveConfig,
+    clear_evolve_cache,
+    evolve_cache,
+    evolve_partition,
+)
 from repro.core.report import comparison_report
 from repro.graph.generators import multicast_network, random_process_network
 from repro.graph.io import graph_from_json, graph_to_json
@@ -34,6 +50,7 @@ from repro.graph.wgraph import WGraph
 from repro.hypergraph.hgraph import HGraph
 from repro.hypergraph.partition import hyper_partition
 from repro.partition.metrics import ConstraintSpec
+from repro.partition.portfolio import clear_portfolio_cache, portfolio_cache
 from repro.util.errors import ReproError
 from repro.viz.ascii_art import render_ascii
 from repro.viz.dot import to_dot
@@ -88,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--method",
         default="gp",
-        choices=["gp", "mlkp", "spectral", "exact", "hyper"],
+        choices=["gp", "mlkp", "spectral", "exact", "hyper", "evolve"],
     )
     p.add_argument(
         "--model",
@@ -99,10 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="worker processes racing GP's retry cycles "
-                        "(-1 = all CPUs; results are bit-identical to "
-                        "--jobs 1, only faster; --method gp with "
-                        "--model graph only)")
+                   help="worker processes racing the method's independent "
+                        "randomized work (-1 = all CPUs; results are "
+                        "bit-identical to --jobs 1, only faster; --method "
+                        "gp with --model graph, or --method evolve with "
+                        "either model)")
+    p.add_argument("--generations", type=int, default=None, metavar="G",
+                   help="evolve: generation cap (--method evolve only)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="evolve: wall-clock budget in seconds, checked at "
+                        "generation boundaries (--method evolve only)")
+    p.add_argument("--pop-size", type=int, default=None, metavar="P",
+                   help="evolve: population size (--method evolve only)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the in-process evolve memo cache (cold run; "
+                        "--method evolve only)")
     p.add_argument("--compare", action="store_true",
                    help="also run the METIS-like baseline and compare")
     p.add_argument("--dot", metavar="FILE", help="write partitioned DOT here")
@@ -132,20 +160,59 @@ def build_parser() -> argparse.ArgumentParser:
                         "then sets the backbone chain-net range (broadcast "
                         "nets stay heavier)")
     g.add_argument("--out", required=True, help="output .json (or .hgr) path")
+
+    c = sub.add_parser(
+        "cache",
+        help="inspect or clear the in-process portfolio/evolve memo caches",
+    )
+    c.add_argument("--clear", action="store_true",
+                   help="drop every memoised portfolio and evolve result")
     return parser
+
+
+def _evolve_config(args: argparse.Namespace) -> EvolveConfig | None:
+    """EvolveConfig from the CLI budget knobs (None = library defaults);
+    rejects the knobs for every other method so they stay honest."""
+    if args.method != "evolve":
+        given = [
+            name
+            for name, v in (
+                ("--generations", args.generations),
+                ("--time-budget", args.time_budget),
+                ("--pop-size", args.pop_size),
+            )
+            if v is not None  # `v` may be a legitimate (if invalid) 0
+        ]
+        if args.no_cache:
+            given.append("--no-cache")
+        if given:
+            raise ReproError(
+                f"{', '.join(given)} applies to --method evolve only"
+            )
+        return None
+    fields = {}
+    if args.generations is not None:
+        fields["generations"] = args.generations
+    if args.time_budget is not None:
+        fields["time_budget"] = args.time_budget
+    if args.pop_size is not None:
+        fields["pop_size"] = args.pop_size
+    return EvolveConfig(**fields) if fields else None
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     constraints = ConstraintSpec(bmax=args.bmax, rmax=args.rmax)
+    evolve_cfg = _evolve_config(args)
     if args.model == "hypergraph":
-        if args.method not in ("gp", "hyper"):
+        if args.method not in ("gp", "hyper", "evolve"):
             raise ReproError(
-                f"--model hypergraph supports --method gp/hyper, "
+                f"--model hypergraph supports --method gp/hyper/evolve, "
                 f"got {args.method!r}"
             )
-        if args.jobs not in (None, 1):
+        if args.jobs not in (None, 1) and args.method != "evolve":
             raise ReproError(
-                "--jobs applies to --model graph with --method gp only"
+                "--jobs applies to --method gp with --model graph, "
+                "or --method evolve with either model"
             )
         if args.dot:
             raise ReproError(
@@ -153,7 +220,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                 "--model graph or export the instance via star expansion"
             )
         hg = _load_hypergraph(args.input)
-        result = hyper_partition(hg, args.k, constraints, seed=args.seed)
+        if args.method == "evolve":
+            result = evolve_partition(
+                hg, args.k, constraints, config=evolve_cfg, seed=args.seed,
+                n_jobs=args.jobs, cache=not args.no_cache,
+            )
+        else:
+            result = hyper_partition(hg, args.k, constraints, seed=args.seed)
         results = [result]
         if args.compare:
             # the 2-pin edge-cut baseline: GP on the per-consumer star
@@ -187,11 +260,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print(f"wrote {args.assign_out}")
         return 0 if result.feasible or constraints.unconstrained else 2
     g = _load_graph(args.input)
-    if args.jobs not in (None, 1) and args.method != "gp":
-        raise ReproError("--jobs applies to --method gp only")
+    if args.jobs not in (None, 1) and args.method not in ("gp", "evolve"):
+        raise ReproError("--jobs applies to --method gp or evolve only")
     result = partition_graph(
         g, args.k, bmax=args.bmax, rmax=args.rmax,
-        method=args.method, seed=args.seed, n_jobs=args.jobs,
+        method=args.method, seed=args.seed, config=evolve_cfg,
+        n_jobs=args.jobs, cache=not args.no_cache,
     )
     results = [result]
     if args.compare and args.method != "mlkp":
@@ -277,11 +351,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Report (and optionally clear) the in-process memo caches.
+
+    The caches live in this process only — ``cache --clear`` matters for
+    long-lived hosts of :func:`main` (notebooks, tests, benchmark
+    harnesses), not across separate CLI invocations; cold *runs* are what
+    ``partition --no-cache`` is for.
+    """
+    if args.clear:
+        clear_portfolio_cache()
+        clear_evolve_cache()
+        print("cleared portfolio and evolve caches")
+    for name, c in (("portfolio", portfolio_cache), ("evolve", evolve_cache)):
+        s = c.stats()
+        print(f"{name}: size={s['size']} hits={s['hits']} misses={s['misses']}")
+    return 0
+
+
 _COMMANDS = {
     "partition": _cmd_partition,
     "tables": _cmd_tables,
     "figures": _cmd_figures,
     "generate": _cmd_generate,
+    "cache": _cmd_cache,
 }
 
 
@@ -293,3 +386,7 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - `python -m repro.cli`
+    sys.exit(main())

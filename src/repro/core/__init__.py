@@ -8,8 +8,10 @@ True
 
 from repro.core.api import map_to_fpgas, partition_graph, partition_ppn
 from repro.core.report import comparison_report, result_table
+from repro.evolve.ea import EvolveConfig, clear_evolve_cache, evolve_partition
 from repro.partition.gp import GPConfig
 from repro.partition.metrics import ConstraintSpec
+from repro.partition.portfolio import clear_portfolio_cache, portfolio_partition
 
 __all__ = [
     "partition_graph",
@@ -18,5 +20,10 @@ __all__ = [
     "result_table",
     "comparison_report",
     "GPConfig",
+    "EvolveConfig",
     "ConstraintSpec",
+    "evolve_partition",
+    "portfolio_partition",
+    "clear_evolve_cache",
+    "clear_portfolio_cache",
 ]

@@ -3,9 +3,11 @@
 ``partition_graph``
     Graph + constraints → :class:`~repro.partition.base.PartitionResult`
     via any of the partitioners: the paper's constrained ``"gp"``, the
-    METIS-like ``"mlkp"``, ``"spectral"``, ``"exact"``, or ``"hyper"`` —
+    METIS-like ``"mlkp"``, ``"spectral"``, ``"exact"``, ``"hyper"`` —
     the connectivity-metric multilevel partitioner run on the graph's
-    2-pin hypergraph lift (equivalent objective, hypergraph machinery).
+    2-pin hypergraph lift (equivalent objective, hypergraph machinery) —
+    or ``"evolve"``, the memetic population search over the GP machinery
+    (see ``docs/evolve.md``).
 
 ``partition_ppn``
     SANLP or derived PPN → mapping model → partition.  Two traffic models:
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.evolve.ea import EvolveConfig, evolve_partition
 from repro.fpga.mapping import Mapping
 from repro.fpga.system import MultiFPGASystem
 from repro.graph.wgraph import WGraph
@@ -45,8 +48,10 @@ from repro.util.errors import PartitionError
 
 __all__ = ["partition_graph", "partition_ppn", "map_to_fpgas"]
 
-_METHODS = ("gp", "mlkp", "spectral", "exact", "hyper")
+_METHODS = ("gp", "mlkp", "spectral", "exact", "hyper", "evolve")
 _MODELS = ("graph", "hypergraph")
+#: Methods with independent randomized work to race across processes.
+_JOBS_METHODS = ("gp", "evolve")
 
 
 def partition_graph(
@@ -56,28 +61,49 @@ def partition_graph(
     rmax: float = float("inf"),
     method: str = "gp",
     seed=None,
-    config: GPConfig | HyperConfig | None = None,
+    config: GPConfig | HyperConfig | EvolveConfig | None = None,
     n_jobs: int | None = 1,
+    cache: bool = True,
 ) -> PartitionResult:
     """Partition *g* into *k* parts under the paper's two constraints.
 
     *method*: ``"gp"`` (the paper's constrained partitioner, default),
     ``"mlkp"`` (METIS-like, constraints audited only), ``"spectral"``,
-    ``"exact"`` (≤20 nodes, constraints enforced), or ``"hyper"`` (the
+    ``"exact"`` (≤20 nodes, constraints enforced), ``"hyper"`` (the
     connectivity-metric multilevel partitioner on the 2-pin hypergraph
-    lift; takes a :class:`~repro.hypergraph.partition.HyperConfig`).
+    lift; takes a :class:`~repro.hypergraph.partition.HyperConfig`), or
+    ``"evolve"`` (the memetic population search; takes an
+    :class:`~repro.evolve.ea.EvolveConfig`, see ``docs/evolve.md``).
 
-    *n_jobs* races GP's randomized retry cycles across worker processes
-    (``-1`` = all CPUs); results are bit-identical for every value (see
-    ``docs/parallel.md``).  It is honoured by ``method="gp"`` — the other
-    methods are deterministic single-pass algorithms with nothing
-    independent to race — and rejected with any other method to keep the
-    knob honest.
+    *n_jobs* races the method's independent randomized work across worker
+    processes (``-1`` = all CPUs): GP's retry cycles, or evolve's seeding
+    members and offspring batches; results are bit-identical for every
+    value (see ``docs/parallel.md``).  It is honoured by ``"gp"`` and
+    ``"evolve"`` — the other methods are deterministic single-pass
+    algorithms with nothing independent to race — and rejected with any
+    other method to keep the knob honest.  *cache* likewise belongs to
+    ``"evolve"`` only (the sole memoised method here; ``cache=False``
+    forces a cold run) and is rejected elsewhere.
     """
     constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
-    if n_jobs not in (None, 1) and method != "gp":
+    if n_jobs not in (None, 1) and method not in _JOBS_METHODS:
         raise PartitionError(
-            f"n_jobs is only supported by method='gp', got method={method!r}"
+            f"n_jobs is only supported by methods {_JOBS_METHODS}, "
+            f"got method={method!r}"
+        )
+    if cache is not True and method != "evolve":
+        raise PartitionError(
+            f"cache is only supported by method='evolve', got method={method!r}"
+        )
+    if method == "evolve":
+        if config is not None and not isinstance(config, EvolveConfig):
+            raise PartitionError(
+                f"method='evolve' takes an EvolveConfig, "
+                f"got {type(config).__name__}"
+            )
+        return evolve_partition(
+            g, k, constraints, config=config, seed=seed, n_jobs=n_jobs,
+            cache=cache,
         )
     if method == "gp":
         if config is not None and not isinstance(config, GPConfig):
@@ -117,20 +143,25 @@ def partition_ppn(
     bandwidth_mode: str = "tokens",
     bandwidth_scale: float = 1.0,
     seed=None,
-    config: GPConfig | HyperConfig | None = None,
+    config: GPConfig | HyperConfig | EvolveConfig | None = None,
     n_jobs: int | None = 1,
+    cache: bool = True,
 ) -> tuple[PartitionResult, WGraph | HGraph, list[str]]:
     """Derive (if needed), weight, and partition a process network.
 
     With ``model="graph"`` the PPN is flattened to the paper's 2-pin
     mapping graph and *method* picks the graph partitioner.  With
-    ``model="hypergraph"`` multicast channels stay hyperedges and the
-    connectivity-metric partitioner runs (*method* must be ``"gp"`` or
-    ``"hyper"``; only ``bandwidth_mode="tokens"`` weights exist for nets).
+    ``model="hypergraph"`` multicast channels stay hyperedges and a
+    connectivity-metric partitioner runs (*method* must be ``"gp"``,
+    ``"hyper"`` or ``"evolve"`` — the latter is the memetic search on the
+    hypergraph engine; only ``bandwidth_mode="tokens"`` weights exist for
+    nets).
 
-    *n_jobs* is forwarded to :func:`partition_graph` (GP cycle racing;
-    ``model="graph"`` + ``method="gp"`` only — the hypergraph path
-    rejects it like every non-GP method).
+    *n_jobs* and *cache* are forwarded to the partitioner under
+    :func:`partition_graph`'s rules — ``n_jobs`` needs a method with
+    independent randomized work (``"gp"`` / ``"evolve"``), ``cache``
+    belongs to ``"evolve"``; both are rejected elsewhere to keep the
+    knobs honest.
 
     Returns ``(result, mapping_structure, names)`` — the second element is
     the :class:`WGraph` or :class:`HGraph` that was partitioned, and
@@ -144,9 +175,9 @@ def partition_ppn(
         else derive_ppn(program_or_ppn)
     )
     if model == "hypergraph":
-        if method not in ("gp", "hyper"):
+        if method not in ("gp", "hyper", "evolve"):
             raise PartitionError(
-                f"model='hypergraph' supports methods 'gp'/'hyper', "
+                f"model='hypergraph' supports methods 'gp'/'hyper'/'evolve', "
                 f"got {method!r}"
             )
         if bandwidth_mode != "tokens":
@@ -154,6 +185,21 @@ def partition_ppn(
                 "model='hypergraph' supports only bandwidth_mode='tokens' "
                 f"(net weights are token-set sizes), got {bandwidth_mode!r}"
             )
+        constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
+        # argument validation strictly before the PPN → hypergraph
+        # conversion: a bad knob must not cost the conversion first
+        if method == "evolve":
+            if config is not None and not isinstance(config, EvolveConfig):
+                raise PartitionError(
+                    "method='evolve' takes an EvolveConfig, got "
+                    f"{type(config).__name__}"
+                )
+            hg, names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
+            result = evolve_partition(
+                hg, k, constraints, config=config, seed=seed, n_jobs=n_jobs,
+                cache=cache,
+            )
+            return result, hg, names
         if config is not None and not isinstance(config, HyperConfig):
             raise PartitionError(
                 "model='hypergraph' takes a HyperConfig, got "
@@ -161,10 +207,15 @@ def partition_ppn(
             )
         if n_jobs not in (None, 1):
             raise PartitionError(
-                "n_jobs is only supported by model='graph' with method='gp'"
+                "n_jobs needs a method with independent randomized work; "
+                "with model='hypergraph' that is method='evolve'"
+            )
+        if cache is not True:
+            raise PartitionError(
+                "cache is only supported by method='evolve', "
+                f"got method={method!r}"
             )
         hg, names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
-        constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
         result = hyper_partition(hg, k, constraints, config=config, seed=seed)
         return result, hg, names
     g, names = ppn_to_mapped_graph(
@@ -172,7 +223,7 @@ def partition_ppn(
     )
     result = partition_graph(
         g, k, bmax=bmax, rmax=rmax, method=method, seed=seed, config=config,
-        n_jobs=n_jobs,
+        n_jobs=n_jobs, cache=cache,
     )
     return result, g, names
 

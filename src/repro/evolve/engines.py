@@ -1,0 +1,179 @@
+"""Engine adapters: one facade over the graph and hypergraph substrates.
+
+The evolutionary loop (:mod:`repro.evolve.ea`) and its operators
+(:mod:`repro.evolve.operators`) are written once against the small surface
+defined here; :func:`make_engine` dispatches on the structure type.  Both
+adapters funnel refinement through the engine-agnostic
+:func:`~repro.partition.kway_refine.run_constrained_fm` seam, so the EA
+inherits the exact move ordering, tie-breaking and best-prefix discipline
+of the GP refinement on either substrate:
+
+* :class:`GraphEngine` — :class:`~repro.graph.wgraph.WGraph` under the
+  edge-cut objective, refined on
+  :class:`~repro.partition.refine_state.RefinementState`.
+* :class:`HyperEngine` — :class:`~repro.hypergraph.hgraph.HGraph` under the
+  (λ−1) connectivity objective, refined on
+  :class:`~repro.hypergraph.refine_state.HyperRefinementState`.
+
+An adapter is stateless apart from the structure/k it wraps: every method
+takes the (possibly coarsened) structure it operates on, so one adapter
+serves a whole restricted-coarsening hierarchy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.wgraph import WGraph
+from repro.hypergraph.coarsen import contract_hyper, heavy_pin_matching
+from repro.hypergraph.hgraph import HGraph
+from repro.hypergraph.metrics import evaluate_hyper_partition
+from repro.hypergraph.refine_state import HyperRefinementState
+from repro.partition.coarsen import contract
+from repro.partition.kway_refine import run_constrained_fm
+from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.partition.refine_state import RefinementState
+from repro.partition.vcycle import intra_part_matching
+from repro.util.errors import PartitionError
+
+__all__ = ["GraphEngine", "HyperEngine", "make_engine"]
+
+
+class GraphEngine:
+    """The 2-pin edge-cut substrate behind the uniform engine surface."""
+
+    kind = "graph"
+
+    def __init__(self, g: WGraph, k: int) -> None:
+        self.structure = g
+        self.k = int(k)
+
+    def digest(self) -> str:
+        return self.structure.content_digest()
+
+    def make_state(self, structure: WGraph, assign: np.ndarray):
+        return RefinementState(structure, assign, self.k)
+
+    def neighbors(self, structure: WGraph, u: int) -> np.ndarray:
+        return structure.neighbors(u)
+
+    def evaluate(self, assign: np.ndarray, constraints: ConstraintSpec):
+        return evaluate_partition(self.structure, assign, self.k, constraints)
+
+    def fm(
+        self,
+        structure: WGraph,
+        assign: np.ndarray,
+        constraints: ConstraintSpec,
+        max_passes: int,
+        seed,
+    ):
+        """One constrained-FM call; returns ``(assign, tracked metrics)``.
+
+        Never returns an assignment worse than its input under the FM key
+        (best-prefix rollback) — the property the recombination invariant
+        leans on.
+        """
+        return self.fm_state(
+            structure, self.make_state(structure, assign), constraints,
+            max_passes, seed,
+        )
+
+    def fm_state(self, structure: WGraph, st, constraints, max_passes, seed):
+        """:meth:`fm` on an already-built (possibly moved-on) engine state —
+        callers that just mutated through ``st.move`` skip a rebuild."""
+        out = run_constrained_fm(
+            st, structure.n, structure.neighbors, constraints,
+            max_passes=max_passes, seed=seed,
+        )
+        return out, st.metrics(constraints)
+
+    def restricted_matching(
+        self, structure: WGraph, labels: np.ndarray, n_labels: int, seed
+    ) -> np.ndarray:
+        """A matching that never pairs nodes with different *labels* —
+        :func:`~repro.partition.vcycle.intra_part_matching` generalized to
+        arbitrary label vectors (the recombination overlay has up to ``k²``
+        classes)."""
+        return intra_part_matching(
+            structure, labels, n_labels, method="hem", seed=seed
+        )
+
+    def contract(self, structure: WGraph, match: np.ndarray):
+        return contract(structure, match)
+
+
+class HyperEngine:
+    """The (λ−1) connectivity substrate behind the uniform engine surface."""
+
+    kind = "hypergraph"
+
+    def __init__(self, hg: HGraph, k: int) -> None:
+        self.structure = hg
+        self.k = int(k)
+
+    def digest(self) -> str:
+        return self.structure.content_digest()
+
+    def make_state(self, structure: HGraph, assign: np.ndarray):
+        return HyperRefinementState(structure, assign, self.k)
+
+    def neighbors(self, structure: HGraph, u: int) -> np.ndarray:
+        return structure.adjacent_nodes(u)
+
+    def evaluate(self, assign: np.ndarray, constraints: ConstraintSpec):
+        return evaluate_hyper_partition(
+            self.structure, assign, self.k, constraints
+        )
+
+    def fm(
+        self,
+        structure: HGraph,
+        assign: np.ndarray,
+        constraints: ConstraintSpec,
+        max_passes: int,
+        seed,
+    ):
+        return self.fm_state(
+            structure, self.make_state(structure, assign), constraints,
+            max_passes, seed,
+        )
+
+    def fm_state(self, structure: HGraph, st, constraints, max_passes, seed):
+        """:meth:`fm` on an already-built Φ engine state (see GraphEngine)."""
+        out = run_constrained_fm(
+            st, structure.n, structure.adjacent_nodes, constraints,
+            max_passes=max_passes, seed=seed,
+        )
+        return out, st.metrics(constraints)
+
+    def restricted_matching(
+        self, structure: HGraph, labels: np.ndarray, n_labels: int, seed
+    ) -> np.ndarray:
+        """Heavy-pin matching with every label-crossing pair unmatched —
+        the hypergraph analogue of the graph engine's restricted matching
+        (contraction of the result preserves every label class exactly)."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (structure.n,):
+            raise PartitionError(
+                f"labels have shape {labels.shape}, expected ({structure.n},)"
+            )
+        match = heavy_pin_matching(structure, seed=seed).copy()
+        crossing = labels != labels[match]
+        match[crossing] = np.arange(structure.n, dtype=np.int64)[crossing]
+        return match
+
+    def contract(self, structure: HGraph, match: np.ndarray):
+        return contract_hyper(structure, match)
+
+
+def make_engine(structure, k: int):
+    """Adapter for *structure*: :class:`WGraph` → :class:`GraphEngine`,
+    :class:`HGraph` → :class:`HyperEngine`."""
+    if isinstance(structure, WGraph):
+        return GraphEngine(structure, k)
+    if isinstance(structure, HGraph):
+        return HyperEngine(structure, k)
+    raise PartitionError(
+        f"evolve needs a WGraph or HGraph, got {type(structure).__name__}"
+    )

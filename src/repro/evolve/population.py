@@ -1,0 +1,163 @@
+"""Fixed-size population with goodness-ranked, diversity-aware replacement.
+
+The memetic search (:mod:`repro.evolve.ea`) keeps a small pool of
+high-quality partitions and improves it monotonically:
+
+* **Ranking** — individuals are ordered by the GP goodness key
+  (:func:`~repro.partition.goodness.goodness_key`): total violation first,
+  cut last.  The pool's best individual can therefore never get worse.
+* **Replacement** — an offspring enters a full pool only by evicting a
+  member whose key is no better (strictly worse, or tied-worst).  Among
+  the members tied at the worst key, the one with the **smallest Hamming
+  distance** to the incoming offspring is evicted — similar solutions
+  compete for one slot, dissimilar ones coexist (the diversity rule of
+  Moreira/Popp/Schulz's evolutionary acyclic partitioner and KaHyPar-E).
+* **Duplicate rejection** — an offspring identical to a member (Hamming
+  distance 0) is always rejected; a pool of clones would make
+  recombination a no-op.
+* **Stagnation detection** — :meth:`Population.note_generation` counts
+  consecutive generations without an improvement of the best key;
+  the EA injects a fresh immigrant when the count crosses its limit.
+
+Hamming distance is taken on the raw assignment vectors (label-sensitive):
+two partitions equal up to a part relabelling count as distant, which is
+exactly what recombination wants — their overlay still has many classes,
+so the child can mix real structural alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.metrics import PartitionMetrics
+from repro.util.errors import PartitionError
+
+__all__ = ["Individual", "Population", "hamming"]
+
+
+def hamming(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of nodes assigned to different parts by *a* and *b*."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise PartitionError(
+            f"cannot compare assignments of shapes {a.shape} and {b.shape}"
+        )
+    return int((a != b).sum())
+
+
+@dataclass(frozen=True)
+class Individual:
+    """One member of the population.
+
+    Attributes
+    ----------
+    assign:
+        Node → part assignment (not copied; treat as immutable).
+    metrics:
+        Evaluated :class:`~repro.partition.metrics.PartitionMetrics`.
+    key:
+        Goodness key of *metrics* (lower is better) — stored so ranking
+        never re-derives it.
+    origin:
+        Provenance tag (``"seed"``, ``"recombine"``, ``"perturb"``,
+        ``"walk"``, ``"immigrant"``), kept for the run history.
+    """
+
+    assign: np.ndarray
+    metrics: PartitionMetrics
+    key: tuple
+    origin: str = "seed"
+
+
+class Population:
+    """Goodness-ranked pool of at most *size* individuals."""
+
+    def __init__(self, size: int) -> None:
+        if size < 2:
+            raise PartitionError(f"population size must be >= 2, got {size}")
+        self.size = int(size)
+        self.members: list[Individual] = []
+        self._last_best_key: tuple | None = None
+        self.stagnation = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def best(self) -> Individual:
+        """The member with the smallest key (earliest-inserted among ties)."""
+        if not self.members:
+            raise PartitionError("population is empty")
+        return min(
+            zip(self.members, range(len(self.members))),
+            key=lambda mi: (mi[0].key, mi[1]),
+        )[0]
+
+    @property
+    def worst_key(self) -> tuple:
+        if not self.members:
+            raise PartitionError("population is empty")
+        return max(m.key for m in self.members)
+
+    def add(self, ind: Individual) -> str:
+        """Insert *ind* under the replacement rules.
+
+        Returns ``"added"`` (pool had room), ``"replaced"`` (a tied-or-worse
+        member was evicted) or ``"rejected"`` (duplicate, or worse than the
+        entire pool).
+        """
+        for m in self.members:
+            if hamming(m.assign, ind.assign) == 0:
+                return "rejected"
+        if len(self.members) < self.size:
+            self.members.append(ind)
+            return "added"
+        worst = self.worst_key
+        if ind.key > worst:
+            return "rejected"
+        # evict the tied-worst member most similar to the newcomer
+        tied = [i for i, m in enumerate(self.members) if m.key == worst]
+        evict = min(tied, key=lambda i: (hamming(self.members[i].assign,
+                                                 ind.assign), i))
+        self.members[evict] = ind
+        return "replaced"
+
+    # ------------------------------------------------------------------ #
+    def note_generation(self) -> bool:
+        """Record a generation boundary; returns True iff the best key
+        improved since the previous boundary (stagnation resets then)."""
+        best = self.best.key
+        improved = self._last_best_key is None or best < self._last_best_key
+        if improved:
+            self.stagnation = 0
+        else:
+            self.stagnation += 1
+        self._last_best_key = best
+        return improved
+
+    def reset_stagnation(self) -> None:
+        """Called by the EA after injecting an immigrant."""
+        self.stagnation = 0
+
+    def diversity(self) -> float:
+        """Mean pairwise Hamming distance (0 for pools of fewer than 2)."""
+        m = len(self.members)
+        if m < 2:
+            return 0.0
+        total = 0
+        for i in range(m):
+            for j in range(i + 1, m):
+                total += hamming(self.members[i].assign, self.members[j].assign)
+        return total / (m * (m - 1) / 2)
+
+    def __repr__(self) -> str:
+        keys = sorted(m.key for m in self.members)
+        head = keys[0] if keys else None
+        return (
+            f"Population(size={self.size}, members={len(self.members)}, "
+            f"best={head}, stagnation={self.stagnation})"
+        )

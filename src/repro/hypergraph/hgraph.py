@@ -70,6 +70,7 @@ class HGraph:
         "_inc_nets",
         "_pin_net_ids",
         "_adj_cache",
+        "_digest",
     )
 
     def __init__(
@@ -159,6 +160,33 @@ class HGraph:
                   inc_indptr, self._inc_nets):
             a.setflags(write=False)
         self._adj_cache: dict[int, np.ndarray] = {}
+        self._digest: str | None = None
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the full hypergraph content.
+
+        Two hypergraphs compare ``==`` iff their digests agree (structure,
+        both weight kinds, and roots all participate), so the digest is a
+        safe dictionary key for memoising partitioning results — the
+        hypergraph counterpart of :meth:`WGraph.content_digest
+        <repro.graph.wgraph.WGraph.content_digest>`.  Computed lazily,
+        cached.
+        """
+        if self._digest is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(str(self._n).encode())
+            for a in (
+                self._node_weights,
+                self._net_indptr,
+                self._pins,
+                self._net_weights,
+                self._roots,
+            ):
+                h.update(np.ascontiguousarray(a).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # ------------------------------------------------------------------ #
     # basic accessors

@@ -1,0 +1,93 @@
+"""Parity of the three CLI entry forms.
+
+The toolkit is invokable as the ``repro`` console script
+(``repro.cli:main``), as ``python -m repro`` (``repro/__main__.py``) and
+as ``python -m repro.cli`` — all three must expose the identical surface.
+These tests pin that: the subcommand set parsed out of each form's
+``--help`` equals the one :func:`repro.cli.build_parser` defines, and the
+module forms actually execute (not just import).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def parser_subcommands() -> set[str]:
+    """Subcommand names straight from the argparse definition."""
+    parser = build_parser()
+    actions = [
+        a for a in parser._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    ]
+    assert len(actions) == 1
+    return set(actions[0].choices)
+
+
+def help_subcommands(text: str) -> set[str]:
+    """Subcommand names from a ``--help`` usage line: ``{a,b,c}``."""
+    m = re.search(r"\{([a-z,]+)\}", text)
+    assert m, f"no subcommand set in help output:\n{text}"
+    return set(m.group(1).split(","))
+
+
+def run_module(mod: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", mod, *args],
+        capture_output=True, text=True, env={"PYTHONPATH": SRC, "PATH": ""},
+    )
+
+
+class TestParity:
+    def test_parser_defines_expected_surface(self):
+        assert parser_subcommands() == {
+            "partition", "tables", "figures", "generate", "cache"
+        }
+
+    def test_python_m_repro_exposes_full_surface(self):
+        proc = run_module("repro", "--help")
+        assert proc.returncode == 0, proc.stderr
+        assert help_subcommands(proc.stdout) == parser_subcommands()
+
+    def test_python_m_repro_cli_exposes_full_surface(self):
+        proc = run_module("repro.cli", "--help")
+        assert proc.returncode == 0, proc.stderr
+        assert help_subcommands(proc.stdout) == parser_subcommands()
+
+    def test_console_entry_point_is_cli_main(self):
+        # the `repro` script is generated from repro.cli:main — the same
+        # callable the in-process tests drive; its parser IS build_parser()
+        from repro import cli
+
+        assert cli.main is main
+        assert help_subcommands(
+            build_parser().format_help()
+        ) == parser_subcommands()
+
+    def test_module_form_runs_a_real_command(self, tmp_path):
+        out = tmp_path / "g.json"
+        proc = run_module(
+            "repro", "generate", "--n", "6", "--m", "8", "--out", str(out)
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out.exists()
+
+    def test_module_form_propagates_exit_codes(self):
+        proc = run_module("repro", "partition", "--input", "/nonexistent",
+                          "--k", "2")
+        assert proc.returncode != 0
+
+    def test_subcommand_helps_match_in_and_out_of_process(self):
+        # per-subcommand option surface: the module form shows exactly the
+        # options the in-process parser defines (spot-check partition's
+        # evolve knobs so surface drift is caught where it matters)
+        proc = run_module("repro", "partition", "--help")
+        assert proc.returncode == 0
+        for flag in ("--method", "--generations", "--time-budget",
+                     "--pop-size", "--no-cache", "--jobs", "--model"):
+            assert flag in proc.stdout, f"{flag} missing from module help"
