@@ -15,7 +15,14 @@
 # suite with real workers plus the X12 equal-budget smoke benchmark
 # (evolve vs restart-only GP vs portfolio on LU + multicast synthetics;
 # the gated asserts fail the stage if the EA ever loses to GP, and the
-# artefact lands in benchmarks/artifacts/x12_evolve_quality.txt).
+# artefact lands in benchmarks/artifacts/x12_evolve_quality.txt);
+# stage 6 runs the vector-resource engine suites with real workers
+# (REPRO_TEST_JOBS=2 for the mr_gp/evolve serial==parallel bit-identity
+# tests) — the seam FM differential against the frozen
+# benchmarks/_legacy_multires.py corpus and the (k, R) load-matrix
+# invariants — plus the X13 engine-unification smoke benchmark (gated:
+# FM speedup, feasibility parity, evolve never losing to restart-only
+# vector GP; artefact benchmarks/artifacts/x13_multires_engine.txt).
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -46,5 +53,12 @@ REPRO_TEST_JOBS=2 python -m pytest -q \
   tests/test_rng_properties.py \
   tests/test_cli_parity.py
 python -m pytest -q benchmarks/bench_evolve.py
+
+echo "== stage 6: vector-resource engine suite (n_jobs=2) =="
+REPRO_TEST_JOBS=2 python -m pytest -q \
+  tests/test_multires.py \
+  tests/test_multires_differential.py \
+  tests/test_multires_invariants.py
+python -m pytest -q benchmarks/bench_multires_engine.py
 
 echo "CI OK"

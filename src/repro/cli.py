@@ -8,14 +8,20 @@ Usage (see ``python -m repro --help``):
   ``--model hypergraph`` partitions under the (λ−1) connectivity metric
   (multicasts charged once per extra FPGA); graph inputs are lifted to
   2-pin hypergraphs, ``.hgr`` inputs are taken as-is.
+  ``--resources res.json`` plus a comma-separated ``--rmax`` vector
+  (e.g. ``--rmax 400,600,40,12``) switches to componentwise
+  multi-resource budgets (``--method gp``/``evolve`` with ``--model
+  graph`` only; see ``docs/multires.md``).
 * ``python -m repro tables [--experiment N]`` — regenerate the paper tables.
 * ``python -m repro figures --out DIR`` — regenerate Figures 2-13 artefacts.
 * ``python -m repro generate --n 12 --m 30 --out g.json`` — synthesise a
   process-network instance; with ``--fanout F`` a multicast-heavy
-  *hypergraph* instance is written instead (``.hgr``).
+  *hypergraph* instance is written instead (``.hgr``); with
+  ``--resources res.json`` a device-shaped per-node resource matrix is
+  written alongside the graph.
 * ``python -m repro cache [--clear]`` — inspect (or drop) the in-process
-  portfolio/evolve memo caches; ``partition --no-cache`` forces a cold
-  evolve run.
+  portfolio/evolve/multires memo caches; ``partition --no-cache`` forces
+  a cold evolve (or vector-gp) run.
 
 ``--method evolve`` selects the memetic population search (either
 ``--model``); ``--generations`` / ``--time-budget`` / ``--pop-size``
@@ -32,6 +38,8 @@ import json
 import sys
 from pathlib import Path
 
+import numpy as np
+
 from repro.bench.experiments import paper_experiment_table
 from repro.bench.figures import write_figure_artifacts
 from repro.core.api import partition_graph
@@ -41,7 +49,8 @@ from repro.evolve.ea import (
     evolve_cache,
     evolve_partition,
 )
-from repro.core.report import comparison_report
+from repro.core.report import comparison_report, multires_report
+from repro.fpga.resources import random_device_matrix
 from repro.graph.generators import multicast_network, random_process_network
 from repro.graph.io import graph_from_json, graph_to_json
 from repro.graph.matrixio import parse_incidence_text
@@ -50,7 +59,9 @@ from repro.graph.wgraph import WGraph
 from repro.hypergraph.hgraph import HGraph
 from repro.hypergraph.partition import hyper_partition
 from repro.partition.metrics import ConstraintSpec
+from repro.partition.multires import clear_multires_cache, multires_cache
 from repro.partition.portfolio import clear_portfolio_cache, portfolio_cache
+from repro.partition.vector_state import VectorConstraints
 from repro.util.errors import ReproError
 from repro.viz.ascii_art import render_ascii
 from repro.viz.dot import to_dot
@@ -101,7 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", required=True, help=".json/.graph/.inc/.hgr file")
     p.add_argument("--k", type=int, required=True, help="number of FPGAs")
     p.add_argument("--bmax", type=float, default=float("inf"))
-    p.add_argument("--rmax", type=float, default=float("inf"))
+    p.add_argument("--rmax", default="inf", metavar="R[,R...]",
+                   help="per-partition resource budget; a comma-separated "
+                        "vector (with --resources) caps each resource "
+                        "componentwise (--method gp/evolve only)")
+    p.add_argument("--resources", metavar="FILE", default=None,
+                   help="per-node resource matrix (JSON: [[...]] rows or "
+                        "{'weights': ..., 'names': ...}); switches to "
+                        "vector budgets — needs a comma-separated --rmax "
+                        "(--method gp/evolve with --model graph only)")
     p.add_argument(
         "--method",
         default="gp",
@@ -129,8 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pop-size", type=int, default=None, metavar="P",
                    help="evolve: population size (--method evolve only)")
     p.add_argument("--no-cache", action="store_true",
-                   help="skip the in-process evolve memo cache (cold run; "
-                        "--method evolve only)")
+                   help="skip the in-process memo caches (cold run; "
+                        "--method evolve, or --method gp with --resources)")
     p.add_argument("--compare", action="store_true",
                    help="also run the METIS-like baseline and compare")
     p.add_argument("--dot", metavar="FILE", help="write partitioned DOT here")
@@ -159,15 +178,71 @@ def build_parser() -> argparse.ArgumentParser:
                         "broadcast fan-out instead of a graph; --edge-weights "
                         "then sets the backbone chain-net range (broadcast "
                         "nets stay heavier)")
+    g.add_argument("--resources", metavar="FILE", default=None,
+                   help="also write a device-shaped per-node resource "
+                        "matrix (LUTs/FFs/BRAMs/DSPs) to FILE, ready for "
+                        "`partition --resources` (graph output only)")
+    g.add_argument("--n-resources", type=int, default=4, metavar="R",
+                   help="resource columns in the --resources matrix "
+                        "(1-4, default 4)")
     g.add_argument("--out", required=True, help="output .json (or .hgr) path")
 
     c = sub.add_parser(
         "cache",
-        help="inspect or clear the in-process portfolio/evolve memo caches",
+        help="inspect or clear the in-process portfolio/evolve/multires "
+             "memo caches",
     )
     c.add_argument("--clear", action="store_true",
-                   help="drop every memoised portfolio and evolve result")
+                   help="drop every memoised portfolio, evolve and "
+                        "multires result")
     return parser
+
+
+def _parse_rmax(text: str):
+    """``--rmax`` value: a float, or a comma-separated tuple of floats."""
+    text = str(text)
+    try:
+        if "," not in text:
+            return float(text)
+        vals = tuple(float(p) for p in text.split(",") if p != "")
+    except ValueError:
+        raise ReproError(f"bad --rmax value {text!r}") from None
+    if not vals:
+        raise ReproError(f"bad --rmax value {text!r}")
+    return vals
+
+
+def _load_resource_matrix(path: str) -> tuple[np.ndarray, tuple[str, ...]]:
+    """``--resources`` file: JSON ``[[...]]`` rows, or an object with
+    ``weights`` rows and optional ``names`` column labels."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read resource matrix {path}: {exc}") from exc
+    names: tuple[str, ...] = ()
+    if isinstance(data, dict):
+        if "weights" not in data:
+            raise ReproError(
+                f"{path}: resource object needs a 'weights' row list"
+            )
+        names = tuple(data.get("names", ()))
+        rows = data["weights"]
+    else:
+        rows = data
+    try:
+        w = np.asarray(rows, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"{path}: bad resource rows: {exc}") from exc
+    if w.ndim != 2:
+        raise ReproError(
+            f"{path}: resource matrix must be rows of equal length, "
+            f"got shape {w.shape}"
+        )
+    if names and len(names) != w.shape[1]:
+        raise ReproError(
+            f"{path}: {len(names)} names for {w.shape[1]} resource columns"
+        )
+    return w, names
 
 
 def _evolve_config(args: argparse.Namespace) -> EvolveConfig | None:
@@ -183,8 +258,6 @@ def _evolve_config(args: argparse.Namespace) -> EvolveConfig | None:
             )
             if v is not None  # `v` may be a legitimate (if invalid) 0
         ]
-        if args.no_cache:
-            given.append("--no-cache")
         if given:
             raise ReproError(
                 f"{', '.join(given)} applies to --method evolve only"
@@ -201,8 +274,24 @@ def _evolve_config(args: argparse.Namespace) -> EvolveConfig | None:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    constraints = ConstraintSpec(bmax=args.bmax, rmax=args.rmax)
+    rmax = _parse_rmax(args.rmax)
+    rmax_is_vector = isinstance(rmax, tuple)
     evolve_cfg = _evolve_config(args)
+    if args.no_cache and args.method != "evolve" and not (
+        args.method == "gp" and args.resources
+    ):
+        raise ReproError(
+            "--no-cache applies to --method evolve, or --method gp "
+            "with --resources"
+        )
+    if (args.resources or rmax_is_vector) and args.model != "graph":
+        raise ReproError(
+            "--resources / a comma-separated --rmax need --model graph "
+            "(vector budgets live on the 2-pin mapping graph)"
+        )
+    if args.resources or rmax_is_vector:
+        return _cmd_partition_vector(args, rmax, evolve_cfg)
+    constraints = ConstraintSpec(bmax=args.bmax, rmax=rmax)
     if args.model == "hypergraph":
         if args.method not in ("gp", "hyper", "evolve"):
             raise ReproError(
@@ -234,7 +323,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             from repro.hypergraph.metrics import evaluate_hyper_partition
 
             baseline = partition_graph(
-                hg.star_expansion(), args.k, bmax=args.bmax, rmax=args.rmax,
+                hg.star_expansion(), args.k, bmax=args.bmax, rmax=rmax,
                 method="gp", seed=args.seed,
             )
             baseline.algorithm = "GP (2-pin model)"
@@ -263,14 +352,14 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.jobs not in (None, 1) and args.method not in ("gp", "evolve"):
         raise ReproError("--jobs applies to --method gp or evolve only")
     result = partition_graph(
-        g, args.k, bmax=args.bmax, rmax=args.rmax,
+        g, args.k, bmax=args.bmax, rmax=rmax,
         method=args.method, seed=args.seed, config=evolve_cfg,
         n_jobs=args.jobs, cache=not args.no_cache,
     )
     results = [result]
     if args.compare and args.method != "mlkp":
         baseline = partition_graph(
-            g, args.k, bmax=args.bmax, rmax=args.rmax,
+            g, args.k, bmax=args.bmax, rmax=rmax,
             method="mlkp", seed=args.seed,
         )
         results.insert(0, baseline)
@@ -297,6 +386,66 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0 if result.feasible or constraints.unconstrained else 2
 
 
+def _cmd_partition_vector(
+    args: argparse.Namespace, rmax, evolve_cfg: EvolveConfig | None
+) -> int:
+    """The ``--resources`` / vector ``--rmax`` branch of ``partition``."""
+    if args.method not in ("gp", "evolve"):
+        raise ReproError(
+            f"--resources / a comma-separated --rmax apply to --method gp "
+            f"or evolve, got --method {args.method}"
+        )
+    if not args.resources:
+        raise ReproError(
+            "a comma-separated --rmax needs --resources FILE "
+            "(one cap per resource column)"
+        )
+    if not isinstance(rmax, tuple):
+        raise ReproError(
+            "--resources needs a comma-separated --rmax vector "
+            "(one cap per resource column), got a scalar"
+        )
+    if args.compare:
+        raise ReproError(
+            "--compare has no scalar baseline under vector budgets; "
+            "run the methods separately"
+        )
+    g = _load_graph(args.input)
+    w, names = _load_resource_matrix(args.resources)
+    if w.shape[0] != g.n:
+        raise ReproError(
+            f"resource matrix has {w.shape[0]} rows for a graph of "
+            f"{g.n} nodes"
+        )
+    if len(rmax) != w.shape[1]:
+        raise ReproError(
+            f"--rmax caps {len(rmax)} resources, {args.resources} has "
+            f"{w.shape[1]} columns"
+        )
+    constraints = VectorConstraints(bmax=args.bmax, rmax=rmax, names=names)
+    result = partition_graph(
+        g, args.k, bmax=args.bmax, rmax=rmax,
+        method=args.method, seed=args.seed, config=evolve_cfg,
+        n_jobs=args.jobs, cache=not args.no_cache, resources=w,
+    )
+    print(multires_report([result], constraints))
+    if args.dot:
+        Path(args.dot).write_text(to_dot(g, assign=result.assign, k=args.k))
+        print(f"wrote {args.dot}")
+    if args.assign_out:
+        Path(args.assign_out).write_text(
+            json.dumps({
+                "k": args.k,
+                "assign": [int(c) for c in result.assign],
+                "feasible": result.feasible,
+                "cut": result.metrics.cut,
+                "max_loads": list(result.metrics.max_loads),
+            }, indent=1)
+        )
+        print(f"wrote {args.assign_out}")
+    return 0 if result.feasible else 2
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     experiments = [args.experiment] if args.experiment else [1, 2, 3]
     for exp in experiments:
@@ -320,6 +469,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         lo, hi = (int(x) for x in text.split(","))
         return lo, hi
 
+    if args.fanout is not None and args.resources:
+        raise ReproError(
+            "--resources emits per-node vectors for graph instances; "
+            "vector budgets are not supported on hypergraph (.hgr) output"
+        )
     if args.fanout is not None:
         node_range = parse_range(args.node_weights)
         edge_range = parse_range(args.edge_weights)
@@ -348,6 +502,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     Path(args.out).write_text(graph_to_json(g))
     print(f"wrote {args.out} (n={g.n}, m={g.m}, "
           f"total resources {g.total_node_weight:g})")
+    if args.resources:
+        w, names = random_device_matrix(
+            args.n, seed=args.seed, n_resources=args.n_resources
+        )
+        Path(args.resources).write_text(
+            json.dumps({
+                "names": list(names),
+                "weights": [[float(x) for x in row] for row in w],
+            }, indent=1)
+        )
+        print(f"wrote {args.resources} ({w.shape[0]}x{w.shape[1]} "
+              f"resource matrix: {', '.join(names)})")
     return 0
 
 
@@ -362,8 +528,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.clear:
         clear_portfolio_cache()
         clear_evolve_cache()
-        print("cleared portfolio and evolve caches")
-    for name, c in (("portfolio", portfolio_cache), ("evolve", evolve_cache)):
+        clear_multires_cache()
+        print("cleared portfolio, evolve and multires caches")
+    for name, c in (
+        ("portfolio", portfolio_cache),
+        ("evolve", evolve_cache),
+        ("multires", multires_cache),
+    ):
         s = c.stats()
         print(f"{name}: size={s['size']} hits={s['hits']} misses={s['misses']}")
     return 0

@@ -29,8 +29,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections.abc import Mapping as MappingABC
+from collections.abc import Sequence
+
 from repro.evolve.ea import EvolveConfig, evolve_partition
 from repro.fpga.mapping import Mapping
+from repro.fpga.resources import ResourceVector, resource_matrix
 from repro.fpga.system import MultiFPGASystem
 from repro.graph.wgraph import WGraph
 from repro.hypergraph.hgraph import HGraph
@@ -41,7 +45,13 @@ from repro.partition.exact import exact_partition
 from repro.partition.gp import GPConfig, gp_partition
 from repro.partition.metrics import ConstraintSpec
 from repro.partition.mlkp import mlkp_partition
+from repro.partition.multires import MultiResResult, mr_gp_partition
 from repro.partition.spectral import spectral_partition
+from repro.partition.vector_state import (
+    VectorConstraints,
+    VectorGraph,
+    check_weight_matrix,
+)
 from repro.polyhedral.ppn import PPN, derive_ppn
 from repro.polyhedral.program import SANLP
 from repro.util.errors import PartitionError
@@ -52,19 +62,83 @@ _METHODS = ("gp", "mlkp", "spectral", "exact", "hyper", "evolve")
 _MODELS = ("graph", "hypergraph")
 #: Methods with independent randomized work to race across processes.
 _JOBS_METHODS = ("gp", "evolve")
+#: Methods that can partition under vector resource budgets.
+_VECTOR_METHODS = ("gp", "evolve")
+
+
+def _rmax_is_vector(rmax) -> bool:
+    return isinstance(rmax, (tuple, list)) or (
+        isinstance(rmax, np.ndarray) and rmax.ndim == 1
+    )
+
+
+def _partition_graph_vector(
+    g: WGraph,
+    k: int,
+    bmax,
+    rmax,
+    method: str,
+    seed,
+    config,
+    n_jobs,
+    cache,
+    resources,
+) -> MultiResResult | PartitionResult:
+    """The ``resources=W`` branch of :func:`partition_graph`."""
+    if method not in _VECTOR_METHODS:
+        raise PartitionError(
+            f"resources (vector budgets) are supported by methods "
+            f"{_VECTOR_METHODS}, got method={method!r}"
+        )
+    w = check_weight_matrix(g, resources)
+    if not _rmax_is_vector(rmax):
+        raise PartitionError(
+            f"a resources matrix with {w.shape[1]} columns needs a "
+            f"per-resource rmax vector, got {rmax!r}"
+        )
+    cons = VectorConstraints(bmax=bmax, rmax=tuple(float(r) for r in rmax))
+    if cons.n_resources != w.shape[1]:
+        raise PartitionError(
+            f"rmax caps {cons.n_resources} resources, the matrix has "
+            f"{w.shape[1]} columns"
+        )
+    if method == "evolve":
+        if config is not None and not isinstance(config, EvolveConfig):
+            raise PartitionError(
+                f"method='evolve' takes an EvolveConfig, "
+                f"got {type(config).__name__}"
+            )
+        return evolve_partition(
+            VectorGraph(g, w), k, cons, config=config, seed=seed,
+            n_jobs=n_jobs, cache=cache,
+        )
+    if config is not None and not isinstance(config, GPConfig):
+        raise PartitionError(
+            f"method='gp' takes a GPConfig, got {type(config).__name__}"
+        )
+    cfg = config or GPConfig(max_cycles=10)
+    return mr_gp_partition(
+        g, w, k, cons,
+        coarsen_to=cfg.coarsen_to, restarts=cfg.restarts,
+        max_cycles=cfg.max_cycles, refine_passes=cfg.refine_passes,
+        on_infeasible=cfg.on_infeasible,
+        seed=seed if seed is not None else cfg.seed,
+        n_jobs=n_jobs, cache=cache,
+    )
 
 
 def partition_graph(
     g: WGraph,
     k: int,
     bmax: float = float("inf"),
-    rmax: float = float("inf"),
+    rmax=float("inf"),
     method: str = "gp",
     seed=None,
     config: GPConfig | HyperConfig | EvolveConfig | None = None,
     n_jobs: int | None = 1,
     cache: bool = True,
-) -> PartitionResult:
+    resources=None,
+) -> PartitionResult | MultiResResult:
     """Partition *g* into *k* parts under the paper's two constraints.
 
     *method*: ``"gp"`` (the paper's constrained partitioner, default),
@@ -75,26 +149,48 @@ def partition_graph(
     ``"evolve"`` (the memetic population search; takes an
     :class:`~repro.evolve.ea.EvolveConfig`, see ``docs/evolve.md``).
 
+    *resources* switches the resource model from scalar to vector
+    (``docs/multires.md``): pass the ``(n, R)`` weight matrix and a
+    per-resource *rmax* sequence, and the constraint becomes
+    componentwise (``VectorConstraints``).  Supported by ``"gp"`` (the
+    multi-resource multilevel partitioner, returning a
+    :class:`~repro.partition.multires.MultiResResult`; a
+    :class:`~repro.partition.gp.GPConfig`'s shared knobs are honoured)
+    and ``"evolve"`` (the memetic search on the vector engine) — other
+    methods reject it, as does a vector *rmax* without the matrix.
+
     *n_jobs* races the method's independent randomized work across worker
-    processes (``-1`` = all CPUs): GP's retry cycles, or evolve's seeding
-    members and offspring batches; results are bit-identical for every
-    value (see ``docs/parallel.md``).  It is honoured by ``"gp"`` and
-    ``"evolve"`` — the other methods are deterministic single-pass
-    algorithms with nothing independent to race — and rejected with any
-    other method to keep the knob honest.  *cache* likewise belongs to
-    ``"evolve"`` only (the sole memoised method here; ``cache=False``
-    forces a cold run) and is rejected elsewhere.
+    processes (``-1`` = all CPUs): GP's retry cycles (scalar or vector),
+    or evolve's seeding members and offspring batches; results are
+    bit-identical for every value (see ``docs/parallel.md``).  It is
+    honoured by ``"gp"`` and ``"evolve"`` — the other methods are
+    deterministic single-pass algorithms with nothing independent to
+    race — and rejected with any other method to keep the knob honest.
+    *cache* belongs to the memoised methods — ``"evolve"``, and ``"gp"``
+    with *resources* (the multires cache) — and is rejected elsewhere.
     """
-    constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
     if n_jobs not in (None, 1) and method not in _JOBS_METHODS:
         raise PartitionError(
             f"n_jobs is only supported by methods {_JOBS_METHODS}, "
             f"got method={method!r}"
         )
-    if cache is not True and method != "evolve":
+    if cache is not True and method != "evolve" and not (
+        resources is not None and method == "gp"
+    ):
         raise PartitionError(
-            f"cache is only supported by method='evolve', got method={method!r}"
+            f"cache is only supported by method='evolve' (and method='gp' "
+            f"with resources), got method={method!r}"
         )
+    if resources is not None:
+        return _partition_graph_vector(
+            g, k, bmax, rmax, method, seed, config, n_jobs, cache, resources
+        )
+    if _rmax_is_vector(rmax):
+        raise PartitionError(
+            "a vector rmax needs the per-node resources matrix "
+            "(resources=W); pass a scalar rmax otherwise"
+        )
+    constraints = ConstraintSpec(bmax=bmax, rmax=rmax)
     if method == "evolve":
         if config is not None and not isinstance(config, EvolveConfig):
             raise PartitionError(
@@ -133,11 +229,40 @@ def partition_graph(
     )
 
 
+def _ppn_resource_matrix(resources, names: list[str]) -> np.ndarray:
+    """Per-process resources → ``(n, R)`` matrix in node order.
+
+    Accepts the three natural spellings: a ready ``(n, R)`` array, a
+    mapping from process name to :class:`~repro.fpga.resources.
+    ResourceVector` (looked up through *names*), or a sequence of
+    bundles already in node order.
+    """
+    if isinstance(resources, np.ndarray):
+        return resources
+    if isinstance(resources, MappingABC):
+        w, _ = resource_matrix(resources, names=names)
+        return w
+    if isinstance(resources, Sequence):
+        if all(isinstance(r, ResourceVector) for r in resources):
+            w, _ = resource_matrix(resources)
+            return w
+        try:
+            # plain nested rows — the same spelling partition_graph takes
+            return np.asarray(resources, dtype=np.float64)
+        except (TypeError, ValueError):
+            pass
+    raise PartitionError(
+        "resources must be an (n, R) array (or nested rows), a "
+        "{process name: ResourceVector} mapping, or a node-ordered "
+        f"ResourceVector sequence, got {type(resources).__name__}"
+    )
+
+
 def partition_ppn(
     program_or_ppn: SANLP | PPN,
     k: int,
     bmax: float = float("inf"),
-    rmax: float = float("inf"),
+    rmax=float("inf"),
     method: str = "gp",
     model: str = "graph",
     bandwidth_mode: str = "tokens",
@@ -146,7 +271,8 @@ def partition_ppn(
     config: GPConfig | HyperConfig | EvolveConfig | None = None,
     n_jobs: int | None = 1,
     cache: bool = True,
-) -> tuple[PartitionResult, WGraph | HGraph, list[str]]:
+    resources=None,
+) -> tuple[PartitionResult | MultiResResult, WGraph | HGraph, list[str]]:
     """Derive (if needed), weight, and partition a process network.
 
     With ``model="graph"`` the PPN is flattened to the paper's 2-pin
@@ -157,11 +283,20 @@ def partition_ppn(
     hypergraph engine; only ``bandwidth_mode="tokens"`` weights exist for
     nets).
 
+    *resources* assigns every process a resource **vector** (LUTs, FFs,
+    BRAMs, DSPs — :mod:`repro.fpga.resources`) and *rmax* the matching
+    per-resource budget sequence; the partition is then computed under
+    componentwise constraints by the vector path of
+    :func:`partition_graph` (``model="graph"`` with method ``"gp"`` /
+    ``"evolve"`` only).  Accepted spellings: a ``{process name:
+    ResourceVector}`` mapping, a node-ordered ``ResourceVector``
+    sequence, or a ready ``(n, R)`` matrix.
+
     *n_jobs* and *cache* are forwarded to the partitioner under
     :func:`partition_graph`'s rules — ``n_jobs`` needs a method with
     independent randomized work (``"gp"`` / ``"evolve"``), ``cache``
-    belongs to ``"evolve"``; both are rejected elsewhere to keep the
-    knobs honest.
+    belongs to the memoised methods; both are rejected elsewhere to keep
+    the knobs honest.
 
     Returns ``(result, mapping_structure, names)`` — the second element is
     the :class:`WGraph` or :class:`HGraph` that was partitioned, and
@@ -169,6 +304,11 @@ def partition_ppn(
     """
     if model not in _MODELS:
         raise PartitionError(f"unknown model {model!r}; valid models: {_MODELS}")
+    if resources is not None and model != "graph":
+        raise PartitionError(
+            "resources (vector budgets) are supported with model='graph' "
+            f"only, got model={model!r}"
+        )
     ppn = (
         program_or_ppn
         if isinstance(program_or_ppn, PPN)
@@ -224,6 +364,10 @@ def partition_ppn(
     result = partition_graph(
         g, k, bmax=bmax, rmax=rmax, method=method, seed=seed, config=config,
         n_jobs=n_jobs, cache=cache,
+        resources=(
+            None if resources is None
+            else _ppn_resource_matrix(resources, names)
+        ),
     )
     return result, g, names
 

@@ -14,7 +14,12 @@ from repro.partition.base import PartitionResult
 from repro.partition.metrics import ConstraintSpec
 from repro.util.tables import format_table
 
-__all__ = ["result_table", "comparison_report", "PAPER_COLUMNS"]
+__all__ = [
+    "result_table",
+    "comparison_report",
+    "multires_report",
+    "PAPER_COLUMNS",
+]
 
 PAPER_COLUMNS = [
     "Algorithms",
@@ -53,6 +58,44 @@ def comparison_report(
     lines.append(
         f"constraints: Bmax = {constraints.bmax:g}, Rmax = {constraints.rmax:g}"
     )
+    for r in results:
+        lines.append(f"  {r.algorithm}: {_verdict(r, constraints)}")
+    return "\n".join(lines)
+
+
+def multires_report(results, constraints, title: str | None = None) -> str:
+    """Paper-style table for **vector-resource** runs.
+
+    *results* carry :class:`~repro.partition.vector_state.MultiResMetrics`
+    (``MultiResResult`` or an ``EA-vector`` ``PartitionResult``);
+    *constraints* is a :class:`~repro.partition.vector_state.
+    VectorConstraints`.  The single "Maximum Resource Allocation" column
+    becomes one max-load column per resource, and the caption line lists
+    every componentwise budget.
+    """
+    names = constraints.names or tuple(
+        f"r{i}" for i in range(constraints.n_resources)
+    )
+    cols = (
+        ["Algorithms", "Total Edge-Cuts", "Total Time(S)"]
+        + [f"Max {n}" for n in names]
+        + ["Maximum Local bandwidth"]
+    )
+    rows = [
+        [
+            r.algorithm,
+            r.metrics.cut,
+            round(r.runtime, 4),
+            *r.metrics.max_loads,
+            r.metrics.max_local_bandwidth,
+        ]
+        for r in results
+    ]
+    lines = [format_table(cols, rows, title=title)]
+    caps = ", ".join(
+        f"{n} <= {c:g}" for n, c in zip(names, constraints.rmax)
+    )
+    lines.append(f"constraints: Bmax = {constraints.bmax:g}; {caps}")
     for r in results:
         lines.append(f"  {r.algorithm}: {_verdict(r, constraints)}")
     return "\n".join(lines)

@@ -34,7 +34,12 @@ from repro.evolve.ea import (
     evolve_cache,
     evolve_partition,
 )
-from repro.evolve.engines import GraphEngine, HyperEngine, make_engine
+from repro.evolve.engines import (
+    GraphEngine,
+    HyperEngine,
+    VectorGraphEngine,
+    make_engine,
+)
 from repro.evolve.operators import mutate_perturb, mutate_walk, recombine
 from repro.evolve.population import Individual, Population, hamming
 
@@ -45,6 +50,7 @@ __all__ = [
     "clear_evolve_cache",
     "GraphEngine",
     "HyperEngine",
+    "VectorGraphEngine",
     "make_engine",
     "recombine",
     "mutate_perturb",

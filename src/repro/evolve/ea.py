@@ -47,7 +47,9 @@ from repro.partition.base import PartitionResult
 from repro.partition.goodness import goodness_key
 from repro.partition.gp import gp_partition
 from repro.partition.metrics import ConstraintSpec
+from repro.partition.multires import mr_gp_partition
 from repro.partition.portfolio import default_portfolio
+from repro.partition.vector_state import VectorConstraints, VectorGraph
 from repro.util.errors import InfeasibleError, PartitionError
 from repro.util.parallel import KeyedCache, parallel_map
 from repro.util.rng import as_rng, spawn_seeds
@@ -189,14 +191,17 @@ class EvolveConfig:
 def _seed_member_configs(kind: str, config: EvolveConfig) -> list:
     """Portfolio-member configs used for seeding and immigrants.
 
-    Graph runs reuse :func:`~repro.partition.portfolio.default_portfolio`
-    verbatim; hypergraph runs use the equivalent spread of
+    Graph and vector-resource runs reuse
+    :func:`~repro.partition.portfolio.default_portfolio` verbatim (the
+    vector member runner maps the GPConfig knobs onto
+    :func:`~repro.partition.multires.mr_gp_partition`); hypergraph runs
+    use the equivalent spread of
     :class:`~repro.hypergraph.partition.HyperConfig` members.  Every
     member is neutralised to ``on_infeasible="return"`` (an infeasible
     seed still joins the pool — the EA's job is to repair it) and capped
     at ``seed_max_cycles`` retry cycles.
     """
-    if kind == "graph":
+    if kind in ("graph", "vector"):
         members = default_portfolio()
     else:
         from repro.hypergraph.partition import HyperConfig
@@ -217,8 +222,18 @@ def _seed_member_configs(kind: str, config: EvolveConfig) -> list:
     ]
 
 
-def _run_member(structure, k, constraints, cfg, seed) -> PartitionResult:
-    """One portfolio-member run on either substrate (seeding/immigrants)."""
+def _run_member(structure, k, constraints, cfg, seed):
+    """One portfolio-member run on any substrate (seeding/immigrants)."""
+    if isinstance(structure, VectorGraph):
+        # cache=False: member runs are EA-internal work units — memoising
+        # them would make the run's wall-clock depend on cache warmth
+        # while the EA's own cache already memoises the whole run
+        return mr_gp_partition(
+            structure.graph, structure.weights, k, constraints,
+            coarsen_to=cfg.coarsen_to, restarts=cfg.restarts,
+            max_cycles=cfg.max_cycles, refine_passes=cfg.refine_passes,
+            seed=seed, on_infeasible="return", cache=False,
+        )
     if isinstance(structure, WGraph):
         return gp_partition(structure, k, constraints, cfg, seed=seed)
     from repro.hypergraph.partition import hyper_partition
@@ -337,14 +352,19 @@ def evolve_partition(
     Parameters
     ----------
     structure:
-        :class:`~repro.graph.wgraph.WGraph` (edge-cut objective) or
+        :class:`~repro.graph.wgraph.WGraph` (edge-cut objective),
         :class:`~repro.hypergraph.hgraph.HGraph` ((λ−1) connectivity
-        objective) — the engine is picked by type and every operator runs
-        through the shared constrained-FM driver.
+        objective) or :class:`~repro.partition.vector_state.VectorGraph`
+        (edge-cut with componentwise multi-resource budgets) — the engine
+        is picked by type and every operator runs through the shared
+        constrained-FM driver.
     k:
         Number of partitions (FPGAs).
     constraints:
-        ``Bmax`` / ``Rmax`` caps; either may be ``inf``.
+        ``Bmax`` / ``Rmax`` caps; either may be ``inf``.  With a
+        :class:`~repro.partition.vector_state.VectorGraph` this must be a
+        :class:`~repro.partition.vector_state.VectorConstraints` whose
+        ``rmax`` vector matches the structure's resource count.
     config:
         :class:`EvolveConfig`; defaults when omitted.
     seed:
@@ -364,7 +384,9 @@ def evolve_partition(
     Returns
     -------
     PartitionResult
-        Algorithm ``"EA"`` (graph) or ``"EA-hyper"`` (hypergraph), with
+        Algorithm ``"EA"`` (graph), ``"EA-hyper"`` (hypergraph) or
+        ``"EA-vector"`` (vector resources, metrics a
+        :class:`~repro.partition.vector_state.MultiResMetrics`), with
         ``info`` carrying ``generations``, ``evals``, ``restarts``,
         ``stop`` (which budget bound first) and the per-generation
         ``history``.
@@ -378,6 +400,22 @@ def evolve_partition(
     """
     config = config or EvolveConfig()
     engine = make_engine(structure, k)
+    if engine.kind == "vector":
+        if not isinstance(constraints, VectorConstraints):
+            raise PartitionError(
+                "a VectorGraph instance needs VectorConstraints, got "
+                f"{type(constraints).__name__}"
+            )
+        if constraints.n_resources != structure.n_resources:
+            raise PartitionError(
+                f"constraints cap {constraints.n_resources} resources, "
+                f"structure carries {structure.n_resources}"
+            )
+    elif isinstance(constraints, VectorConstraints):
+        raise PartitionError(
+            "VectorConstraints need a VectorGraph structure; wrap the "
+            "graph and its weight matrix in one (or pass a ConstraintSpec)"
+        )
     if k < 1:
         raise PartitionError(f"k must be >= 1, got {k}")
     if k > structure.n:
@@ -500,7 +538,11 @@ def evolve_partition(
         assign=best.assign.copy(),
         k=k,
         metrics=best.metrics,
-        algorithm="EA" if engine.kind == "graph" else "EA-hyper",
+        algorithm={
+            "graph": "EA",
+            "hypergraph": "EA-hyper",
+            "vector": "EA-vector",
+        }[engine.kind],
         runtime=sw.elapsed,
         constraints=constraints,
         info={

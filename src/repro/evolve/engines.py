@@ -14,6 +14,14 @@ of the GP refinement on either substrate:
 * :class:`HyperEngine` — :class:`~repro.hypergraph.hgraph.HGraph` under the
   (λ−1) connectivity objective, refined on
   :class:`~repro.hypergraph.refine_state.HyperRefinementState`.
+* :class:`VectorGraphEngine` — :class:`~repro.partition.vector_state.
+  VectorGraph` (a graph bundled with its ``(n, R)`` resource matrix)
+  under the edge-cut objective with **componentwise** resource budgets
+  (:class:`~repro.partition.vector_state.VectorConstraints`), refined on
+  :class:`~repro.partition.vector_state.VectorRefinementState`.
+  Contraction aggregates the weight matrix through the same node maps
+  that merge the nodes, and ``digest()`` covers the matrix, so cached
+  runs can never confuse two instances that differ only in resources.
 
 An adapter is stateless apart from the structure/k it wraps: every method
 takes the (possibly coarsened) structure it operates on, so one adapter
@@ -33,10 +41,21 @@ from repro.partition.coarsen import contract
 from repro.partition.kway_refine import run_constrained_fm
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
 from repro.partition.refine_state import RefinementState
+from repro.partition.multires import evaluate_multires
 from repro.partition.vcycle import intra_part_matching
+from repro.partition.vector_state import (
+    VectorConstraints,
+    VectorGraph,
+    VectorRefinementState,
+)
 from repro.util.errors import PartitionError
 
-__all__ = ["GraphEngine", "HyperEngine", "make_engine"]
+__all__ = [
+    "GraphEngine",
+    "HyperEngine",
+    "VectorGraphEngine",
+    "make_engine",
+]
 
 
 class GraphEngine:
@@ -167,13 +186,94 @@ class HyperEngine:
         return contract_hyper(structure, match)
 
 
+class VectorGraphEngine:
+    """The vector-resource substrate behind the uniform engine surface.
+
+    Identical topology machinery to :class:`GraphEngine` (edge-cut
+    objective, HEM restricted matching, graph contraction) — the
+    difference is what "resources" means: states are
+    :class:`~repro.partition.vector_state.VectorRefinementState` tracking
+    the ``(k, R)`` load matrix, constraints are
+    :class:`~repro.partition.vector_state.VectorConstraints`, and
+    contraction carries the weight matrix through the node map.
+    """
+
+    kind = "vector"
+
+    def __init__(self, vg: VectorGraph, k: int) -> None:
+        self.structure = vg
+        self.k = int(k)
+
+    def digest(self) -> str:
+        """Covers topology, node/edge weights **and** the weight matrix."""
+        return self.structure.content_digest()
+
+    def make_state(self, structure: VectorGraph, assign: np.ndarray):
+        return VectorRefinementState(
+            structure.graph, structure.weights, assign, self.k
+        )
+
+    def neighbors(self, structure: VectorGraph, u: int) -> np.ndarray:
+        return structure.graph.neighbors(u)
+
+    def evaluate(self, assign: np.ndarray, constraints: VectorConstraints):
+        return evaluate_multires(
+            self.structure.graph, self.structure.weights, assign, self.k,
+            constraints,
+        )
+
+    def fm(
+        self,
+        structure: VectorGraph,
+        assign: np.ndarray,
+        constraints: VectorConstraints,
+        max_passes: int,
+        seed,
+    ):
+        """One constrained-FM call; returns ``(assign, tracked metrics)``
+        (never worse than its input under the FM key — see GraphEngine)."""
+        return self.fm_state(
+            structure, self.make_state(structure, assign), constraints,
+            max_passes, seed,
+        )
+
+    def fm_state(self, structure: VectorGraph, st, constraints, max_passes, seed):
+        out = run_constrained_fm(
+            st, structure.n, structure.graph.neighbors, constraints,
+            max_passes=max_passes, seed=seed,
+        )
+        return out, st.metrics(constraints)
+
+    def restricted_matching(
+        self, structure: VectorGraph, labels: np.ndarray, n_labels: int, seed
+    ) -> np.ndarray:
+        return intra_part_matching(
+            structure.graph, labels, n_labels, method="hem", seed=seed
+        )
+
+    def contract(self, structure: VectorGraph, match: np.ndarray):
+        """Contract the graph and aggregate the weight matrix through the
+        node map — coarse node loads are exact sums of their fine nodes,
+        so every coarse-level constraint check is exact too."""
+        coarse, node_map = contract(structure.graph, match)
+        agg = np.zeros(
+            (coarse.n, structure.weights.shape[1]), dtype=np.float64
+        )
+        np.add.at(agg, node_map, structure.weights)
+        return VectorGraph(coarse, agg, names=structure.names), node_map
+
+
 def make_engine(structure, k: int):
     """Adapter for *structure*: :class:`WGraph` → :class:`GraphEngine`,
-    :class:`HGraph` → :class:`HyperEngine`."""
+    :class:`HGraph` → :class:`HyperEngine`, :class:`VectorGraph` →
+    :class:`VectorGraphEngine`."""
     if isinstance(structure, WGraph):
         return GraphEngine(structure, k)
     if isinstance(structure, HGraph):
         return HyperEngine(structure, k)
+    if isinstance(structure, VectorGraph):
+        return VectorGraphEngine(structure, k)
     raise PartitionError(
-        f"evolve needs a WGraph or HGraph, got {type(structure).__name__}"
+        f"evolve needs a WGraph, HGraph or VectorGraph, "
+        f"got {type(structure).__name__}"
     )

@@ -5,15 +5,25 @@ this time, for example LUTs") — :meth:`ResourceVector.scalar` covers that —
 but real devices budget LUTs, flip-flops, BRAMs and DSPs independently, so
 the vector form is supported throughout the platform model (a documented
 extension, exercised by the multi-resource example and tests).
+
+:func:`resource_matrix` turns per-process bundles into the ``(n, R)``
+weight matrix the vector-resource partitioner
+(:mod:`repro.partition.multires`) consumes, and
+:func:`random_device_matrix` synthesises a device-shaped one (smooth
+LUT/FF columns, lumpy BRAMs, rare DSPs) for benchmarks, generators and
+the pinned differential corpus.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.util.errors import ReproError
 
-__all__ = ["ResourceVector"]
+__all__ = ["ResourceVector", "resource_matrix", "random_device_matrix"]
 
 
 @dataclass(frozen=True)
@@ -87,3 +97,71 @@ class ResourceVector:
 
     def as_tuple(self) -> tuple[float, float, float, float]:
         return (self.luts, self.ffs, self.brams, self.dsps)
+
+
+def resource_matrix(
+    vectors: Iterable["ResourceVector"] | Mapping[str, "ResourceVector"],
+    names: Sequence[str] | None = None,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Stack per-process :class:`ResourceVector` bundles into ``(W, names)``.
+
+    *vectors* is either a sequence (rows in node order) or a mapping from
+    process name to bundle — the mapping form needs *names*, the node →
+    process-name list the mapping layer already carries, and every name
+    must be present.  Returns the ``(n, 4)`` float matrix in
+    :attr:`ResourceVector.FIELDS` column order plus the column names —
+    exactly what :func:`repro.partition.multires.mr_gp_partition` and
+    :class:`repro.partition.vector_state.VectorGraph` consume.
+    """
+    if isinstance(vectors, Mapping):
+        if names is None:
+            raise ReproError(
+                "a mapping of ResourceVectors needs the node-order name list"
+            )
+        missing = [n for n in names if n not in vectors]
+        if missing:
+            raise ReproError(
+                f"no resource vector for process(es): {', '.join(missing)}"
+            )
+        rows = [vectors[n] for n in names]
+    else:
+        rows = list(vectors)
+    for rv in rows:
+        if not isinstance(rv, ResourceVector):
+            raise ReproError(
+                f"expected ResourceVector entries, got {type(rv).__name__}"
+            )
+    w = np.array([rv.as_tuple() for rv in rows], dtype=np.float64)
+    w = w.reshape(len(rows), len(ResourceVector.FIELDS))
+    return w, ResourceVector.FIELDS
+
+
+def random_device_matrix(
+    n: int, seed=None, n_resources: int = 4
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Synthesise a device-shaped ``(n, n_resources)`` weight matrix.
+
+    Column distributions mirror how real designs consume a device —
+    smooth LUT and FF counts, lumpy BRAM usage (most processes none, a
+    few several), rare DSP usage — so benchmarks and the differential
+    corpus exercise the regime the vector partitioner exists for.
+    ``n_resources`` (1–4) truncates the column set in
+    :attr:`ResourceVector.FIELDS` order; integer-valued entries keep the
+    pinned float comparisons exact.
+    """
+    if n < 0:
+        raise ReproError(f"n must be >= 0, got {n}")
+    if not 1 <= n_resources <= len(ResourceVector.FIELDS):
+        raise ReproError(
+            f"n_resources must be in 1..{len(ResourceVector.FIELDS)}, "
+            f"got {n_resources}"
+        )
+    rng = np.random.default_rng(seed)
+    cols = [
+        rng.integers(20, 80, n).astype(np.float64),          # luts: smooth
+        rng.integers(30, 120, n).astype(np.float64),         # ffs: smooth
+        rng.choice([0, 0, 0, 4, 8, 12], n).astype(np.float64),  # brams: lumpy
+        rng.choice([0, 0, 0, 1, 2, 6], n).astype(np.float64),   # dsps: rare
+    ]
+    w = np.stack(cols[:n_resources], axis=1)
+    return w, ResourceVector.FIELDS[:n_resources]

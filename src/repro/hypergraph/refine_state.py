@@ -158,6 +158,17 @@ class HyperRefinementState:
             self.bw, self.part_weight, self.k, constraints
         )
 
+    def overloaded_mask(self, constraints: ConstraintSpec) -> np.ndarray:
+        """Boolean ``(k,)`` mask of parts over the resource cap (the FM
+        escape/seed hook — same semantics as the graph engine's)."""
+        if np.isfinite(constraints.rmax):
+            return self.part_weight > constraints.rmax
+        return np.zeros(self.k, dtype=bool)
+
+    def overloaded_nodes(self, constraints: ConstraintSpec) -> np.ndarray:
+        """Sorted ids of nodes living in an over-cap part (FM extra seeds)."""
+        return np.nonzero(self.overloaded_mask(constraints)[self.assign])[0]
+
     # ------------------------------------------------------------------ #
     # moves and rollback
     # ------------------------------------------------------------------ #
@@ -344,10 +355,7 @@ class HyperRefinementState:
         the graph engine's candidate and tie-breaking rules."""
         src = int(self.assign[u])
         cu = self.connection_vector(u)
-        escape = bool(
-            np.isfinite(constraints.rmax)
-            and self.part_weight[src] > constraints.rmax
-        )
+        escape = bool(self.overloaded_mask(constraints)[src])
         dv, dc = self.move_deltas(u, constraints)
         return select_best_move(
             self.k, dv.tolist(), dc.tolist(), cu.tolist(), src, escape

@@ -20,6 +20,9 @@ Contents
 * :mod:`repro.partition.gp` — the paper's constrained partitioner.
 * :mod:`repro.partition.spectral`, :mod:`repro.partition.exact` — extra
   baselines (spectral recursive bisection; exact branch & bound).
+* :mod:`repro.partition.vector_state` / :mod:`repro.partition.multires`
+  — componentwise multi-resource budgets on the same engine seam
+  (``docs/multires.md``).
 """
 
 from repro.partition.base import PartitionResult
@@ -32,6 +35,12 @@ from repro.partition.metrics import (
     evaluate_partition,
     part_weights,
 )
+from repro.partition.vector_state import (
+    MultiResMetrics,
+    VectorConstraints,
+    VectorGraph,
+    VectorRefinementState,
+)
 
 __all__ = [
     "PartitionResult",
@@ -43,4 +52,8 @@ __all__ = [
     "bandwidth_matrix",
     "part_weights",
     "evaluate_partition",
+    "VectorConstraints",
+    "MultiResMetrics",
+    "VectorGraph",
+    "VectorRefinementState",
 ]

@@ -357,14 +357,21 @@ def run_constrained_fm(
 
     *st* is any refinement-state engine exposing the
     :class:`~repro.partition.refine_state.RefinementState` move protocol
-    (``assign``/``part_weight``/``epoch``, ``boundary_nodes``, ``key``,
-    ``best_move``/``best_moves``, ``move``/``snapshot``/``rollback``/
-    ``clear_trail``); *neighbors_of(u)* returns the nodes whose gains a move
-    of *u* can change.  The graph engine passes ``g.neighbors``; the
-    hypergraph Φ engine passes ``HGraph.adjacent_nodes``.  Keeping one
-    driver means both objectives share move ordering, tie-breaking, queue
-    discipline and best-prefix recovery exactly — the 2-pin differential
-    parity between the two engines is a property of their states alone.
+    (``assign``/``epoch``, ``boundary_nodes``, ``overloaded_nodes``,
+    ``key``, ``best_move``/``best_moves``, ``move``/``snapshot``/
+    ``rollback``/``clear_trail``); *neighbors_of(u)* returns the nodes
+    whose gains a move of *u* can change.  The graph engine passes
+    ``g.neighbors``; the hypergraph Φ engine passes
+    ``HGraph.adjacent_nodes``; the vector-resource engine
+    (:class:`~repro.partition.vector_state.VectorRefinementState`) passes
+    ``g.neighbors`` with a
+    :class:`~repro.partition.vector_state.VectorConstraints` threaded
+    through in place of the scalar spec.  What counts as "over budget"
+    (extra FM seeds, the escape rule) is the state's business via
+    ``overloaded_nodes``/``overloaded_mask``, so one driver serves all
+    three objectives with identical move ordering, tie-breaking, queue
+    discipline and best-prefix recovery — the 2-pin differential parity
+    between the graph and Φ engines is a property of their states alone.
     """
     rng = as_rng(seed)
     if abort_after is None:
@@ -390,11 +397,9 @@ def run_constrained_fm(
                     queue.push((dv, dc), (int(u), dest, epoch))
 
         seeds = st.boundary_nodes()
-        if np.isfinite(constraints.rmax):
-            over = np.nonzero(st.part_weight > constraints.rmax)[0]
-            if over.size:
-                extra = np.nonzero(np.isin(st.assign, over))[0]
-                seeds = np.union1d(seeds, extra)
+        extra = st.overloaded_nodes(constraints)
+        if extra.size:
+            seeds = np.union1d(seeds, extra)
         seeds = seeds.astype(np.int64)
         rng.shuffle(seeds)
         push_all(seeds)

@@ -11,13 +11,30 @@ resource constraint from a scalar to a vector:
 * the bandwidth constraint is unchanged (links carry tokens, not LUTs).
 
 The algorithm mirrors :mod:`repro.partition.gp` — greedy vector-aware
-initial growing with restarts, violation-lexicographic FM, cyclic retries —
-over a multilevel hierarchy whose node-weight *matrices* are aggregated
-through the same contraction maps the scalar path uses.
+initial growing with restarts, violation-lexicographic FM, cyclic retries
+raced across processes — over a multilevel hierarchy whose node-weight
+*matrices* are aggregated through the same contraction maps the scalar
+path uses.
+
+Since the engine unification, the drivers here are thin: the FM pass is
+the engine-agnostic
+:func:`~repro.partition.kway_refine.run_constrained_fm` run on a
+:class:`~repro.partition.vector_state.VectorRefinementState` (the ``(k,
+R)`` load matrix tracked incrementally with exact rollback), the retry
+cycles race through :func:`~repro.util.parallel.parallel_map` with
+results bit-identical for every ``n_jobs``, and completed runs are
+memoised in :data:`multires_cache` keyed by the
+:class:`~repro.partition.vector_state.VectorGraph` content digest
+(structure **and** weight matrix).  The pre-unification hand-rolled loop
+is frozen in ``benchmarks/_legacy_multires.py``;
+``tests/test_multires_differential.py`` pins the two against each other.
+See ``docs/multires.md``.
 """
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,8 +42,17 @@ import numpy as np
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionState
 from repro.partition.coarsen import build_hierarchy
+from repro.partition.kway_refine import run_constrained_fm
 from repro.partition.metrics import check_assignment
+from repro.partition.vector_state import (
+    MultiResMetrics,
+    VectorConstraints,
+    VectorGraph,
+    VectorRefinementState,
+    check_weight_matrix,
+)
 from repro.util.errors import InfeasibleError, PartitionError
+from repro.util.parallel import KeyedCache, parallel_map
 from repro.util.rng import as_rng, spawn_seeds
 from repro.util.stopwatch import Stopwatch
 
@@ -37,54 +63,23 @@ __all__ = [
     "mr_constrained_fm",
     "mr_greedy_initial",
     "mr_gp_partition",
+    "leftover_destination",
     "MultiResResult",
+    "multires_cache",
+    "clear_multires_cache",
 ]
 
-_EPS = 1e-12
+#: In-process memo of completed :func:`mr_gp_partition` runs, keyed by
+#: ``(VectorGraph digest, k, constraints, knobs, seed)``.  ``n_jobs`` is
+#: deliberately absent from the key: results are bit-identical for every
+#: worker count, so a serial run may serve a parallel request and vice
+#: versa.
+multires_cache = KeyedCache(maxsize=32)
 
 
-@dataclass(frozen=True)
-class VectorConstraints:
-    """Pairwise bandwidth cap + per-resource budget vector."""
-
-    bmax: float
-    rmax: tuple[float, ...]
-    names: tuple[str, ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.bmax < 0:
-            raise PartitionError(f"bmax must be >= 0, got {self.bmax}")
-        if not self.rmax:
-            raise PartitionError("rmax vector must be non-empty")
-        if any(r < 0 for r in self.rmax):
-            raise PartitionError(f"rmax components must be >= 0: {self.rmax}")
-        if self.names and len(self.names) != len(self.rmax):
-            raise PartitionError("names/rmax length mismatch")
-
-    @property
-    def n_resources(self) -> int:
-        return len(self.rmax)
-
-
-@dataclass(frozen=True)
-class MultiResMetrics:
-    """Evaluated quality of a vector-constrained assignment."""
-
-    k: int
-    cut: float
-    max_local_bandwidth: float
-    #: per-resource maxima over parts, shape (R,)
-    max_loads: tuple[float, ...]
-    bandwidth_violation: float
-    resource_violation: float
-
-    @property
-    def feasible(self) -> bool:
-        return self.bandwidth_violation == 0.0 and self.resource_violation == 0.0
-
-    @property
-    def total_violation(self) -> float:
-        return self.bandwidth_violation + self.resource_violation
+def clear_multires_cache() -> None:
+    """Drop every memoised multi-resource result (and reset stats)."""
+    multires_cache.clear()
 
 
 @dataclass
@@ -95,6 +90,7 @@ class MultiResResult:
     k: int
     metrics: MultiResMetrics
     constraints: VectorConstraints
+    algorithm: str = "MR-GP"
     runtime: float = 0.0
     info: dict = field(default_factory=dict)
 
@@ -102,22 +98,28 @@ class MultiResResult:
     def feasible(self) -> bool:
         return self.metrics.feasible
 
+    @property
+    def cut(self) -> float:
+        return self.metrics.cut
+
 
 def _check_weights(g: WGraph, weights: np.ndarray) -> np.ndarray:
-    w = np.asarray(weights, dtype=np.float64)
-    if w.ndim != 2 or w.shape[0] != g.n:
-        raise PartitionError(
-            f"weight matrix must be (n={g.n}, R), got {w.shape}"
-        )
-    if np.any(w < 0) or not np.all(np.isfinite(w)):
-        raise PartitionError("weight matrix entries must be finite and >= 0")
-    return w
+    # retained name for the module's internal call sites; the validation
+    # itself lives with the engine state
+    return check_weight_matrix(g, weights)
 
 
 def _loads(weights: np.ndarray, assign: np.ndarray, k: int) -> np.ndarray:
     out = np.zeros((k, weights.shape[1]))
     np.add.at(out, assign, weights)
     return out
+
+
+def _match_resources(w: np.ndarray, cons: VectorConstraints) -> None:
+    if w.shape[1] != cons.n_resources:
+        raise PartitionError(
+            f"weights have {w.shape[1]} resources, constraints {cons.n_resources}"
+        )
 
 
 def evaluate_multires(
@@ -127,21 +129,25 @@ def evaluate_multires(
     k: int,
     cons: VectorConstraints,
 ) -> MultiResMetrics:
-    """All metrics of one assignment under vector constraints."""
+    """All metrics of one assignment under vector constraints.
+
+    Computed from scratch (no incremental state) — the independent
+    reference the invariant suite checks the tracked engine against.
+    """
     w = _check_weights(g, weights)
-    if w.shape[1] != cons.n_resources:
-        raise PartitionError(
-            f"weights have {w.shape[1]} resources, constraints {cons.n_resources}"
-        )
+    _match_resources(w, cons)
     a = check_assignment(g, assign, k)
     state = PartitionState(g, a, k)
     loads = _loads(w, a, k)
     rmax = np.asarray(cons.rmax)
     res_violation = float(np.maximum(loads - rmax, 0.0).sum())
     bw = state.bw
-    bw_violation = float(
-        np.triu(np.maximum(bw - cons.bmax, 0.0), k=1).sum()
-    )
+    if np.isfinite(cons.bmax):
+        bw_violation = float(
+            np.triu(np.maximum(bw - cons.bmax, 0.0), k=1).sum()
+        )
+    else:
+        bw_violation = 0.0
     return MultiResMetrics(
         k=k,
         cut=state.cut,
@@ -152,20 +158,6 @@ def evaluate_multires(
     )
 
 
-def _res_violation_delta(
-    loads: np.ndarray, rmax: np.ndarray, src: int, dest: int, w_u: np.ndarray
-) -> float:
-    before = (
-        np.maximum(loads[src] - rmax, 0.0).sum()
-        + np.maximum(loads[dest] - rmax, 0.0).sum()
-    )
-    after = (
-        np.maximum(loads[src] - w_u - rmax, 0.0).sum()
-        + np.maximum(loads[dest] + w_u - rmax, 0.0).sum()
-    )
-    return float(after - before)
-
-
 def mr_constrained_fm(
     g: WGraph,
     weights: np.ndarray,
@@ -174,106 +166,72 @@ def mr_constrained_fm(
     cons: VectorConstraints,
     max_passes: int = 6,
     seed=None,
+    abort_after: int | None = None,
+    state: VectorRefinementState | None = None,
 ) -> np.ndarray:
     """Violation-lexicographic FM with vector resource deltas.
 
-    Same discipline as the scalar
-    :func:`repro.partition.kway_refine.constrained_kway_fm`: per pass each
-    node moves at most once, moves never increase total violation, best
-    state by ``(violation, cut)`` is kept.
+    A thin driver: builds (or adopts) a
+    :class:`~repro.partition.vector_state.VectorRefinementState` and runs
+    the shared :func:`~repro.partition.kway_refine.run_constrained_fm`
+    pass discipline on it — the same gain-bucket queue, lazy
+    revalidation, lock/tie-breaking rules and best-prefix rollback as the
+    scalar GP refinement and the hypergraph Φ engine, with ``(violation,
+    cut)`` keys computed against the componentwise budgets.
+
+    When *state* is given the engine is reused (and left holding the
+    returned assignment, so callers can read ``state.metrics(cons)``
+    without a from-scratch evaluation).
     """
     if max_passes < 1:
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
     w = _check_weights(g, weights)
+    _match_resources(w, cons)
     a = check_assignment(g, assign, k)
-    state = PartitionState(g, a, k)
-    loads = _loads(w, state.assign, k)
-    rmax = np.asarray(cons.rmax)
-    rng = as_rng(seed)
-
-    def bw_violation_delta(u: int, dest: int, conn: np.ndarray) -> float:
-        src = int(state.assign[u])
-        dv = 0.0
-        for c in range(k):
-            if c == src or c == dest or conn[c] == 0.0:
-                continue
-            dv += max(0.0, state.bw[src, c] - conn[c] - cons.bmax) - max(
-                0.0, state.bw[src, c] - cons.bmax
+    if state is None:
+        st = VectorRefinementState(g, w, a, k)
+    else:
+        if state.g is not g or state.k != k:
+            raise PartitionError("provided state does not match graph/k")
+        if not np.array_equal(state.assign, a):
+            raise PartitionError(
+                "provided state holds a different assignment than the one passed"
             )
-            dv += max(0.0, state.bw[dest, c] + conn[c] - cons.bmax) - max(
-                0.0, state.bw[dest, c] - cons.bmax
-            )
-        old_sd = state.bw[src, dest]
-        new_sd = old_sd - conn[dest] + conn[src]
-        dv += max(0.0, new_sd - cons.bmax) - max(0.0, old_sd - cons.bmax)
-        return float(dv)
+        st = state
+    return run_constrained_fm(
+        st, g.n, g.neighbors, cons,
+        max_passes=max_passes, seed=seed, abort_after=abort_after,
+    )
 
-    def total_violation() -> float:
-        v = float(np.maximum(loads - rmax, 0.0).sum())
-        v += float(np.triu(np.maximum(state.bw - cons.bmax, 0.0), k=1).sum())
-        return v
 
-    def best_move(u: int):
-        src = int(state.assign[u])
-        conn = state.connection_vector(u)
-        dests = {int(c) for c in np.nonzero(conn > 0)[0] if int(c) != src}
-        if np.any(loads[src] > rmax):
-            dests.update(c for c in range(k) if c != src)
-        best = None
-        for dest in sorted(dests):
-            dv = bw_violation_delta(u, dest, conn) + _res_violation_delta(
-                loads, rmax, src, dest, w[u]
-            )
-            dc = float(conn[src] - conn[dest])
-            key = (dv, dc, dest)
-            if best is None or key < best:
-                best = key
-        return best
+def leftover_destination(
+    loads: np.ndarray, rmax: np.ndarray, w_u: np.ndarray
+) -> int:
+    """Greedy-growing leftover placement: where does a node nothing fits go?
 
-    best_assign = state.assign.copy()
-    best_key = (total_violation(), state.cut)
-
-    for _ in range(max_passes):
-        locked = np.zeros(g.n, dtype=bool)
-        start_key = (total_violation(), state.cut)
-        for _step in range(g.n):
-            seeds = state.boundary_nodes()
-            over_parts = np.nonzero(np.any(loads > rmax, axis=1))[0]
-            if over_parts.size:
-                extra = np.nonzero(np.isin(state.assign, over_parts))[0]
-                seeds = np.union1d(seeds, extra)
-            seeds = seeds[~locked[seeds]]
-            if seeds.size == 0:
-                break
-            rng.shuffle(seeds)
-            chosen = None
-            for u in seeds:
-                mv = best_move(int(u))
-                if mv is None:
-                    continue
-                key = (mv[0], mv[1], int(u), mv[2])
-                if chosen is None or key < chosen:
-                    chosen = key
-            if chosen is None:
-                break
-            dv, dc, u, dest = chosen
-            if dv > _EPS:
-                break  # every move strictly worsens violation
-            src = int(state.assign[u])
-            state.move(u, dest)
-            loads[src] -= w[u]
-            loads[dest] += w[u]
-            locked[u] = True
-            key_now = (total_violation(), state.cut)
-            if key_now < best_key:
-                best_key = key_now
-                best_assign = state.assign.copy()
-        if best_key < start_key:
-            state = PartitionState(g, best_assign, k)
-            loads = _loads(w, state.assign, k)
-        else:
-            break
-    return best_assign
+    A part *fits* iff adding the node's whole resource vector keeps every
+    component under ``rmax``; among fitting parts the one with the most
+    min-component headroom (after placement) wins.  When **no** part
+    fits, the part whose *violation increase* is smallest wins — ties
+    broken by headroom, then part id.  (The pre-unification rule used
+    headroom alone, which could dump a node on the part with the largest
+    slack on an irrelevant resource while another part would have taken
+    it with zero new excess on the binding one; frozen in
+    ``benchmarks/_legacy_multires.py``, regression-pinned in
+    ``tests/test_multires_invariants.py``.)
+    """
+    after = loads + w_u
+    headroom = (rmax - after).min(axis=1)
+    fits = np.nonzero(headroom >= 0)[0]
+    if fits.size:
+        return int(fits[int(np.argmax(headroom[fits]))])
+    viol_delta = (
+        np.maximum(after - rmax, 0.0) - np.maximum(loads - rmax, 0.0)
+    ).sum(axis=1)
+    order = np.lexsort(
+        (np.arange(loads.shape[0]), -headroom, viol_delta)
+    )
+    return int(order[0])
 
 
 def mr_greedy_initial(
@@ -287,12 +245,14 @@ def mr_greedy_initial(
     """Vector-aware greedy growing with restarts (Section IV.B, lifted).
 
     A node fits a partition iff adding its whole resource *vector* keeps
-    every component under ``rmax``; leftovers go to the part with the most
-    min-component headroom.
+    every component under ``rmax``; leftovers are placed by
+    :func:`leftover_destination` (violation-aware when nothing fits).
+    Each restart ends with a short seam-based FM repair.
     """
     if restarts < 1:
         raise PartitionError(f"restarts must be >= 1, got {restarts}")
     w = _check_weights(g, weights)
+    _match_resources(w, cons)
     rmax = np.asarray(cons.rmax)
     rng = as_rng(seed)
     round_seeds = spawn_seeds(rng, restarts)
@@ -335,24 +295,83 @@ def mr_greedy_initial(
         leftovers = leftovers[np.argsort(-share[leftovers], kind="stable")]
         for u in leftovers:
             u = int(u)
-            headroom = (rmax - (loads + w[u])).min(axis=1)
-            fits = np.nonzero(headroom >= 0)[0]
-            dest = (
-                int(fits[int(np.argmax(headroom[fits]))])
-                if fits.size
-                else int(np.argmax(headroom))
-            )
+            dest = leftover_destination(loads, rmax, w[u])
             assign[u] = dest
             loads[dest] += w[u]
-        assign = mr_constrained_fm(
-            g, w, assign, k, cons, max_passes=4, seed=round_seeds[r]
+        st = VectorRefinementState(g, w, assign, k)
+        assign = run_constrained_fm(
+            st, g.n, g.neighbors, cons, max_passes=4, seed=round_seeds[r]
         )
-        m = evaluate_multires(g, w, assign, k, cons)
+        m = st.metrics(cons)
         key = (m.total_violation, m.bandwidth_violation, m.cut)
         if best_key is None or key < best_key:
             best_assign, best_key = assign, key
     assert best_assign is not None
     return best_assign
+
+
+def _run_mr_cycle(context, seeds):
+    """One coarsen/partition/un-coarsen cycle (a parallel_map worker).
+
+    Independent of every other cycle given its three pre-spawned seeds —
+    the same independence that lets GP's scalar cycles race.  The
+    instance travels in the shared *context* (shipped once per worker).
+    Returns ``(assign, metrics, hierarchy_depth)``.
+    """
+    g, w, proxy_graph, k, cons, coarsen_to, restarts, refine_passes = context
+    s_hier, s_init, s_ref = seeds
+    hier = build_hierarchy(
+        proxy_graph, coarsen_to=max(coarsen_to, 2 * k), seed=s_hier
+    )
+    # aggregate the weight matrix down the hierarchy
+    level_weights = [w]
+    for lvl in hier.levels[1:]:
+        prev = level_weights[-1]
+        agg = np.zeros((lvl.graph.n, w.shape[1]))
+        np.add.at(agg, lvl.node_map, prev)
+        level_weights.append(agg)
+
+    assign = mr_greedy_initial(
+        hier.coarsest, level_weights[-1], k, cons,
+        restarts=restarts, seed=s_init,
+    )
+    ref_seeds = spawn_seeds(s_ref, hier.depth)
+    for level in range(hier.depth - 1, 0, -1):
+        assign = hier.project(assign, level)
+        assign = mr_constrained_fm(
+            hier.levels[level - 1].graph,
+            level_weights[level - 1],
+            assign, k, cons,
+            max_passes=refine_passes, seed=ref_seeds[level - 1],
+        )
+    if hier.depth == 1:
+        assign = mr_constrained_fm(
+            g, w, assign, k, cons,
+            max_passes=refine_passes, seed=ref_seeds[0],
+        )
+    m = evaluate_multires(g, w, assign, k, cons)
+    return assign, m, hier.depth
+
+
+def _cached_copy(result: MultiResResult) -> MultiResResult:
+    """Deliver a cached result without aliasing the stored arrays/info."""
+    return dataclasses.replace(
+        result,
+        assign=result.assign.copy(),
+        info={**copy.deepcopy(result.info), "cache_hit": True},
+    )
+
+
+def _raise_if_infeasible(
+    result: MultiResResult, max_cycles: int, on_infeasible: str
+) -> MultiResResult:
+    if not result.metrics.feasible and on_infeasible == "raise":
+        raise InfeasibleError(
+            f"no vector-feasible partitioning within {max_cycles} cycles "
+            f"(violation {result.metrics.total_violation:g})",
+            best=result,
+        )
+    return result
 
 
 def mr_gp_partition(
@@ -366,6 +385,8 @@ def mr_gp_partition(
     refine_passes: int = 6,
     seed=None,
     on_infeasible: str = "return",
+    n_jobs: int | None = 1,
+    cache: bool = True,
 ) -> MultiResResult:
     """GP lifted to vector resources: multilevel + cyclic retries.
 
@@ -373,6 +394,17 @@ def mr_gp_partition(
     normalised utilisation) so the matchings see a sensible "mass", while
     the true weight *matrix* is aggregated level by level through the
     contraction maps and drives all constraint checks.
+
+    *n_jobs* races the retry cycles across worker processes exactly like
+    :func:`~repro.partition.gp.gp_partition` does (``-1`` = all CPUs):
+    every cycle's seeds are derived up front, results are consumed in
+    cycle order and the first feasible cycle wins, so the returned
+    partition is **bit-identical for every** ``n_jobs``.  *cache*
+    memoises completed runs in :data:`multires_cache` keyed by the
+    :class:`~repro.partition.vector_state.VectorGraph` content digest
+    (structure + weight matrix), constraints, the tuning knobs and the
+    seed; hits return a fresh copy flagged ``info["cache_hit"]=True``
+    (only ``int``/``None`` seeds participate).
     """
     if on_infeasible not in ("return", "raise"):
         raise PartitionError(
@@ -381,10 +413,30 @@ def mr_gp_partition(
     if k < 1 or k > g.n:
         raise PartitionError(f"bad k={k} for n={g.n}")
     w = _check_weights(g, weights)
-    if w.shape[1] != cons.n_resources:
-        raise PartitionError(
-            f"weights have {w.shape[1]} resources, constraints {cons.n_resources}"
+    _match_resources(w, cons)
+
+    cacheable = cache and (seed is None or isinstance(seed, (int, np.integer)))
+    key = None
+    if cacheable:
+        key = (
+            "mr_gp",
+            VectorGraph(g, w).content_digest(),
+            k,
+            cons,
+            coarsen_to,
+            restarts,
+            max_cycles,
+            refine_passes,
+            # n_jobs / on_infeasible are absent on purpose: neither
+            # changes the computed partition, only delivery
+            None if seed is None else int(seed),
         )
+        hit = multires_cache.get(key)
+        if hit is not None:
+            return _raise_if_infeasible(
+                _cached_copy(hit), max_cycles, on_infeasible
+            )
+
     rmax = np.asarray(cons.rmax)
     with np.errstate(divide="ignore", invalid="ignore"):
         scalar_proxy = np.where(rmax > 0, w / rmax, 0.0).sum(axis=1)
@@ -392,62 +444,46 @@ def mr_gp_partition(
     rng = as_rng(seed)
 
     sw = Stopwatch().start()
-    best_assign, best_key = None, None
-    cycles_used = 0
-    for cycle in range(max_cycles):
-        cycles_used = cycle + 1
-        s_hier, s_init, s_ref = spawn_seeds(rng, 3)
-        hier = build_hierarchy(
-            proxy_graph, coarsen_to=max(coarsen_to, 2 * k), seed=s_hier
-        )
-        # aggregate the weight matrix down the hierarchy
-        level_weights = [w]
-        for lvl in hier.levels[1:]:
-            prev = level_weights[-1]
-            agg = np.zeros((lvl.graph.n, w.shape[1]))
-            np.add.at(agg, lvl.node_map, prev)
-            level_weights.append(agg)
+    # all cycle seeds up front (the same stream the serial loop drew from,
+    # one triple per cycle) — what makes the cycles race-independent
+    cycle_seeds = [spawn_seeds(rng, 3) for _ in range(max_cycles)]
+    results = parallel_map(
+        _run_mr_cycle,
+        cycle_seeds,
+        n_jobs=n_jobs,
+        stop=lambda r: r[1].feasible,
+        context=(g, w, proxy_graph, k, cons, coarsen_to, restarts,
+                 refine_passes),
+    )
 
-        assign = mr_greedy_initial(
-            hier.coarsest, level_weights[-1], k, cons,
-            restarts=restarts, seed=s_init,
-        )
-        ref_seeds = spawn_seeds(s_ref, hier.depth)
-        for level in range(hier.depth - 1, 0, -1):
-            assign = hier.project(assign, level)
-            assign = mr_constrained_fm(
-                hier.levels[level - 1].graph,
-                level_weights[level - 1],
-                assign, k, cons,
-                max_passes=refine_passes, seed=ref_seeds[level - 1],
-            )
-        if hier.depth == 1:
-            assign = mr_constrained_fm(
-                g, w, assign, k, cons,
-                max_passes=refine_passes, seed=ref_seeds[0],
-            )
-        m = evaluate_multires(g, w, assign, k, cons)
-        key = (m.total_violation, m.bandwidth_violation, m.cut)
-        if best_key is None or key < best_key:
-            best_assign, best_key = assign, key
-        if m.feasible:
-            break
+    best_assign, best_metrics, best_key = None, None, None
+    for assign, m, _depth in results:
+        cand = (m.total_violation, m.bandwidth_violation, m.cut)
+        if best_key is None or cand < best_key:
+            best_assign, best_metrics, best_key = assign, m, cand
+    cycles_used = len(results)
     sw.stop()
 
-    assert best_assign is not None
-    metrics = evaluate_multires(g, w, best_assign, k, cons)
+    assert best_assign is not None and best_metrics is not None
     result = MultiResResult(
         assign=best_assign,
         k=k,
-        metrics=metrics,
+        metrics=best_metrics,
         constraints=cons,
         runtime=sw.elapsed,
-        info={"cycles": cycles_used},
+        info={
+            "cycles": cycles_used,
+            "max_cycles": max_cycles,
+            "levels": results[-1][2],
+        },
     )
-    if not metrics.feasible and on_infeasible == "raise":
-        raise InfeasibleError(
-            f"no vector-feasible partitioning within {max_cycles} cycles "
-            f"(violation {metrics.total_violation:g})",
-            best=result,
+    if cacheable:
+        multires_cache.put(
+            key,
+            dataclasses.replace(
+                result,
+                assign=result.assign.copy(),
+                info=copy.deepcopy(result.info),
+            ),
         )
-    return result
+    return _raise_if_infeasible(result, max_cycles, on_infeasible)

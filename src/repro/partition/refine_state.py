@@ -286,6 +286,23 @@ class RefinementState:
         from one gather of the upper bandwidth triangle."""
         return constrained_key(self.bw, self.part_weight, self._iu, constraints)
 
+    def overloaded_mask(self, constraints: ConstraintSpec) -> np.ndarray:
+        """Boolean ``(k,)`` mask of parts over the resource cap.
+
+        The hook behind the FM escape rule: a node in an overloaded part
+        may move to *any* part, and every node of an overloaded part is an
+        FM seed.  The vector-resource engine overrides this with the
+        componentwise test (any resource over its cap) — the only place
+        the seam needs to know what "over budget" means.
+        """
+        if np.isfinite(constraints.rmax):
+            return self.part_weight > constraints.rmax
+        return np.zeros(self.k, dtype=bool)
+
+    def overloaded_nodes(self, constraints: ConstraintSpec) -> np.ndarray:
+        """Sorted ids of nodes living in an over-cap part (FM extra seeds)."""
+        return np.nonzero(self.overloaded_mask(constraints)[self.assign])[0]
+
     def metrics(self, constraints: ConstraintSpec | None = None) -> PartitionMetrics:
         """:class:`PartitionMetrics` from the tracked matrices — no graph
         rescan (the whole point of the incremental engine)."""
@@ -356,8 +373,12 @@ class RefinementState:
         self._trail.clear()
 
     def copy(self) -> "RefinementState":
-        """Independent copy sharing only the immutable graph."""
-        out = object.__new__(RefinementState)
+        """Independent copy sharing only the immutable graph.
+
+        Allocates ``type(self)`` so subclasses (the vector-resource state)
+        can extend the copy with their own tracked matrices.
+        """
+        out = object.__new__(type(self))
         out.g = self.g
         out.k = self.k
         out.assign = self.assign.copy()
@@ -501,10 +522,7 @@ class RefinementState:
         """
         src = int(self.assign[u])
         cu = self.conn[:, u]
-        escape = bool(
-            np.isfinite(constraints.rmax)
-            and self.part_weight[src] > constraints.rmax
-        )
+        escape = bool(self.overloaded_mask(constraints)[src])
         dv, dc = self.move_deltas(u, constraints)
         return self._select_best(
             dv.tolist(), dc.tolist(), cu.tolist(), src, escape
@@ -519,10 +537,7 @@ class RefinementState:
             return []
         dv, dc = self.move_deltas_batch(nodes, constraints)
         srcs = self.assign[nodes]
-        if np.isfinite(constraints.rmax):
-            escape = self.part_weight[srcs] > constraints.rmax
-        else:
-            escape = np.zeros(nodes.size, dtype=bool)
+        escape = self.overloaded_mask(constraints)[srcs]
         cu_b = self.conn[:, nodes].T
         dv_l, dc_l, cu_l = dv.tolist(), dc.tolist(), cu_b.tolist()
         return [

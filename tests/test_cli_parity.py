@@ -85,9 +85,57 @@ class TestParity:
     def test_subcommand_helps_match_in_and_out_of_process(self):
         # per-subcommand option surface: the module form shows exactly the
         # options the in-process parser defines (spot-check partition's
-        # evolve knobs so surface drift is caught where it matters)
+        # evolve and vector-resource knobs so surface drift is caught
+        # where it matters)
         proc = run_module("repro", "partition", "--help")
         assert proc.returncode == 0
         for flag in ("--method", "--generations", "--time-budget",
-                     "--pop-size", "--no-cache", "--jobs", "--model"):
+                     "--pop-size", "--no-cache", "--jobs", "--model",
+                     "--resources", "--rmax"):
             assert flag in proc.stdout, f"{flag} missing from module help"
+
+    def test_vector_flags_on_every_entry_form(self):
+        # --resources/--rmax must appear identically via `python -m repro`
+        # and `python -m repro.cli`, and both on partition and generate
+        for mod in ("repro", "repro.cli"):
+            proc = run_module(mod, "partition", "--help")
+            assert proc.returncode == 0, proc.stderr
+            assert "--resources" in proc.stdout, f"{mod}: partition lost --resources"
+            assert "--rmax" in proc.stdout, f"{mod}: partition lost --rmax"
+            gen = run_module(mod, "generate", "--help")
+            assert gen.returncode == 0, gen.stderr
+            assert "--resources" in gen.stdout, f"{mod}: generate lost --resources"
+            assert "--n-resources" in gen.stdout, f"{mod}: generate lost --n-resources"
+
+    def test_vector_rmax_rejected_identically_on_unsupported_methods(
+        self, tmp_path
+    ):
+        # a comma-separated --rmax on a method without vector support must
+        # fail with the same clear error through every entry form
+        graph = tmp_path / "g.json"
+        proc = run_module(
+            "repro", "generate", "--n", "8", "--m", "12",
+            "--out", str(graph), "--resources", str(tmp_path / "r.json"),
+        )
+        assert proc.returncode == 0, proc.stderr
+        argv = [
+            "partition", "--input", str(graph), "--k", "2",
+            "--rmax", "5,5,5,5", "--resources", str(tmp_path / "r.json"),
+            "--method", "spectral",
+        ]
+        outcomes = []
+        for mod in ("repro", "repro.cli"):
+            proc = run_module(mod, *argv)
+            outcomes.append((proc.returncode, proc.stderr.strip()))
+        # in-process main (the console script's entry point)
+        import contextlib
+        import io
+
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            code = main(argv)
+        outcomes.append((code, err.getvalue().strip()))
+        assert all(o == outcomes[0] for o in outcomes), outcomes
+        code, message = outcomes[0]
+        assert code == 1
+        assert "--method gp or evolve" in message
