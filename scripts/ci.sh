@@ -22,7 +22,13 @@
 # benchmarks/_legacy_multires.py corpus and the (k, R) load-matrix
 # invariants — plus the X13 engine-unification smoke benchmark (gated:
 # FM speedup, feasibility parity, evolve never losing to restart-only
-# vector GP; artefact benchmarks/artifacts/x13_multires_engine.txt).
+# vector GP; artefact benchmarks/artifacts/x13_multires_engine.txt);
+# stage 7 runs the serving-subsystem suites (disk cache + serve) and the
+# live-daemon smoke (scripts/serve_smoke.py): a real `repro serve`
+# subprocess on an ephemeral port must collapse two concurrent identical
+# requests into one compute (single-flight), serve bit-identically to the
+# direct partition_graph call, answer digest-only from the persistent
+# store after a restart, and shut down cleanly on POST /shutdown.
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -60,5 +66,11 @@ REPRO_TEST_JOBS=2 python -m pytest -q \
   tests/test_multires_differential.py \
   tests/test_multires_invariants.py
 python -m pytest -q benchmarks/bench_multires_engine.py
+
+echo "== stage 7: serving subsystem + live-daemon smoke =="
+python -m pytest -q \
+  tests/test_diskcache.py \
+  tests/test_serve.py
+python scripts/serve_smoke.py
 
 echo "CI OK"

@@ -19,9 +19,14 @@ Usage (see ``python -m repro --help``):
   *hypergraph* instance is written instead (``.hgr``); with
   ``--resources res.json`` a device-shaped per-node resource matrix is
   written alongside the graph.
-* ``python -m repro cache [--clear]`` — inspect (or drop) the in-process
-  portfolio/evolve/multires memo caches; ``partition --no-cache`` forces
+* ``python -m repro cache [--stats] [--clear] [--dir DIR]`` — inspect (or
+  drop) the in-process portfolio/evolve/multires memo caches, and with
+  ``--dir`` a persistent on-disk cache; ``partition --no-cache`` forces
   a cold evolve (or vector-gp) run.
+* ``python -m repro serve --port 8077 --cache-dir ~/.cache/repro`` — run
+  the partitioning daemon: JSON requests over HTTP, digest-keyed results
+  served from a persistent cache, concurrent duplicates computed once
+  (see ``docs/serve.md``).
 
 ``--method evolve`` selects the memetic population search (either
 ``--model``); ``--generations`` / ``--time-budget`` / ``--pop-size``
@@ -190,11 +195,40 @@ def build_parser() -> argparse.ArgumentParser:
     c = sub.add_parser(
         "cache",
         help="inspect or clear the in-process portfolio/evolve/multires "
-             "memo caches",
+             "memo caches (and, with --dir, a persistent disk cache)",
     )
+    c.add_argument("--stats", action="store_true",
+                   help="print per-cache size and hit/miss stats "
+                        "(the default action)")
     c.add_argument("--clear", action="store_true",
                    help="drop every memoised portfolio, evolve and "
-                        "multires result")
+                        "multires result (with --dir: the disk store too)")
+    c.add_argument("--dir", metavar="DIR", default=None,
+                   help="also inspect/clear the persistent disk cache at "
+                        "DIR (the directory `repro serve --cache-dir` "
+                        "writes)")
+
+    s = sub.add_parser(
+        "serve",
+        help="run the partitioning daemon (persistent digest-keyed cache, "
+             "single-flight dedup; see docs/serve.md)",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8077,
+                   help="TCP port (0 = pick an ephemeral port and print it)")
+    s.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent result-cache directory; omitting it "
+                        "serves from memory only (no warm restarts)")
+    s.add_argument("--cache-mb", type=int, default=256, metavar="MB",
+                   help="disk-cache size budget in MiB (default 256)")
+    s.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes racing gp/evolve work per "
+                        "request (-1 = all CPUs available to the daemon); "
+                        "kept warm across requests; results are "
+                        "bit-identical for every value")
+    s.add_argument("--memory-entries", type=int, default=256, metavar="E",
+                   help="in-memory result-cache entries layered above "
+                        "the disk store (default 256)")
     return parser
 
 
@@ -520,10 +554,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Report (and optionally clear) the in-process memo caches.
 
-    The caches live in this process only — ``cache --clear`` matters for
-    long-lived hosts of :func:`main` (notebooks, tests, benchmark
-    harnesses), not across separate CLI invocations; cold *runs* are what
-    ``partition --no-cache`` is for.
+    The in-process caches live in this process only — ``cache --clear``
+    matters for long-lived hosts of :func:`main` (notebooks, tests,
+    benchmark harnesses), not across separate CLI invocations; cold
+    *runs* are what ``partition --no-cache`` is for.  ``--dir`` targets
+    the *persistent* store (`repro serve --cache-dir`) instead, which
+    does span invocations; ``--stats`` is the (default) report action.
     """
     if args.clear:
         clear_portfolio_cache()
@@ -537,6 +573,56 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     ):
         s = c.stats()
         print(f"{name}: size={s['size']} hits={s['hits']} misses={s['misses']}")
+    if args.dir:
+        from repro.util.diskcache import DiskCache
+
+        disk = DiskCache(args.dir)
+        if args.clear:
+            n = len(disk)
+            disk.clear()
+            print(f"cleared {n} persistent entries under {args.dir}")
+        s = disk.stats()
+        print(f"disk[{args.dir}]: entries={s['entries']} "
+              f"bytes={s['bytes']} max_bytes={s['max_bytes']}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the partitioning daemon until SIGINT/SIGTERM (or POST /shutdown)."""
+    import signal
+
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        memory_entries=args.memory_entries,
+        n_jobs=args.jobs,
+    )
+    # the first line is machine-readable: harnesses parse the port from it
+    print(f"repro serve listening on http://{server.host}:{server.port}",
+          flush=True)
+    if server.disk is not None:
+        print(f"persistent cache: {args.cache_dir} "
+              f"({args.cache_mb} MiB budget)", flush=True)
+    if server.pool_workers:
+        print(f"warm worker pool: {server.pool_workers} processes",
+              flush=True)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    old_term = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        server.close()
+    print("repro serve: shut down cleanly", flush=True)
     return 0
 
 
@@ -546,6 +632,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "generate": _cmd_generate,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

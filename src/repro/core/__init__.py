@@ -6,7 +6,14 @@
 True
 """
 
-from repro.core.api import map_to_fpgas, partition_graph, partition_ppn
+from repro.core.api import (
+    configure_cache_backend,
+    disable_disk_cache,
+    enable_disk_cache,
+    map_to_fpgas,
+    partition_graph,
+    partition_ppn,
+)
 from repro.core.report import comparison_report, result_table
 from repro.evolve.ea import EvolveConfig, clear_evolve_cache, evolve_partition
 from repro.partition.gp import GPConfig
@@ -26,4 +33,7 @@ __all__ = [
     "portfolio_partition",
     "clear_evolve_cache",
     "clear_portfolio_cache",
+    "configure_cache_backend",
+    "enable_disk_cache",
+    "disable_disk_cache",
 ]

@@ -23,6 +23,12 @@
 ``map_to_fpgas``
     Partition → :class:`~repro.fpga.mapping.Mapping` on a homogeneous
     multi-FPGA system, validated.
+
+``enable_disk_cache`` / ``disable_disk_cache`` / ``configure_cache_backend``
+    Inject a persistent :class:`~repro.util.diskcache.DiskCache` under
+    the in-process portfolio/evolve/multires memo caches, so memoised
+    runs survive the process (the seam ``repro serve`` stands on — see
+    ``docs/serve.md``).
 """
 
 from __future__ import annotations
@@ -56,7 +62,59 @@ from repro.polyhedral.ppn import PPN, derive_ppn
 from repro.polyhedral.program import SANLP
 from repro.util.errors import PartitionError
 
-__all__ = ["partition_graph", "partition_ppn", "map_to_fpgas"]
+__all__ = [
+    "partition_graph",
+    "partition_ppn",
+    "map_to_fpgas",
+    "configure_cache_backend",
+    "enable_disk_cache",
+    "disable_disk_cache",
+]
+
+
+def _module_caches():
+    """The three in-process memo caches, imported lazily (no cycles)."""
+    from repro.evolve.ea import evolve_cache
+    from repro.partition.multires import multires_cache
+    from repro.partition.portfolio import portfolio_cache
+
+    return {
+        "portfolio": portfolio_cache,
+        "evolve": evolve_cache,
+        "multires": multires_cache,
+    }
+
+
+def configure_cache_backend(backend) -> None:
+    """Attach *backend* under every module memo cache (``None`` detaches).
+
+    *backend* is any object with the :class:`~repro.util.parallel.
+    KeyedCache` backend protocol (``lookup``/``put``/``stats``) —
+    canonically a :class:`~repro.util.diskcache.DiskCache`.  One shared
+    store is safe: the memo keys are namespaced tuples
+    (``"portfolio"``/``"evolve"``/``"mr_gp"``-prefixed).
+    """
+    for c in _module_caches().values():
+        c.set_backend(backend)
+
+
+def enable_disk_cache(path, max_bytes: int = 256 * 1024 * 1024):
+    """Back the portfolio/evolve/multires memos with a persistent store.
+
+    Returns the :class:`~repro.util.diskcache.DiskCache` so callers can
+    inspect ``stats()`` or share it (the serve daemon layers its own
+    request-level cache on the same store).
+    """
+    from repro.util.diskcache import DiskCache
+
+    backend = DiskCache(path, max_bytes=max_bytes)
+    configure_cache_backend(backend)
+    return backend
+
+
+def disable_disk_cache() -> None:
+    """Detach any persistent backend from the module memo caches."""
+    configure_cache_backend(None)
 
 _METHODS = ("gp", "mlkp", "spectral", "exact", "hyper", "evolve")
 _MODELS = ("graph", "hypergraph")

@@ -435,8 +435,9 @@ def evolve_partition(
             config,
             run_seed,
         )
-        hit = evolve_cache.get(key)
-        if hit is not None:
+        # lookup (not get): a cached falsy value must stay a hit
+        found, hit = evolve_cache.lookup(key)
+        if found:
             result = _cached_copy(hit)
             if not result.feasible and config.on_infeasible == "raise":
                 raise InfeasibleError(

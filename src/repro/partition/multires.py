@@ -431,8 +431,9 @@ def mr_gp_partition(
             # changes the computed partition, only delivery
             None if seed is None else int(seed),
         )
-        hit = multires_cache.get(key)
-        if hit is not None:
+        # lookup (not get): a cached falsy value must stay a hit
+        found, hit = multires_cache.lookup(key)
+        if found:
             return _raise_if_infeasible(
                 _cached_copy(hit), max_cycles, on_infeasible
             )

@@ -163,7 +163,7 @@ def portfolio_partition(
 
     cacheable = cache and (seed is None or isinstance(seed, int))
     key = None
-    hit = None
+    found, hit = False, None
     if cacheable:
         key = (
             "portfolio",
@@ -175,12 +175,13 @@ def portfolio_partition(
             stop_on_feasible,
         )
         try:
-            hit = portfolio_cache.get(key)
+            # lookup (not get): a cached falsy value must stay a hit
+            found, hit = portfolio_cache.lookup(key)
         except TypeError:
             # a config subclass smuggled in an unhashable field: run
             # uncached rather than refuse the call
             cacheable, key = False, None
-        if hit is not None:
+        if found:
             result = _cached_copy(hit)
             if not result.feasible and on_infeasible == "raise":
                 raise InfeasibleError(

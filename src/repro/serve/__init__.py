@@ -1,0 +1,34 @@
+"""Partitioning-as-a-service: the ``repro serve`` daemon.
+
+Everything the library computes is memoised by content digest under a
+determinism contract (``docs/parallel.md``), which makes results safely
+shareable across processes, sessions and users.  This package turns that
+into a serving story (``docs/serve.md``):
+
+* :mod:`repro.serve.server` — a long-running HTTP daemon
+  (stdlib ``http.server``) with ``/partition``, ``/healthz``,
+  ``/metrics`` and ``/shutdown`` endpoints, a digest-keyed result cache
+  layered over the persistent :class:`~repro.util.diskcache.DiskCache`,
+  and a warm :func:`~repro.util.parallel.parallel_map` worker pool kept
+  across requests.
+* :mod:`repro.serve.singleflight` — concurrent identical requests
+  compute **once**; all waiters share the leader's result.
+* :mod:`repro.serve.schema` — the JSON request/response schema and the
+  digest-keyed cache key.
+* :mod:`repro.serve.client` — a tiny stdlib client helper.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.schema import BadRequest, ServeError, ServeRequest, UnknownDigest
+from repro.serve.server import ReproServer
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "SingleFlight",
+    "ServeRequest",
+    "ServeError",
+    "BadRequest",
+    "UnknownDigest",
+]

@@ -1,0 +1,106 @@
+"""Stdlib client helper for the ``repro serve`` daemon.
+
+``ServeClient`` speaks the JSON schema of :mod:`repro.serve.schema` over
+``urllib`` — no dependencies, usable from notebooks, scripts and the CI
+smoke test alike:
+
+>>> client = ServeClient("http://127.0.0.1:8077")
+>>> out = client.partition(g, k=4, bmax=16.0, rmax=165.0, seed=0)
+>>> out["assign"], out["cut"], out["cached"]
+
+A second identical call — from this client, another process, or another
+user — is answered from the daemon's digest-keyed cache.  Once a result
+is cached, ``client.partition(digest=g.content_digest(), k=4, ...)``
+fetches it without shipping the graph at all.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+from repro.graph.io import graph_to_json
+from repro.graph.wgraph import WGraph
+from repro.serve.schema import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Minimal HTTP client for one serve daemon.
+
+    *base_url* is the daemon's root (e.g. ``http://127.0.0.1:8077``);
+    *timeout* bounds every call in seconds.  Server-side rejections
+    raise :class:`~repro.serve.schema.ServeError` carrying the HTTP
+    status and the server's message.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServeError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach {self.base_url}: {exc.reason}", status=503
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    def partition(
+        self,
+        graph: WGraph | None = None,
+        *,
+        k: int,
+        method: str = "gp",
+        bmax: float = float("inf"),
+        rmax: float = float("inf"),
+        seed: int | None = None,
+        digest: str | None = None,
+    ) -> dict:
+        """Request a partition; returns the decoded response payload.
+
+        Pass *graph* (shipped as its JSON document) or, for an instance
+        the daemon has already seen, just its *digest*.  Infinite
+        *bmax*/*rmax* are simply omitted from the wire format.
+        """
+        doc: dict = {"k": int(k), "method": method}
+        if seed is not None:
+            doc["seed"] = int(seed)
+        if not math.isinf(bmax):
+            doc["bmax"] = float(bmax)
+        if not math.isinf(rmax):
+            doc["rmax"] = float(rmax)
+        if graph is not None:
+            doc["graph"] = json.loads(graph_to_json(graph))
+        if digest is not None:
+            doc["digest"] = digest
+        return self._request("/partition", doc)
+
+    def health(self) -> dict:
+        return self._request("/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop accepting requests and exit cleanly."""
+        return self._request("/shutdown", {})

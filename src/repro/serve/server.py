@@ -1,0 +1,341 @@
+"""The ``repro serve`` daemon: a long-running partitioning service.
+
+Stdlib-only (``http.server`` / ``socketserver``): one
+``ThreadingHTTPServer`` accepts JSON requests; each request thread
+
+1. parses/validates the body (:mod:`repro.serve.schema`),
+2. looks the digest-keyed request key up in the two-level result cache
+   (in-memory :class:`~repro.util.parallel.KeyedCache` over the
+   persistent :class:`~repro.util.diskcache.DiskCache`),
+3. on a miss, enters the :class:`~repro.serve.singleflight.SingleFlight`
+   — concurrent identical requests compute once — and the flight leader
+   runs :func:`repro.core.api.partition_graph` and writes the cache.
+
+The daemon also injects the disk store under the library's own
+portfolio/evolve/multires memos (:func:`repro.core.api.
+configure_cache_backend`) and keeps a warm ``parallel_map`` worker pool
+across requests (:func:`repro.util.parallel.start_warm_pool`), so the
+*library-level* caching and racing the CLI gets per process become
+persistent and warm here.  Endpoints, schema and operational notes:
+``docs/serve.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__
+from repro.core.api import configure_cache_backend, partition_graph
+from repro.serve.schema import (
+    ServeError,
+    ServeRequest,
+    parse_request,
+    request_cache_key,
+    result_payload,
+)
+from repro.serve.singleflight import SingleFlight
+from repro.util.diskcache import DiskCache
+from repro.util.errors import ReproError
+from repro.util.parallel import (
+    KeyedCache,
+    resolve_jobs,
+    start_warm_pool,
+    stop_warm_pool,
+    warm_pool_size,
+)
+
+__all__ = ["ReproServer", "ServerMetrics"]
+
+#: Latency histogram bucket upper bounds, milliseconds (last is +inf).
+_LATENCY_BUCKETS_MS = (5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0)
+
+#: Maximum accepted request body (a graph payload of ~1M edges).
+_MAX_BODY_BYTES = 128 * 1024 * 1024
+
+
+class ServerMetrics:
+    """Thread-safe request counters and latency histogram."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = time.time()
+        self.in_flight = 0
+        self.computes = 0
+        self.requests: dict[str, dict[str, int]] = {}
+        self._bucket_counts = [0] * (len(_LATENCY_BUCKETS_MS) + 1)
+        self._latency_sum_ms = 0.0
+        self._latency_count = 0
+
+    def note_compute(self) -> None:
+        with self._lock:
+            self.computes += 1
+
+    @contextmanager
+    def track(self, endpoint: str):
+        t0 = time.perf_counter()
+        with self._lock:
+            self.in_flight += 1
+            row = self.requests.setdefault(endpoint, {"count": 0, "errors": 0})
+            row["count"] += 1
+        ok = True
+        try:
+            yield
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            with self._lock:
+                self.in_flight -= 1
+                if not ok:
+                    self.requests[endpoint]["errors"] += 1
+                i = 0
+                while (
+                    i < len(_LATENCY_BUCKETS_MS)
+                    and elapsed_ms > _LATENCY_BUCKETS_MS[i]
+                ):
+                    i += 1
+                self._bucket_counts[i] += 1
+                self._latency_sum_ms += elapsed_ms
+                self._latency_count += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_s": time.time() - self.started,
+                "in_flight": self.in_flight,
+                "computes": self.computes,
+                "requests": {k: dict(v) for k, v in self.requests.items()},
+                "latency": {
+                    "bucket_upper_ms": list(_LATENCY_BUCKETS_MS) + ["inf"],
+                    "counts": list(self._bucket_counts),
+                    "count": self._latency_count,
+                    "sum_ms": self._latency_sum_ms,
+                },
+            }
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    repro: "ReproServer"
+
+
+class ReproServer:
+    """The serving daemon; construct, then :meth:`serve_forever`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` — the CLI prints it).
+    cache_dir:
+        Directory of the persistent :class:`DiskCache`; ``None`` serves
+        from memory only (no warm restarts).
+    cache_bytes:
+        Size budget of the disk store.
+    memory_entries:
+        In-memory LRU entries layered above the disk store.
+    n_jobs:
+        Worker processes for methods with independent randomized work
+        (``gp``/``evolve``; other methods run serially — they have
+        nothing to race).  By the determinism contract the value cannot
+        change any result.  With ``n_jobs > 1`` a warm pool is started
+        once and reused across requests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir=None,
+        cache_bytes: int = 256 * 1024 * 1024,
+        memory_entries: int = 256,
+        n_jobs: int | None = 1,
+        warm_pool: bool = True,
+    ) -> None:
+        self.disk = (
+            DiskCache(cache_dir, max_bytes=cache_bytes)
+            if cache_dir is not None
+            else None
+        )
+        self.results = KeyedCache(maxsize=memory_entries, backend=self.disk)
+        # the library's own memos persist through the same store
+        configure_cache_backend(self.disk)
+        self.flight = SingleFlight()
+        self.metrics = ServerMetrics()
+        self.n_jobs = resolve_jobs(n_jobs)
+        self.pool_workers = (
+            start_warm_pool(self.n_jobs)
+            if (warm_pool and self.n_jobs > 1)
+            else 0
+        )
+        self.httpd = _HTTPServer((host, port), _Handler)
+        self.httpd.repro = self
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Stop :meth:`serve_forever` (safe from any other thread)."""
+        self.httpd.shutdown()
+
+    def close(self) -> None:
+        """Release the socket, the warm pool and the backend injection."""
+        if self._closed:
+            return
+        self._closed = True
+        self.httpd.server_close()
+        stop_warm_pool()
+        configure_cache_backend(None)
+
+    # ------------------------------------------------------------------ #
+    def handle_partition(self, doc) -> tuple[int, dict]:
+        """Body → ``(status, payload)`` for ``POST /partition``."""
+        req = parse_request(doc)
+        key = request_cache_key(req)
+        found, payload = self.results.lookup(key)
+        if found:
+            return 200, {**payload, "cached": True, "deduped": False}
+        payload, leader = self.flight.do(key, lambda: self._compute(req))
+        if leader:
+            self.results.put(key, payload)
+        return 200, {**payload, "cached": False, "deduped": not leader}
+
+    def _compute(self, req: ServeRequest) -> dict:
+        if req.graph is None:
+            raise ServeError(
+                f"digest {req.digest[:12]}… is not cached on this server; "
+                f"resend the request with the graph payload",
+                status=404,
+            )
+        self.metrics.note_compute()
+        result = partition_graph(
+            req.graph,
+            req.k,
+            bmax=req.bmax,
+            rmax=req.rmax,
+            method=req.method,
+            seed=req.seed,
+            # only methods with independent randomized work take the pool
+            n_jobs=self.n_jobs if req.method in ("gp", "evolve") else 1,
+        )
+        return result_payload(req, result)
+
+    def metrics_payload(self) -> dict:
+        from repro.core.api import _module_caches
+
+        caches = {"results": self.results.stats()}
+        for name, c in _module_caches().items():
+            caches[name] = c.stats()
+        out = self.metrics.snapshot()
+        out.update(
+            {
+                "version": __version__,
+                "single_flight": self.flight.stats(),
+                # queue depth == requests currently inside a handler
+                "queue_depth": out["in_flight"],
+                "warm_pool_workers": warm_pool_size(),
+                "caches": caches,
+            }
+        )
+        return out
+
+    def health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": time.time() - self.metrics.started,
+            "persistent_cache": self.disk is not None,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/" + __version__
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default: the daemon's stdout is its operational interface
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServeError("request needs a JSON body", status=400)
+        if length > _MAX_BODY_BYTES:
+            raise ServeError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit",
+                status=413,
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"invalid JSON body: {exc}", status=400) from exc
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+        server = self.server.repro
+        if self.path == "/healthz":
+            with server.metrics.track("/healthz"):
+                self._send_json(200, server.health_payload())
+        elif self.path == "/metrics":
+            with server.metrics.track("/metrics"):
+                self._send_json(200, server.metrics_payload())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _drain_body(self) -> None:
+        # keep-alive hygiene: consume an ignored body so the connection
+        # stays parseable for the next request
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            self.rfile.read(min(length, _MAX_BODY_BYTES))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib signature
+        server = self.server.repro
+        if self.path == "/partition":
+            try:
+                with server.metrics.track("/partition"):
+                    status, payload = server.handle_partition(self._read_body())
+                self._send_json(status, payload)
+            except ServeError as exc:
+                self._send_json(exc.status, {"error": str(exc)})
+            except ReproError as exc:
+                # library-level rejection (bad k, method/knob mismatch, …)
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json(500, {"error": f"internal error: {exc}"})
+        elif self.path == "/shutdown":
+            self._drain_body()
+            self._send_json(200, {"status": "shutting down"})
+            # shutdown() blocks until serve_forever exits — defer it so
+            # this handler can finish its response first
+            threading.Thread(target=server.shutdown, daemon=True).start()
+        else:
+            self._drain_body()
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})

@@ -1,0 +1,91 @@
+"""Single-flight deduplication: one computation per key, shared by all.
+
+When many users ask for the same digest-keyed result at the same moment
+(the "thundering herd" on a cold cache), computing it once and handing
+the one result to every waiter is strictly better than N identical
+computations.  :class:`SingleFlight` is the standard primitive: the
+first caller of a key becomes the **leader** and runs the function;
+concurrent callers of the same key block on the leader's completion and
+receive the leader's result (or its exception).  Once the flight lands
+the key is forgotten — a *later* caller computes afresh (the result
+cache, not single-flight, is what makes repeats cheap).
+
+Correctness here depends on the library's determinism contract
+(``docs/parallel.md``): a key fully determines its result, so handing a
+waiter the leader's result is indistinguishable from computing it again.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    __slots__ = ("event", "result", "exc")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.exc: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key in-flight computation dedup (thread-safe).
+
+    ``do(key, fn)`` returns ``(result, leader)`` where *leader* tells
+    whether this caller ran *fn* (``True``) or shared another caller's
+    in-flight result (``False``) — the daemon uses the flag to decide
+    who writes the cache and to count dedup savings.  ``stats()``
+    reports cumulative ``leaders``/``shared`` and the current number of
+    in-flight keys.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Any, _Flight] = {}
+        self.leaders = 0
+        self.shared = 0
+
+    def do(self, key, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                self.leaders += 1
+                lead = True
+            else:
+                self.shared += 1
+                lead = False
+        if lead:
+            try:
+                flight.result = fn()
+            except BaseException as exc:
+                flight.exc = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+            return flight.result, True
+        flight.event.wait()
+        if flight.exc is not None:
+            # waiters see the leader's failure: same request, same outcome
+            raise flight.exc
+        return flight.result, False
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "leaders": self.leaders,
+                "shared": self.shared,
+                "in_flight": len(self._flights),
+            }

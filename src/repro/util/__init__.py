@@ -1,5 +1,6 @@
 """Small shared utilities: RNG handling, timing, errors, table formatting."""
 
+from repro.util.diskcache import DiskCache
 from repro.util.errors import (
     GraphError,
     InfeasibleError,
@@ -7,7 +8,14 @@ from repro.util.errors import (
     ReproError,
     ValidationError,
 )
-from repro.util.parallel import KeyedCache, parallel_map, resolve_jobs
+from repro.util.parallel import (
+    KeyedCache,
+    parallel_map,
+    resolve_jobs,
+    start_warm_pool,
+    stop_warm_pool,
+    warm_pool_size,
+)
 from repro.util.rng import as_rng, spawn_seeds
 from repro.util.stopwatch import Stopwatch
 from repro.util.tables import format_table
@@ -23,6 +31,10 @@ __all__ = [
     "Stopwatch",
     "format_table",
     "KeyedCache",
+    "DiskCache",
     "parallel_map",
     "resolve_jobs",
+    "start_warm_pool",
+    "stop_warm_pool",
+    "warm_pool_size",
 ]

@@ -5,8 +5,8 @@ configurations, coarsen/partition retry cycles, per-level refinement
 candidates.  Every attempt is independent given its seed, and all seeds
 are derived up front with :func:`repro.util.rng.spawn_seeds` — so racing
 attempts across worker processes cannot change any result, only the
-wall-clock.  This module supplies the two primitives the partitioning
-layer builds on (see ``docs/parallel.md``):
+wall-clock.  This module supplies the primitives the partitioning layer
+builds on (see ``docs/parallel.md``):
 
 ``parallel_map``
     An order-preserving map over picklable tasks with an optional
@@ -21,7 +21,15 @@ layer builds on (see ``docs/parallel.md``):
 ``KeyedCache``
     A small LRU used to memoise full partitioning runs keyed by
     ``(graph digest, k, constraints, configs, seed, ...)`` — see
-    :func:`repro.partition.portfolio.portfolio_partition`.
+    :func:`repro.partition.portfolio.portfolio_partition`.  It can be
+    layered over a persistent backend (``repro.util.diskcache.DiskCache``)
+    so memoised results survive the process — the seam ``repro serve``
+    builds on (see ``docs/serve.md``).
+
+``start_warm_pool`` / ``stop_warm_pool``
+    A long-lived shared worker pool that ``parallel_map`` reuses across
+    calls instead of forking a fresh pool per call — the daemon keeps one
+    warm across requests.
 """
 
 from __future__ import annotations
@@ -33,21 +41,55 @@ from typing import Any
 
 from repro.util.errors import ReproError
 
-__all__ = ["resolve_jobs", "parallel_map", "KeyedCache"]
+__all__ = [
+    "resolve_jobs",
+    "parallel_map",
+    "KeyedCache",
+    "start_warm_pool",
+    "stop_warm_pool",
+    "warm_pool_size",
+]
+
+
+def _visible_cpus() -> int:
+    """CPUs genuinely available to this process.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup CPU quota or an affinity mask (containers, ``taskset``,
+    batch schedulers) it overcounts and ``-1`` would oversubscribe the
+    pool.  Prefer ``os.process_cpu_count()`` (3.13+), then the
+    affinity mask, and fall back to ``os.cpu_count()`` last.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        n = process_cpu_count()
+        if n:
+            return n
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            n = len(sched_getaffinity(0))
+        except OSError:  # pragma: no cover - platform-dependent
+            n = 0
+        if n:
+            return n
+    return os.cpu_count() or 1
 
 
 def resolve_jobs(n_jobs: int | None) -> int:
     """Normalise an ``n_jobs`` knob to a concrete worker count.
 
-    ``None`` and ``1`` mean serial; ``-1`` means one worker per visible
-    CPU; any other positive integer is taken as given.  Raises
-    :class:`~repro.util.errors.ReproError` on zero or other negatives.
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per CPU
+    *available to this process* (cgroup/affinity aware — see
+    :func:`_visible_cpus`); any other positive integer is taken as
+    given.  Raises :class:`~repro.util.errors.ReproError` on zero or
+    other negatives.
     """
     if n_jobs is None:
         return 1
     n_jobs = int(n_jobs)
     if n_jobs == -1:
-        return max(1, os.cpu_count() or 1)
+        return max(1, _visible_cpus())
     if n_jobs < 1:
         raise ReproError(f"n_jobs must be >= 1 or -1 (all CPUs), got {n_jobs}")
     return n_jobs
@@ -67,6 +109,11 @@ def _apply_with_context(fn, task):
     return fn(_WORKER_CONTEXT, task)
 
 
+def _apply_with_payload(fn, ctx, task):
+    """Warm-pool variant: the payload travels with the task, not the pool."""
+    return fn(ctx, task)
+
+
 def _serial_map(fn, tasks, stop, context=_NO_CONTEXT):
     call = fn if context is _NO_CONTEXT else (lambda t: fn(context, t))
     out = []
@@ -76,6 +123,97 @@ def _serial_map(fn, tasks, stop, context=_NO_CONTEXT):
         if stop is not None and stop(res):
             break
     return out
+
+
+# --------------------------------------------------------------------- #
+# warm pool: a shared long-lived executor for daemon-style callers
+# --------------------------------------------------------------------- #
+_WARM_POOL = None
+_WARM_POOL_JOBS = 0
+
+
+def start_warm_pool(n_jobs: int | None = -1) -> int:
+    """Install a long-lived worker pool that :func:`parallel_map` reuses.
+
+    Every subsequent ``parallel_map`` call with ``n_jobs > 1`` submits to
+    this shared pool instead of forking a fresh ``ProcessPoolExecutor``
+    per call — the per-call fork/teardown cost disappears, which is what
+    makes a long-running daemon (``repro serve``) answer warm.  Shared
+    *context* payloads then ship with every task rather than once per
+    worker (a long-lived pool cannot take a per-call initializer); the
+    determinism contract is unaffected because submission order and
+    result order are unchanged.  Returns the worker count, or ``0`` when
+    no pool could be created (serial platforms).  Replaces any previous
+    warm pool.
+    """
+    global _WARM_POOL, _WARM_POOL_JOBS
+    stop_warm_pool()
+    n = resolve_jobs(n_jobs)
+    if n <= 1:
+        return 0
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=n)
+    except Exception:  # pragma: no cover - platform-dependent
+        return 0
+    _WARM_POOL, _WARM_POOL_JOBS = pool, n
+    return n
+
+
+def stop_warm_pool() -> None:
+    """Shut down the shared warm pool (no-op when none is installed)."""
+    global _WARM_POOL, _WARM_POOL_JOBS
+    pool, _WARM_POOL, _WARM_POOL_JOBS = _WARM_POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def warm_pool_size() -> int:
+    """Worker count of the installed warm pool (``0`` when none)."""
+    return _WARM_POOL_JOBS if _WARM_POOL is not None else 0
+
+
+def _discard_broken_warm_pool() -> None:
+    global _WARM_POOL, _WARM_POOL_JOBS
+    pool, _WARM_POOL, _WARM_POOL_JOBS = _WARM_POOL, None, 0
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def _get_executor(fn, context, n_jobs, n_tasks):
+    """Per-call pool — or the shared warm pool when one is installed.
+
+    Returns ``(executor, submit, owned)``; only an *owned* (per-call)
+    executor may be shut down by the caller.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    shared = _WARM_POOL
+    if shared is not None:
+        if context is _NO_CONTEXT:
+            submit = lambda t: shared.submit(fn, t)  # noqa: E731
+        else:
+            submit = lambda t: shared.submit(  # noqa: E731
+                _apply_with_payload, fn, context, t
+            )
+        return shared, submit, False
+    if context is _NO_CONTEXT:
+        executor = ProcessPoolExecutor(max_workers=min(n_jobs, n_tasks))
+        submit = lambda t: executor.submit(fn, t)  # noqa: E731
+    else:
+        executor = ProcessPoolExecutor(
+            max_workers=min(n_jobs, n_tasks),
+            initializer=_set_worker_context,
+            initargs=(context,),
+        )
+        submit = lambda t: executor.submit(  # noqa: E731
+            _apply_with_context, fn, t
+        )
+    return executor, submit, True
 
 
 def parallel_map(
@@ -98,7 +236,7 @@ def parallel_map(
     graph and constraints, which dwarf the per-task seeds.  When given,
     *fn* is called as ``fn(context, task)`` and the payload is shipped
     **once per worker** (through the pool initializer) instead of once
-    per task.
+    per task — except on a warm pool, where it travels with each task.
 
     With a *stop* predicate, workers run in submission waves of
     ``n_jobs`` so an early stop cancels everything not yet needed;
@@ -107,108 +245,178 @@ def parallel_map(
     semaphores) or that breaks mid-flight because a worker died
     (``BrokenProcessPool``) degrades silently to the serial path, which
     is also taken for ``n_jobs=1`` or single tasks.  Exceptions *raised
-    by fn* propagate to the caller exactly like serial ones.
+    by fn* propagate to the caller exactly like serial ones — pending
+    tasks are cancelled first (``cancel_futures``), so one failing task
+    never blocks on the rest of the batch.
     """
     n_jobs = resolve_jobs(n_jobs)
     tasks = list(tasks)
     if n_jobs == 1 or len(tasks) <= 1:
         return _serial_map(fn, tasks, stop, context)
-    try:
-        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    from concurrent.futures import BrokenExecutor
 
-        if context is _NO_CONTEXT:
-            executor = ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(tasks))
-            )
-            submit = lambda t: executor.submit(fn, t)  # noqa: E731
-        else:
-            executor = ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(tasks)),
-                initializer=_set_worker_context,
-                initargs=(context,),
-            )
-            submit = lambda t: executor.submit(  # noqa: E731
-                _apply_with_context, fn, t
-            )
+    try:
+        executor, submit, owned = _get_executor(fn, context, n_jobs, len(tasks))
     except Exception:  # pragma: no cover - platform-dependent
         return _serial_map(fn, tasks, stop, context)
+
+    def _fail_fast(futures) -> None:
+        # a task raised: drop everything not yet running before the
+        # re-raise, so the failure doesn't block on the rest of the batch
+        if owned:
+            executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            for fut in futures:
+                fut.cancel()
+
     out: list[Any] = []
     try:
-        with executor:
+        try:
             if stop is None:
                 # no early exit possible: submit everything up front so no
                 # worker idles at a wave boundary
                 futures = [submit(t) for t in tasks]
-                for fut in futures:
-                    out.append(fut.result())
+                try:
+                    for fut in futures:
+                        out.append(fut.result())
+                except BrokenExecutor:
+                    raise
+                except BaseException:
+                    _fail_fast(futures)
+                    raise
                 return out
             # waves of n_jobs bound the speculation an early stop discards
             for wave_start in range(0, len(tasks), n_jobs):
                 wave = tasks[wave_start : wave_start + n_jobs]
                 futures = [submit(t) for t in wave]
                 stopped = False
-                for fut in futures:
-                    res = fut.result()
-                    out.append(res)
-                    if stop(res):
-                        stopped = True
-                        break
+                try:
+                    for fut in futures:
+                        res = fut.result()
+                        out.append(res)
+                        if stop(res):
+                            stopped = True
+                            break
+                except BrokenExecutor:
+                    raise
+                except BaseException:
+                    _fail_fast(futures)
+                    raise
                 if stopped:
                     for fut in futures:
                         fut.cancel()
                     break
-    except BrokenExecutor:
-        # the pool itself died (worker OOM-killed, pipes torn down) — an
-        # infrastructure failure, not a task failure: recompute serially.
-        # Exceptions raised by fn inside a live pool re-raise above as-is.
-        return _serial_map(fn, tasks, stop, context)
-    return out
+            return out
+        except BrokenExecutor:
+            # the pool itself died (worker OOM-killed, pipes torn down) — an
+            # infrastructure failure, not a task failure: recompute serially.
+            # Exceptions raised by fn inside a live pool re-raise above as-is.
+            if not owned:
+                _discard_broken_warm_pool()
+            return _serial_map(fn, tasks, stop, context)
+    finally:
+        if owned:
+            executor.shutdown(wait=True)
 
 
 class KeyedCache:
     """Bounded LRU cache for partitioning results (or anything hashable-keyed).
 
-    ``get`` returns ``None`` on a miss and refreshes recency on a hit;
-    ``put`` inserts/overwrites and evicts the least-recently-used entry
-    beyond *maxsize*.  ``stats()`` reports hits/misses/size for
-    benchmarks and tests.  Not thread-safe (the library races *processes*,
-    and each process owns its cache).
+    ``lookup`` returns ``(hit, value)`` so a legitimately cached ``None``
+    (or other falsy value) is distinguishable from a miss; ``get``
+    returns *default* on a miss and refreshes recency on a hit; ``put``
+    inserts/overwrites and evicts the least-recently-used entry beyond
+    *maxsize*.  ``stats()`` reports hits/misses/size for benchmarks and
+    tests.
+
+    A *backend* (any object with ``lookup(key) -> (hit, value)`` and
+    ``put(key, value)`` — canonically
+    :class:`repro.util.diskcache.DiskCache`) layers a persistent second
+    level underneath: in-memory misses consult it (hits are promoted
+    into memory and counted under ``backend_hits``), and every ``put``
+    writes through.  ``clear()`` drops the in-memory level only — the
+    backend is shared, persistent state; clear it explicitly.
+
+    Not thread-safe beyond the backend's own locking (the library races
+    *processes*, and each process owns its cache); the serve daemon
+    wraps lookups in its single-flight layer.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128, backend=None) -> None:
         if maxsize < 1:
             raise ReproError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.backend = backend
         self.hits = 0
         self.misses = 0
+        self.backend_hits = 0
 
-    def get(self, key):
+    def set_backend(self, backend) -> None:
+        """Attach (or with ``None`` detach) the persistent second level."""
+        self.backend = backend
+
+    def lookup(self, key) -> tuple[bool, Any]:
+        """Return ``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        The two-tuple spelling is the one the memoisation call sites use:
+        it keeps a cached ``None``/falsy result a *hit* instead of
+        recomputing it forever while inflating ``misses``.
+        """
         try:
             value = self._data[key]
         except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+            pass
+        else:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return True, value
+        if self.backend is not None:
+            found, value = self.backend.lookup(key)
+            if found:
+                self._insert(key, value)
+                self.hits += 1
+                self.backend_hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
 
-    def put(self, key, value) -> None:
+    def get(self, key, default=None):
+        """Value for *key*, or *default* on a miss (pass a private
+        sentinel as *default* to disambiguate cached falsy values, or use
+        :meth:`lookup` directly)."""
+        found, value = self.lookup(key)
+        return value if found else default
+
+    def _insert(self, key, value) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
+    def put(self, key, value) -> None:
+        self._insert(key, value)
+        if self.backend is not None:
+            self.backend.put(key, value)
+
     def clear(self) -> None:
+        """Drop the in-memory level and reset counters (backend untouched)."""
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.backend_hits = 0
 
     def stats(self) -> dict:
-        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+        out = {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+        if self.backend is not None:
+            out["backend_hits"] = self.backend_hits
+            out["backend"] = self.backend.stats()
+        return out
 
     def __len__(self) -> int:
         return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        return key in self._data or (
+            self.backend is not None and key in self.backend
+        )

@@ -1,0 +1,233 @@
+"""Tests for the persistent disk cache and its layering under KeyedCache.
+
+The contract (``docs/serve.md``): a disk-backed cache returns
+byte-identical results to the in-memory path, survives "process restart"
+(any later DiskCache instance on the same directory sees the entries),
+keys are versioned (a different version tag simply misses), writes are
+atomic/corruption-safe, and the store stays within its size budget by
+evicting oldest-recency entries.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.api import (
+    configure_cache_backend,
+    disable_disk_cache,
+    enable_disk_cache,
+    partition_graph,
+)
+from repro.graph.generators import random_process_network
+from repro.partition.metrics import ConstraintSpec
+from repro.partition.portfolio import (
+    clear_portfolio_cache,
+    portfolio_cache,
+    portfolio_partition,
+)
+from repro.util.diskcache import DiskCache
+from repro.util.errors import ReproError
+from repro.util.parallel import KeyedCache
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        d = DiskCache(tmp_path)
+        key = ("portfolio", "a" * 64, 4, ConstraintSpec(bmax=16.0, rmax=165.0))
+        value = {"assign": [0, 1, 1, 0], "cut": 12.5}
+        assert d.lookup(key) == (False, None)
+        d.put(key, value)
+        assert d.lookup(key) == (True, value)
+        assert key in d and len(d) == 1
+        assert d.stats()["hits"] == 1 and d.stats()["misses"] == 1
+
+    def test_cached_none_roundtrips(self, tmp_path):
+        d = DiskCache(tmp_path)
+        d.put("k", None)
+        assert d.lookup("k") == (True, None)
+
+    def test_persists_across_instances(self, tmp_path):
+        """The restart story: a fresh instance on the same directory —
+        i.e. a new process — sees everything the old one stored."""
+        DiskCache(tmp_path).put(("x", 1), np.arange(5))
+        found, value = DiskCache(tmp_path).lookup(("x", 1))
+        assert found
+        np.testing.assert_array_equal(value, np.arange(5))
+
+    def test_versioned_keys_isolate(self, tmp_path):
+        """A different version tag (here via salt — library/schema bumps
+        work identically) must not see the old entries."""
+        DiskCache(tmp_path, salt="v-old").put("k", "old-value")
+        fresh = DiskCache(tmp_path, salt="v-new")
+        assert fresh.lookup("k") == (False, None)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        d = DiskCache(tmp_path)
+        d.put("k", 42)
+        path, _ = d._locate("k")
+        path.write_bytes(b"torn write garbage")
+        assert d.lookup("k") == (False, None)
+        assert not path.exists()
+
+    def test_collision_guard(self, tmp_path):
+        """An entry whose stored key repr disagrees (hash collision /
+        tampering) must miss, never return the wrong value."""
+        d = DiskCache(tmp_path)
+        d.put("k", 42)
+        path, _ = d._locate("k")
+        path.write_bytes(
+            pickle.dumps({"key": repr("other"), "value": 99})
+        )
+        assert d.lookup("k") == (False, None)
+
+    def test_eviction_stays_within_budget(self, tmp_path):
+        entry = np.zeros(128)  # ~1 KiB pickled
+        probe = DiskCache(tmp_path)
+        probe.put("probe", entry)
+        per_entry = probe.stats()["bytes"]
+        probe.clear()
+
+        d = DiskCache(tmp_path, max_bytes=4 * per_entry)
+        for i in range(8):
+            d.put(("k", i), entry)
+        s = d.stats()
+        assert s["bytes"] <= d.max_bytes
+        assert s["evictions"] >= 4
+        # newest entry always survives (it has the freshest mtime)
+        assert ("k", 7) in d
+
+    def test_clear(self, tmp_path):
+        d = DiskCache(tmp_path)
+        d.put("a", 1)
+        d.put("b", 2)
+        d.clear()
+        assert len(d) == 0 and d.lookup("a") == (False, None)
+
+    def test_bad_max_bytes(self, tmp_path):
+        with pytest.raises(ReproError):
+            DiskCache(tmp_path, max_bytes=0)
+
+
+class _DictBackend:
+    """Minimal in-memory stand-in honouring the backend protocol."""
+
+    def __init__(self):
+        self.data = {}
+
+    def lookup(self, key):
+        if key in self.data:
+            return True, self.data[key]
+        return False, None
+
+    def put(self, key, value):
+        self.data[key] = value
+
+    def stats(self):
+        return {"entries": len(self.data)}
+
+    def __contains__(self, key):
+        return key in self.data
+
+
+class TestKeyedCacheBackend:
+    def test_write_through_and_promotion(self):
+        backend = _DictBackend()
+        c = KeyedCache(maxsize=4, backend=backend)
+        c.put("k", 7)
+        assert backend.data == {"k": 7}
+        # a fresh front (new process) promotes from the backend
+        fresh = KeyedCache(maxsize=4, backend=backend)
+        assert fresh.lookup("k") == (True, 7)
+        assert fresh.backend_hits == 1
+        # now resident in memory: no second backend consult needed
+        assert fresh.lookup("k") == (True, 7)
+        assert fresh.backend_hits == 1
+
+    def test_memory_eviction_falls_back_to_backend(self):
+        backend = _DictBackend()
+        c = KeyedCache(maxsize=1, backend=backend)
+        c.put("a", 1)
+        c.put("b", 2)  # evicts "a" from memory, not from the backend
+        assert c.lookup("a") == (True, 1)
+        assert c.backend_hits == 1
+
+    def test_stats_include_backend(self):
+        c = KeyedCache(backend=_DictBackend())
+        c.put("a", 1)
+        s = c.stats()
+        assert s["backend"] == {"entries": 1}
+        assert s["backend_hits"] == 0
+
+    def test_clear_keeps_backend(self):
+        backend = _DictBackend()
+        c = KeyedCache(backend=backend)
+        c.put("a", 1)
+        c.clear()
+        assert backend.data == {"a": 1}
+        assert c.lookup("a") == (True, 1)  # re-promoted
+
+
+@pytest.fixture
+def clean_caches():
+    clear_portfolio_cache()
+    disable_disk_cache()
+    yield
+    clear_portfolio_cache()
+    disable_disk_cache()
+
+
+class TestDiskBackedMemoisation:
+    """Differential: disk-backed module memos == in-memory == direct."""
+
+    def test_portfolio_disk_hit_is_byte_identical(self, tmp_path, clean_caches):
+        g = random_process_network(40, 90, seed=11)
+        cons = ConstraintSpec(bmax=64.0, rmax=400.0)
+
+        reference = portfolio_partition(g, 3, cons, seed=4, cache=False)
+
+        enable_disk_cache(tmp_path)
+        computed = portfolio_partition(g, 3, cons, seed=4)
+        assert not computed.info.get("cache_hit")
+
+        # "restart": drop the in-memory level entirely, attach a fresh
+        # DiskCache instance — everything must come back from disk
+        clear_portfolio_cache()
+        configure_cache_backend(DiskCache(tmp_path))
+        restored = portfolio_partition(g, 3, cons, seed=4)
+        assert restored.info.get("cache_hit")
+        assert portfolio_cache.backend_hits == 1
+
+        for res in (computed, restored):
+            np.testing.assert_array_equal(res.assign, reference.assign)
+            assert res.metrics == reference.metrics
+            assert res.algorithm == reference.algorithm
+
+    def test_enable_disable_disk_cache(self, tmp_path, clean_caches):
+        backend = enable_disk_cache(tmp_path)
+        assert portfolio_cache.backend is backend
+        disable_disk_cache()
+        assert portfolio_cache.backend is None
+
+    def test_partition_graph_evolve_survives_restart(
+        self, tmp_path, clean_caches
+    ):
+        """The full api path: an evolve run memoised through the disk
+        backend is served (bit-identically) after a simulated restart."""
+        from repro.evolve.ea import EvolveConfig, clear_evolve_cache, evolve_cache
+
+        clear_evolve_cache()
+        g = random_process_network(24, 50, seed=2)
+        cfg = EvolveConfig(pop_size=4, generations=2)
+        enable_disk_cache(tmp_path)
+        try:
+            first = partition_graph(g, 3, method="evolve", config=cfg, seed=9)
+            clear_evolve_cache()
+            configure_cache_backend(DiskCache(tmp_path))
+            second = partition_graph(g, 3, method="evolve", config=cfg, seed=9)
+            assert second.info.get("cache_hit")
+            assert evolve_cache.backend_hits == 1
+            np.testing.assert_array_equal(second.assign, first.assign)
+            assert second.metrics == first.metrics
+        finally:
+            clear_evolve_cache()

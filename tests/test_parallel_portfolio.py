@@ -31,13 +31,37 @@ from repro.partition.portfolio import (
 )
 from repro.polyhedral.gallery import GALLERY
 from repro.util.errors import InfeasibleError, ReproError
-from repro.util.parallel import KeyedCache, parallel_map, resolve_jobs
+from repro.util.parallel import (
+    KeyedCache,
+    parallel_map,
+    resolve_jobs,
+    start_warm_pool,
+    stop_warm_pool,
+    warm_pool_size,
+)
 
 N_JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
 
 
 def _square(x):
     return x * x
+
+
+def _mul_context(ctx, x):
+    return ctx * x
+
+
+def _mark_or_fail(arg):
+    """Raise on the 'fail' tag; otherwise sleep, then leave a marker file."""
+    import time
+    from pathlib import Path
+
+    tmpdir, tag, delay = arg
+    if tag == "fail":
+        raise ValueError("fail-fast")
+    time.sleep(delay)
+    Path(tmpdir, f"{tag}.done").touch()
+    return tag
 
 
 def _raise_on_three(x):
@@ -111,6 +135,64 @@ class TestParallelMap:
             range(5)
         )
 
+    def test_resolve_all_cpus_respects_affinity(self, monkeypatch):
+        """``-1`` must count the CPUs available to *this process* —
+        cgroup quota / affinity mask — not the whole machine."""
+        monkeypatch.setattr(
+            os, "process_cpu_count", lambda: 3, raising=False
+        )
+        assert resolve_jobs(-1) == 3
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 2}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert resolve_jobs(-1) == 2
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert resolve_jobs(-1) == 64
+
+    def test_task_exception_fails_fast(self, tmp_path):
+        """One failing task must not block on the rest of the batch: in
+        the no-stop path, pending futures are cancelled before the
+        re-raise, so at most the already-running tasks complete."""
+        tasks = [(str(tmp_path), "fail", 0.0)] + [
+            (str(tmp_path), f"s{i}", 0.5) for i in range(4)
+        ]
+        with pytest.raises(ValueError, match="fail-fast"):
+            parallel_map(_mark_or_fail, tasks, n_jobs=2)
+        # pre-fix, the pool exit waited for ALL four sleepers (4 markers);
+        # with cancel_futures only tasks already in flight may finish
+        done = list(tmp_path.glob("*.done"))
+        assert len(done) <= 2, [p.name for p in done]
+
+    def test_warm_pool_reused_across_calls(self):
+        """A shared warm pool serves repeated calls (the daemon seam) and
+        survives task failures; results match the per-call pools."""
+        n = start_warm_pool(2)
+        try:
+            if n == 0:
+                pytest.skip("no process pool on this platform")
+            assert warm_pool_size() == 2
+            assert parallel_map(_square, range(9), n_jobs=2) == [
+                x * x for x in range(9)
+            ]
+            # context payloads ship per task on a warm pool
+            assert parallel_map(
+                _mul_context, range(5), n_jobs=2, context=3
+            ) == [0, 3, 6, 9, 12]
+            # early stop still truncates in task order
+            assert parallel_map(
+                _square, range(9), n_jobs=2, stop=lambda r: r >= 16
+            ) == [0, 1, 4, 9, 16]
+            with pytest.raises(ValueError, match="boom"):
+                parallel_map(_raise_on_three, range(6), n_jobs=2)
+            # a task failure must not tear the shared pool down
+            assert warm_pool_size() == 2
+            assert parallel_map(_square, range(4), n_jobs=2) == [0, 1, 4, 9]
+        finally:
+            stop_warm_pool()
+        assert warm_pool_size() == 0
+
 
 class TestKeyedCache:
     def test_lru_eviction(self):
@@ -134,6 +216,26 @@ class TestKeyedCache:
     def test_bad_maxsize(self):
         with pytest.raises(ReproError):
             KeyedCache(maxsize=0)
+
+    def test_cached_none_is_a_hit(self):
+        """A legitimately cached ``None``/falsy value must be a *hit* —
+        pre-fix it was indistinguishable from a miss and recomputed
+        forever while inflating ``misses``."""
+        c = KeyedCache()
+        c.put("none", None)
+        c.put("zero", 0)
+        assert c.lookup("none") == (True, None)
+        assert c.lookup("zero") == (True, 0)
+        sentinel = object()
+        assert c.get("none", sentinel) is None
+        assert c.get("absent", sentinel) is sentinel
+        assert c.hits == 3
+        assert c.misses == 1  # only the genuinely absent key
+
+    def test_lookup_miss(self):
+        c = KeyedCache()
+        assert c.lookup("absent") == (False, None)
+        assert c.stats() == {"size": 0, "hits": 0, "misses": 1}
 
 
 def differential_corpus():
