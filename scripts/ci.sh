@@ -28,7 +28,12 @@
 # subprocess on an ephemeral port must collapse two concurrent identical
 # requests into one compute (single-flight), serve bit-identically to the
 # direct partition_graph call, answer digest-only from the persistent
-# store after a restart, and shut down cleanly on POST /shutdown.
+# store after a restart, and shut down cleanly on POST /shutdown;
+# stage 8 runs the observability suite and the profiling smoke
+# (scripts/profile_smoke.py): a profiled `repro partition --profile
+# --trace-out` must emit a schema-valid Chrome trace with the per-level
+# pipeline spans, `repro profile` must summarise it, and a live daemon's
+# /metrics must expose the library-level fm./cache./pool. series.
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -72,5 +77,9 @@ python -m pytest -q \
   tests/test_diskcache.py \
   tests/test_serve.py
 python scripts/serve_smoke.py
+
+echo "== stage 8: observability suite + profiling smoke =="
+REPRO_TEST_JOBS=2 python -m pytest -q tests/test_obs.py
+python scripts/profile_smoke.py
 
 echo "CI OK"

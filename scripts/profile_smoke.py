@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI smoke for the observability layer (stage 8 of ``scripts/ci.sh``).
+
+Drives the instrumentation end-to-end through the real CLI and daemon:
+
+1. ``repro partition --profile --trace-out`` on a generated instance
+   must exit cleanly, print the aggregated profile (spans + FM metric
+   series), and write a trace file;
+2. the emitted trace must pass the Chrome trace-event schema gate
+   (:func:`repro.obs.validate_chrome_trace`) and contain the per-level
+   pipeline spans (``gp`` > ``gp.cycle`` > ``coarsen`` / ``gp.initial``
+   / ``uncoarsen``) plus FM counters under ``otherData.repro``;
+3. ``repro profile --trace`` must validate and summarise the same file;
+4. a live ``repro serve`` daemon must report library-level series
+   (``fm.*`` / ``cache.*`` / ``pool.*``) in the ``library`` section of
+   ``/metrics`` after one compute.
+
+Run directly: ``PYTHONPATH=src python scripts/profile_smoke.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, _SRC)
+
+from repro.obs import validate_chrome_trace
+
+GRAPH_N, GRAPH_M, GRAPH_SEED = 800, 2200, 23
+K, BMAX, RMAX = 4, 4000.0, 14000.0
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=600,
+        env={
+            **os.environ,
+            "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        },
+    )
+
+
+def check(proc: subprocess.CompletedProcess, what: str) -> None:
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{what} exited with {proc.returncode}:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+
+
+def span_names(span: dict, acc: set) -> set:
+    acc.add(span["name"])
+    for child in span.get("children", []):
+        span_names(child, acc)
+    return acc
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-profile-smoke-") as tmp:
+        graph = str(Path(tmp, "g.json"))
+        trace = str(Path(tmp, "trace.json"))
+
+        print("profile_smoke: generating instance ...")
+        check(run_cli("generate", "--n", str(GRAPH_N), "--m", str(GRAPH_M),
+                      "--seed", str(GRAPH_SEED), "--out", graph),
+              "repro generate")
+
+        print("profile_smoke: partition --profile --trace-out ...")
+        proc = run_cli(
+            "partition", "--input", graph, "--k", str(K),
+            "--bmax", str(BMAX), "--rmax", str(RMAX),
+            "--profile", "--trace-out", trace,
+        )
+        check(proc, "repro partition --profile")
+        assert "spans (aggregated by call path):" in proc.stdout, (
+            f"no profile summary in output:\n{proc.stdout}")
+        assert "fm." in proc.stdout, "no FM metric series in the profile"
+
+        print("profile_smoke: validating the emitted trace ...")
+        doc = json.loads(Path(trace).read_text())
+        n_events = validate_chrome_trace(doc)
+        assert n_events > 0, "trace has no events"
+        names: set = set()
+        for root in doc["otherData"]["repro"]["spans"]:
+            span_names(root, names)
+        for expected in ("gp", "gp.cycle", "coarsen", "coarsen.level",
+                         "gp.initial", "uncoarsen", "gp.refine_level"):
+            assert expected in names, (
+                f"span {expected!r} missing from the trace "
+                f"(got {sorted(names)})")
+        metric_names = set(doc["otherData"]["repro"].get("metrics", {}))
+        assert any(m.startswith("fm.") for m in metric_names), (
+            f"no fm.* series in the trace metrics (got {sorted(metric_names)})")
+        print(f"profile_smoke: {n_events} events, "
+              f"{len(names)} span kinds, {len(metric_names)} metric series")
+
+        print("profile_smoke: repro profile --trace ...")
+        proc = run_cli("profile", "--trace", trace)
+        check(proc, "repro profile")
+        assert "trace events" in proc.stdout
+        assert "gp" in proc.stdout
+
+        print("profile_smoke: live daemon /metrics library series ...")
+        from repro.graph.generators import random_process_network
+        from repro.serve.client import ServeClient
+
+        g = random_process_network(GRAPH_N, GRAPH_M, seed=GRAPH_SEED)
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": _SRC + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            },
+        )
+        try:
+            line = daemon.stdout.readline().strip()
+            if "listening on http://" not in line:
+                rest = daemon.stdout.read()
+                raise RuntimeError(f"unexpected serve banner: {line!r}\n{rest}")
+            client = ServeClient(line.split("listening on ")[1], timeout=600)
+            client.partition(g, k=K, bmax=BMAX, rmax=RMAX, seed=1)
+            metrics = client.metrics()
+            library = metrics.get("library")
+            assert library, f"/metrics has no library section: {metrics.keys()}"
+            for prefix in ("fm.", "cache.", "pool."):
+                assert any(name.startswith(prefix) for name in library), (
+                    f"no {prefix}* series in /metrics library section "
+                    f"(got {sorted(library)})")
+            client.shutdown()
+            daemon.communicate(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+
+    print("profile_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

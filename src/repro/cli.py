@@ -45,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.bench.experiments import paper_experiment_table
 from repro.bench.figures import write_figure_artifacts
 from repro.core.api import partition_graph
@@ -160,6 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", metavar="FILE", help="write partitioned DOT here")
     p.add_argument("--assign-out", metavar="FILE",
                    help="write the assignment as JSON here")
+    p.add_argument("--profile", action="store_true",
+                   help="run under the observability capture and print the "
+                        "aggregated span/metric profile after the report "
+                        "(results are bit-identical; docs/observability.md)")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write a Chrome trace-event JSON of the run here "
+                        "(Perfetto-loadable; summarise it later with "
+                        "`repro profile --trace FILE`)")
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")
     t.add_argument("--experiment", type=int, choices=[1, 2, 3], default=None)
@@ -229,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--memory-entries", type=int, default=256, metavar="E",
                    help="in-memory result-cache entries layered above "
                         "the disk store (default 256)")
+
+    pr = sub.add_parser(
+        "profile",
+        help="validate and summarise a Chrome trace written by "
+             "`partition --trace-out` (aggregated spans + metric series)",
+    )
+    pr.add_argument("--trace", required=True, metavar="FILE",
+                    help="trace-event JSON file to summarise")
     return parser
 
 
@@ -308,6 +325,29 @@ def _evolve_config(args: argparse.Namespace) -> EvolveConfig | None:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    """``repro partition`` — optionally under an observability capture.
+
+    ``--profile`` / ``--trace-out`` wrap the *whole* run (any of the
+    three branches: graph, vector-resource, hypergraph) in one
+    :func:`repro.obs.capture`, so the profile covers loading, the
+    partitioner and the baseline comparison alike.  The partition itself
+    is bit-identical to an unprofiled run.
+    """
+    if not (args.profile or args.trace_out):
+        return _run_partition(args)
+    with _obs.capture() as cap:
+        rc = _run_partition(args)
+    spans = [s.to_dict() for s in cap.spans]
+    if args.trace_out:
+        _obs.write_trace(args.trace_out, spans, cap.metrics)
+        print(f"wrote {args.trace_out}")
+    if args.profile:
+        print()
+        print(_obs.format_profile(spans, cap.metrics, cap.wall_s))
+    return rc
+
+
+def _run_partition(args: argparse.Namespace) -> int:
     rmax = _parse_rmax(args.rmax)
     rmax_is_vector = isinstance(rmax, tuple)
     evolve_cfg = _evolve_config(args)
@@ -626,6 +666,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Validate a trace file and print its aggregated profile."""
+    try:
+        doc = json.loads(Path(args.trace).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read trace {args.trace}: {exc}") from exc
+    try:
+        n_events = _obs.validate_chrome_trace(doc)
+    except ValueError as exc:
+        raise ReproError(
+            f"{args.trace} is not a valid Chrome trace: {exc}"
+        ) from exc
+    repro_data = doc.get("otherData", {}).get("repro", {})
+    print(f"{args.trace}: {n_events} trace events")
+    print(_obs.format_profile(
+        repro_data.get("spans", []), repro_data.get("metrics")
+    ))
+    return 0
+
+
 _COMMANDS = {
     "partition": _cmd_partition,
     "tables": _cmd_tables,
@@ -633,6 +693,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "profile": _cmd_profile,
 }
 
 

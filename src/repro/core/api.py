@@ -38,6 +38,7 @@ import numpy as np
 from collections.abc import Mapping as MappingABC
 from collections.abc import Sequence
 
+import repro.obs as _obs
 from repro.evolve.ea import EvolveConfig, evolve_partition
 from repro.fpga.mapping import Mapping
 from repro.fpga.resources import ResourceVector, resource_matrix
@@ -196,7 +197,8 @@ def partition_graph(
     n_jobs: int | None = 1,
     cache: bool = True,
     resources=None,
-) -> PartitionResult | MultiResResult:
+    profile: bool = False,
+) -> PartitionResult | MultiResResult | _obs.ProfileReport:
     """Partition *g* into *k* parts under the paper's two constraints.
 
     *method*: ``"gp"`` (the paper's constrained partitioner, default),
@@ -226,7 +228,28 @@ def partition_graph(
     race — and rejected with any other method to keep the knob honest.
     *cache* belongs to the memoised methods — ``"evolve"``, and ``"gp"``
     with *resources* (the multires cache) — and is rejected elsewhere.
+
+    *profile* runs the call under an observability capture
+    (:func:`repro.obs.capture`) and returns a
+    :class:`~repro.obs.ProfileReport` instead: the same result plus the
+    span tree, the metrics delta, and the wall-clock — exportable as a
+    Chrome trace (``report.write_trace(path)``) or a text summary
+    (``report.summary()``).  The partition itself is bit-identical to
+    the unprofiled call (see ``docs/observability.md``).
     """
+    if profile:
+        with _obs.capture() as cap:
+            result = partition_graph(
+                g, k, bmax=bmax, rmax=rmax, method=method, seed=seed,
+                config=config, n_jobs=n_jobs, cache=cache,
+                resources=resources,
+            )
+        return _obs.ProfileReport(
+            result=result,
+            spans=[s.to_dict() for s in cap.spans],
+            metrics=cap.metrics,
+            wall_s=cap.wall_s,
+        )
     if n_jobs not in (None, 1) and method not in _JOBS_METHODS:
         raise PartitionError(
             f"n_jobs is only supported by methods {_JOBS_METHODS}, "

@@ -51,9 +51,9 @@ from repro.partition.multires import mr_gp_partition
 from repro.partition.portfolio import default_portfolio
 from repro.partition.vector_state import VectorConstraints, VectorGraph
 from repro.util.errors import InfeasibleError, PartitionError
+import repro.obs as _obs
 from repro.util.parallel import KeyedCache, parallel_map
 from repro.util.rng import as_rng, spawn_seeds
-from repro.util.stopwatch import Stopwatch
 
 __all__ = [
     "EvolveConfig",
@@ -63,7 +63,7 @@ __all__ = [
 ]
 
 #: In-process memo of completed evolutionary runs (see module docstring).
-evolve_cache = KeyedCache(maxsize=32)
+evolve_cache = KeyedCache(maxsize=32, name="evolve")
 
 
 def clear_evolve_cache() -> None:
@@ -447,92 +447,99 @@ def evolve_partition(
                 )
             return result
 
-    sw = Stopwatch().start()
-    t0 = time.perf_counter()
-    member_cfgs = _seed_member_configs(engine.kind, config)
-    context = (structure, k, constraints, config)
+    with _obs.timed_span("evolve", nodes=structure.n, k=k,
+                         model=engine.kind) as sw:
+        t0 = time.perf_counter()
+        member_cfgs = _seed_member_configs(engine.kind, config)
+        context = (structure, k, constraints, config)
 
-    # -- seeding: one portfolio-member run per slot, raced like a portfolio
-    n_seed = config.pop_size
-    if config.max_evals is not None:
-        n_seed = max(1, min(n_seed, config.max_evals))
-    seed_cfgs = [member_cfgs[i % len(member_cfgs)] for i in range(n_seed)]
-    seed_seeds = spawn_seeds(rng, n_seed)
-    seeded = parallel_map(
-        _run_seed_member,
-        list(zip(seed_cfgs, seed_seeds)),
-        n_jobs=n_jobs,
-        context=context,
-    )
-    pop = Population(config.pop_size)
-    for assign, metrics in seeded:
-        pop.add(
-            Individual(
-                assign=assign,
-                metrics=metrics,
-                key=goodness_key(metrics, constraints),
-                origin="seed",
-            )
-        )
-    evals = n_seed
-    pop.note_generation()
-
-    # -- generations
-    history: list[dict] = []
-    restarts = 0
-    immigrant_count = 0
-    gens_run = 0
-    stop = "generations"
-    for gen in range(config.generations):
-        if (
-            config.time_budget is not None
-            and time.perf_counter() - t0 >= config.time_budget
-        ):
-            stop = "time"
-            break
-        n_off = config.offspring
+        # -- seeding: one portfolio-member run per slot, raced like a portfolio
+        n_seed = config.pop_size
         if config.max_evals is not None:
-            n_off = min(n_off, config.max_evals - evals)
-            if n_off <= 0:
-                stop = "evals"
-                break
-        recipes, injected = _draw_recipes(
-            pop, n_off, config, rng, member_cfgs, immigrant_count
-        )
-        if injected:
-            immigrant_count += injected
-            restarts += injected
-            pop.reset_stagnation()
-        children = parallel_map(
-            _run_offspring, recipes, n_jobs=n_jobs, context=context
-        )
-        outcomes = []
-        for (op, _payload, _s), (assign, metrics) in zip(recipes, children):
-            fate = pop.add(
+            n_seed = max(1, min(n_seed, config.max_evals))
+        seed_cfgs = [member_cfgs[i % len(member_cfgs)] for i in range(n_seed)]
+        seed_seeds = spawn_seeds(rng, n_seed)
+        with _obs.trace_span("evolve.seed", members=n_seed):
+            seeded = parallel_map(
+                _run_seed_member,
+                list(zip(seed_cfgs, seed_seeds)),
+                n_jobs=n_jobs,
+                context=context,
+            )
+        pop = Population(config.pop_size)
+        for assign, metrics in seeded:
+            pop.add(
                 Individual(
                     assign=assign,
                     metrics=metrics,
                     key=goodness_key(metrics, constraints),
-                    origin=op,
+                    origin="seed",
                 )
             )
-            outcomes.append((op, fate))
-        evals += len(recipes)
-        gens_run = gen + 1
-        improved = pop.note_generation()
-        best = pop.best
-        history.append(
-            {
-                "generation": gen,
-                "evals": evals,
-                "best_key": tuple(best.key),
-                "best_cut": float(best.metrics.cut),
-                "best_violation": float(best.metrics.total_violation),
-                "improved": improved,
-                "outcomes": tuple(outcomes),
-            }
-        )
-    sw.stop()
+        evals = n_seed
+        pop.note_generation()
+
+        # -- generations
+        history: list[dict] = []
+        restarts = 0
+        immigrant_count = 0
+        gens_run = 0
+        stop = "generations"
+        for gen in range(config.generations):
+            if (
+                config.time_budget is not None
+                and time.perf_counter() - t0 >= config.time_budget
+            ):
+                stop = "time"
+                break
+            n_off = config.offspring
+            if config.max_evals is not None:
+                n_off = min(n_off, config.max_evals - evals)
+                if n_off <= 0:
+                    stop = "evals"
+                    break
+            recipes, injected = _draw_recipes(
+                pop, n_off, config, rng, member_cfgs, immigrant_count
+            )
+            if injected:
+                immigrant_count += injected
+                restarts += injected
+                pop.reset_stagnation()
+            with _obs.trace_span(
+                "evolve.generation", generation=gen, offspring=len(recipes)
+            ) as gsp:
+                children = parallel_map(
+                    _run_offspring, recipes, n_jobs=n_jobs, context=context
+                )
+                outcomes = []
+                for (op, _payload, _s), (assign, metrics) in zip(
+                    recipes, children
+                ):
+                    fate = pop.add(
+                        Individual(
+                            assign=assign,
+                            metrics=metrics,
+                            key=goodness_key(metrics, constraints),
+                            origin=op,
+                        )
+                    )
+                    outcomes.append((op, fate))
+                evals += len(recipes)
+                gens_run = gen + 1
+                improved = pop.note_generation()
+                best = pop.best
+                gsp.set(best_cut=float(best.metrics.cut), improved=improved)
+            history.append(
+                {
+                    "generation": gen,
+                    "evals": evals,
+                    "best_key": tuple(best.key),
+                    "best_cut": float(best.metrics.cut),
+                    "best_violation": float(best.metrics.total_violation),
+                    "improved": improved,
+                    "outcomes": tuple(outcomes),
+                }
+            )
 
     best = pop.best
     result = PartitionResult(

@@ -32,9 +32,9 @@ from repro.partition.base import PartitionResult
 from repro.partition.goodness import goodness_key
 from repro.partition.initial import greedy_initial_partition
 from repro.partition.metrics import ConstraintSpec
+import repro.obs as _obs
 from repro.util.errors import InfeasibleError, PartitionError
 from repro.util.rng import as_rng, spawn_seeds
-from repro.util.stopwatch import Stopwatch
 
 __all__ = ["HyperConfig", "hyper_partition"]
 
@@ -85,17 +85,24 @@ def _refine_best(
 ) -> np.ndarray:
     """Race ``level_candidates`` Φ-engine FM runs; goodness picks the winner."""
     cand_seeds = spawn_seeds(rng, config.level_candidates)
-    base = HyperRefinementState(hg, assign, k)
-    best, best_key = None, None
-    for s in cand_seeds:
-        st = base.copy()
-        cand = constrained_hyper_fm(
-            hg, assign, k, constraints,
-            max_passes=config.refine_passes, seed=s, state=st,
-        )
-        key = goodness_key(st.metrics(constraints), constraints)
-        if best_key is None or key < best_key:
-            best, best_key = cand, key
+    with _obs.trace_span(
+        "hyper.refine_level", nodes=hg.n, nets=hg.n_nets
+    ) as sp:
+        base = HyperRefinementState(hg, assign, k)
+        if _obs.tracing_on():
+            sp.set(cut_before=base.metrics(constraints).cut)
+        best, best_key, best_cut = None, None, None
+        for s in cand_seeds:
+            st = base.copy()
+            cand = constrained_hyper_fm(
+                hg, assign, k, constraints,
+                max_passes=config.refine_passes, seed=s, state=st,
+            )
+            m = st.metrics(constraints)
+            key = goodness_key(m, constraints)
+            if best_key is None or key < best_key:
+                best, best_key, best_cut = cand, key, m.cut
+        sp.set(cut_after=best_cut)
     return best
 
 
@@ -151,34 +158,41 @@ def hyper_partition(
         raise PartitionError(f"k={k} exceeds node count {hg.n}")
     rng = as_rng(seed if seed is not None else config.seed)
 
-    sw = Stopwatch().start()
-    best_assign: np.ndarray | None = None
-    best_key = None
-    cycles_used = 0
-    levels_last = 1
+    with _obs.timed_span("hyper", nodes=hg.n, nets=hg.n_nets, k=k) as sw:
+        best_assign: np.ndarray | None = None
+        best_key = None
+        cycles_used = 0
+        levels_last = 1
 
-    for cycle in range(config.max_cycles):
-        cycles_used = cycle + 1
-        s_hier, s_init, s_unc = spawn_seeds(rng, 3)
-        hier = build_hyper_hierarchy(
-            hg, coarsen_to=max(config.coarsen_to, 2 * k), seed=s_hier
-        )
-        levels_last = hier.depth
-        # seed the coarsest level with the graph machinery on the clique
-        # expansion (exact on 2-pin nets), then refine against Φ
-        assign_c = greedy_initial_partition(
-            hier.coarsest.clique_expansion(), k, constraints,
-            restarts=config.restarts, seed=s_init,
-        )
-        assign = _uncoarsen(hier, assign_c, k, constraints, config, s_unc)
-        metrics = evaluate_hyper_partition(hg, assign, k, constraints)
-        key = goodness_key(metrics, constraints)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_assign = assign
-        if metrics.feasible:
-            break
-    sw.stop()
+        for cycle in range(config.max_cycles):
+            cycles_used = cycle + 1
+            s_hier, s_init, s_unc = spawn_seeds(rng, 3)
+            with _obs.trace_span("hyper.cycle", cycle=cycle, k=k) as csp:
+                hier = build_hyper_hierarchy(
+                    hg, coarsen_to=max(config.coarsen_to, 2 * k), seed=s_hier
+                )
+                levels_last = hier.depth
+                # seed the coarsest level with the graph machinery on the
+                # clique expansion (exact on 2-pin nets), then refine
+                # against Φ
+                with _obs.trace_span("hyper.initial",
+                                     nodes=hier.coarsest.n):
+                    assign_c = greedy_initial_partition(
+                        hier.coarsest.clique_expansion(), k, constraints,
+                        restarts=config.restarts, seed=s_init,
+                    )
+                assign = _uncoarsen(
+                    hier, assign_c, k, constraints, config, s_unc
+                )
+                metrics = evaluate_hyper_partition(hg, assign, k, constraints)
+                csp.set(levels=hier.depth, cut=metrics.cut,
+                        feasible=metrics.feasible)
+            key = goodness_key(metrics, constraints)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_assign = assign
+            if metrics.feasible:
+                break
 
     assert best_assign is not None
     metrics = evaluate_hyper_partition(hg, best_assign, k, constraints)

@@ -1,0 +1,112 @@
+"""Unified observability layer: span tracing, metrics, profile export.
+
+Public surface (see ``docs/observability.md``):
+
+* :func:`trace_span` / :func:`timed_span` — hierarchical timed spans;
+* :data:`REGISTRY` plus the gated helpers (:func:`add`,
+  :func:`gauge_set`, :func:`gauge_add`, :func:`observe`,
+  :func:`observe_bulk`, :func:`cache_event`) — the process-wide metrics
+  registry;
+* :func:`enable` / :func:`disable` / :func:`capture` — switches;
+* :func:`chrome_trace` / :func:`write_trace` /
+  :func:`validate_chrome_trace` / :func:`format_profile` — export;
+* :class:`ProfileReport` — what ``partition_graph(..., profile=True)``
+  returns.
+
+Everything is off by default; an instrumented hot path pays exactly one
+module-global branch per site when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.export import (
+    chrome_trace,
+    format_profile,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    GAIN_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    metrics_to_json,
+)
+from repro.obs.tracer import (
+    REGISTRY,
+    Capture,
+    Span,
+    absorb_payload,
+    active,
+    add,
+    cache_event,
+    capture,
+    current_span,
+    disable,
+    enable,
+    gauge_add,
+    gauge_set,
+    metrics_on,
+    observe,
+    observe_bulk,
+    timed_span,
+    trace_span,
+    tracing_on,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "metrics_to_json",
+    "DEFAULT_BUCKETS",
+    "GAIN_BUCKETS",
+    "LATENCY_BUCKETS_MS",
+    "Span",
+    "Capture",
+    "ProfileReport",
+    "trace_span",
+    "timed_span",
+    "capture",
+    "enable",
+    "disable",
+    "active",
+    "metrics_on",
+    "tracing_on",
+    "current_span",
+    "absorb_payload",
+    "add",
+    "gauge_set",
+    "gauge_add",
+    "observe",
+    "observe_bulk",
+    "cache_event",
+    "chrome_trace",
+    "write_trace",
+    "validate_chrome_trace",
+    "format_profile",
+]
+
+
+@dataclass
+class ProfileReport:
+    """A partition result together with everything observed producing it."""
+
+    result: Any
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    def summary(self) -> str:
+        """Aggregated text profile (the ``repro profile`` rendering)."""
+        return format_profile(self.spans, self.metrics, self.wall_s)
+
+    def chrome_trace(self) -> dict:
+        """The capture as a Chrome trace-event document."""
+        return chrome_trace(self.spans, self.metrics)
+
+    def write_trace(self, path: str) -> dict:
+        """Write the Chrome trace JSON to *path* (Perfetto-loadable)."""
+        return write_trace(path, self.spans, self.metrics)

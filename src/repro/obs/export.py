@@ -1,0 +1,209 @@
+"""Profile export: Chrome trace-event JSON and text summaries.
+
+:func:`chrome_trace` renders a captured span forest as the Chrome
+trace-event format (the JSON Array/Object format documented by the
+Trace Event Profiling Tool and consumed by Perfetto / ``chrome://tracing``):
+each span becomes a complete ("X") event with microsecond ``ts``/``dur``,
+span events become instant ("i") events, and the full structured capture
+(span dicts + metrics) rides along under ``otherData.repro`` so the
+``repro profile`` formatter can reconstruct the tree without loss.
+
+:func:`validate_chrome_trace` is the schema gate used by tests and CI
+stage 8 — it raises :class:`ValueError` on any malformed document.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import metrics_to_json
+
+__all__ = [
+    "chrome_trace",
+    "write_trace",
+    "validate_chrome_trace",
+    "format_profile",
+]
+
+
+def _span_dicts(spans) -> list[dict]:
+    return [s if isinstance(s, dict) else s.to_dict() for s in spans]
+
+
+def chrome_trace(spans, metrics: dict | None = None) -> dict:
+    """Span forest (+ optional metrics delta) → Chrome trace-event dict."""
+    roots = _span_dicts(spans)
+
+    # Normalize timestamps so the trace starts at t=0 and map thread
+    # idents (arbitrary large ints) to small per-pid track numbers.
+    t_min = min((r["t0"] for r in roots), default=0.0)
+    tids: dict[tuple, int] = {}
+
+    def tid_of(d: dict) -> int:
+        key = (d.get("pid", 0), d.get("tid", 0))
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == key[0]]) + 1
+        return tids[key]
+
+    events: list[dict] = []
+
+    def emit(d: dict) -> None:
+        ts = (d["t0"] - t_min) * 1e6
+        events.append(
+            {
+                "name": d["name"],
+                "ph": "X",
+                "ts": ts,
+                "dur": d["elapsed"] * 1e6,
+                "pid": int(d.get("pid", 0)),
+                "tid": tid_of(d),
+                "args": dict(d.get("attrs", {})),
+            }
+        )
+        for name, offset, attrs in d.get("events", []):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "ts": ts + offset * 1e6,
+                    "pid": int(d.get("pid", 0)),
+                    "tid": tid_of(d),
+                    "s": "t",
+                    "args": dict(attrs),
+                }
+            )
+        for child in d.get("children", []):
+            emit(child)
+
+    for root in roots:
+        emit(root)
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+
+    other: dict = {"repro": {"spans": roots}}
+    if metrics is not None:
+        other["repro"]["metrics"] = metrics_to_json(metrics)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_trace(path: str, spans, metrics: dict | None = None) -> dict:
+    """Serialize :func:`chrome_trace` output to *path*; return the doc."""
+    doc = chrome_trace(spans, metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"))
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Check *doc* against the Chrome trace-event schema.
+
+    Returns the number of events; raises :class:`ValueError` with the
+    first violation found.  Accepts the JSON Object format with
+    complete ("X"), instant ("i") and metadata ("M") phases — the
+    subset this exporter emits plus what Perfetto tolerates.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: event must be an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise ValueError(f"{where}: unsupported phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where}: missing event name")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                raise ValueError(f"{where}: {field} must be an int")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: dur must be a non-negative number")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"{where}: args must be an object")
+    return len(events)
+
+
+# --------------------------------------------------------------------- #
+# text summary (`repro profile`, ProfileReport.summary())
+# --------------------------------------------------------------------- #
+def _aggregate(roots: list[dict]) -> dict:
+    """Fold the span forest into per-name-path totals (calls, time)."""
+    agg: dict[tuple, list] = {}
+
+    def walk(d: dict, path: tuple) -> None:
+        path = path + (d["name"],)
+        row = agg.setdefault(path, [0, 0.0])
+        row[0] += 1
+        row[1] += d["elapsed"]
+        for child in d.get("children", []):
+            walk(child, path)
+
+    for root in roots:
+        walk(root, ())
+    return agg
+
+
+def format_profile(spans, metrics: dict | None = None,
+                   wall_s: float | None = None) -> str:
+    """Human-readable profile: aggregated span tree + metric series."""
+    roots = _span_dicts(spans)
+    lines: list[str] = []
+    if wall_s is not None:
+        lines.append(f"wall time: {wall_s:.3f}s")
+    agg = _aggregate(roots)
+    if agg:
+        total = sum(
+            row[1] for path, row in agg.items() if len(path) == 1
+        ) or 1.0
+        lines.append("spans (aggregated by call path):")
+        lines.append(
+            f"  {'path':<44} {'calls':>6} {'total_s':>9} {'share':>6}"
+        )
+        # plain tuple order is a pre-order walk: every path sorts right
+        # after its parent prefix, keeping the indentation a real tree
+        for path in sorted(agg):
+            calls, secs = agg[path]
+            name = "  " * (len(path) - 1) + path[-1]
+            share = secs / total
+            lines.append(
+                f"  {name:<44} {calls:>6d} {secs:>9.3f} {share:>5.0%}"
+            )
+    else:
+        lines.append("spans: none recorded")
+
+    rendered = metrics if metrics else {}
+    # Accept both raw snapshot/delta dicts and pre-rendered JSON shapes.
+    if rendered and (
+        "counters" in rendered or "gauges" in rendered
+        or "histograms" in rendered
+    ):
+        rendered = metrics_to_json(rendered)
+    if rendered:
+        lines.append("metrics:")
+        for name, entry in sorted(rendered.items()):
+            kind = entry.get("type", "?")
+            for series in entry.get("series", []):
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(series["labels"].items())
+                )
+                tag = f"{name}{{{labels}}}" if labels else name
+                if kind == "histogram":
+                    lines.append(
+                        f"  {tag:<52} count={series['count']} "
+                        f"sum={series['sum']:.6g}"
+                    )
+                else:
+                    lines.append(f"  {tag:<52} {series['value']:.6g}")
+    return "\n".join(lines)

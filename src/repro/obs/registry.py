@@ -1,0 +1,267 @@
+"""Process-wide metrics registry: counters, gauges, bounded histograms.
+
+One :class:`MetricsRegistry` (the module singleton lives in
+:mod:`repro.obs.tracer` as ``REGISTRY``) holds every labeled series the
+instrumented library emits — FM pass statistics, cache hit/miss rates,
+worker-pool utilization, serve request counters.  The registry itself is
+always writable; whether the *instrumentation call sites* write to it is
+gated by the global switch in :mod:`repro.obs.tracer`, so the hot path
+pays one branch when observability is off (see ``docs/observability.md``).
+
+Three metric kinds, all keyed by ``(name, sorted label items)``:
+
+* **counter** — monotonically accumulating float (``inc``);
+* **gauge** — last-written float with add/sub support (``gauge_set`` /
+  ``gauge_add``);
+* **histogram** — bounded explicit-bucket counts plus sum and count
+  (``observe`` / ``observe_bulk``); bucket bounds are fixed at first
+  observation of a series' metric name.
+
+Snapshots, deltas and merges are the substrate of two features:
+
+* ``capture()`` reports the metric *delta* of the captured region
+  (:meth:`MetricsRegistry.snapshot` before, :meth:`MetricsRegistry.delta`
+  after);
+* ``parallel_map`` ships each worker task's delta back to the parent and
+  :meth:`MetricsRegistry.merge`-s it **in task order**, so merged
+  totals are identical for every ``n_jobs`` (counters and histogram
+  buckets are commutative sums; gauges are last-writer-wins in task
+  order, exactly the serial outcome).
+
+All operations take the registry lock — cheap, and required because the
+serve daemon's request threads share one registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "GAIN_BUCKETS",
+    "LATENCY_BUCKETS_MS",
+    "metrics_to_json",
+]
+
+#: Generic magnitude buckets (upper bounds; an implicit +inf bucket follows).
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+#: Signed decade buckets for FM move gains (cut deltas; negative = better).
+GAIN_BUCKETS = (
+    -1000.0, -100.0, -10.0, -1.0, 0.0, 1.0, 10.0, 100.0, 1000.0
+)
+
+#: Request latency buckets, milliseconds (shared with the serve daemon).
+LATENCY_BUCKETS_MS = (5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Thread-safe labeled metric store with snapshot/delta/merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        # name -> {label_key: float}
+        self._counters: dict[str, dict[tuple, float]] = {}
+        self._gauges: dict[str, dict[tuple, float]] = {}
+        # name -> (bucket bounds, {label_key: [counts, sum, count]})
+        self._hists: dict[str, tuple[tuple, dict[tuple, list]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # write paths
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + float(value)
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def gauge_add(self, name: str, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + float(value)
+
+    def _hist_series(self, name: str, buckets, key: tuple) -> list:
+        bounds, series = self._hists.setdefault(
+            name, (tuple(buckets or DEFAULT_BUCKETS), {})
+        )
+        row = series.get(key)
+        if row is None:
+            row = series[key] = [[0] * (len(bounds) + 1), 0.0, 0]
+        return [bounds, row]
+
+    def observe(self, name: str, value: float, buckets=None, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            bounds, row = self._hist_series(name, buckets, key)
+            row[0][bisect_left(bounds, float(value))] += 1
+            row[1] += float(value)
+            row[2] += 1
+
+    def observe_bulk(self, name: str, values, buckets=None, **labels) -> None:
+        """Observe a whole sequence in one lock acquisition.
+
+        The bulk path is what keeps per-move histograms (FM gains) cheap
+        enough to leave on in a serving process: the caller accumulates a
+        plain list during the pass and flushes it once.
+        """
+        values = [float(v) for v in values]
+        if not values:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            bounds, row = self._hist_series(name, buckets, key)
+            counts = row[0]
+            for v in values:
+                counts[bisect_left(bounds, v)] += 1
+            row[1] += sum(values)
+            row[2] += len(values)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / delta / merge
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Deep plain-data copy of the whole registry (picklable)."""
+        with self._lock:
+            return {
+                "counters": {
+                    n: dict(s) for n, s in self._counters.items()
+                },
+                "gauges": {n: dict(s) for n, s in self._gauges.items()},
+                "histograms": {
+                    n: (
+                        bounds,
+                        {
+                            k: [list(row[0]), row[1], row[2]]
+                            for k, row in series.items()
+                        },
+                    )
+                    for n, (bounds, series) in self._hists.items()
+                },
+            }
+
+    def delta(self, before: dict) -> dict:
+        """What changed since *before* (a :meth:`snapshot`).
+
+        Counters and histograms subtract; gauges report their current
+        value when it differs from (or is absent in) *before*.
+        """
+        after = self.snapshot()
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        b_counters = before.get("counters", {})
+        for name, series in after["counters"].items():
+            prev = b_counters.get(name, {})
+            d = {
+                k: v - prev.get(k, 0.0)
+                for k, v in series.items()
+                if v != prev.get(k, 0.0)
+            }
+            if d:
+                out["counters"][name] = d
+        b_gauges = before.get("gauges", {})
+        for name, series in after["gauges"].items():
+            prev = b_gauges.get(name, {})
+            d = {k: v for k, v in series.items() if v != prev.get(k)}
+            if d:
+                out["gauges"][name] = d
+        b_hists = before.get("histograms", {})
+        for name, (bounds, series) in after["histograms"].items():
+            _, prev = b_hists.get(name, ((), {}))
+            d = {}
+            for k, (counts, total, count) in series.items():
+                p = prev.get(k, [[0] * len(counts), 0.0, 0])
+                if count != p[2]:
+                    d[k] = [
+                        [c - pc for c, pc in zip(counts, p[0])],
+                        total - p[1],
+                        count - p[2],
+                    ]
+            if d:
+                out["histograms"][name] = (bounds, d)
+        return out
+
+    def merge(self, payload: dict) -> None:
+        """Fold a delta/snapshot *payload* into this registry (additive)."""
+        if not payload:
+            return
+        with self._lock:
+            for name, series in payload.get("counters", {}).items():
+                mine = self._counters.setdefault(name, {})
+                for k, v in series.items():
+                    mine[k] = mine.get(k, 0.0) + v
+            for name, series in payload.get("gauges", {}).items():
+                mine = self._gauges.setdefault(name, {})
+                mine.update(series)
+            for name, (bounds, series) in payload.get(
+                "histograms", {}
+            ).items():
+                my_bounds, mine = self._hists.setdefault(
+                    name, (tuple(bounds), {})
+                )
+                for k, (counts, total, count) in series.items():
+                    row = mine.get(k)
+                    if row is None:
+                        mine[k] = [list(counts), total, count]
+                    else:
+                        row[0] = [a + b for a, b in zip(row[0], counts)]
+                        row[1] += total
+                        row[2] += count
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    # ------------------------------------------------------------------ #
+    def collect(self) -> dict:
+        """JSON-able rendering of every series (the ``/metrics`` shape)."""
+        return metrics_to_json(self.snapshot())
+
+
+def metrics_to_json(snap: dict) -> dict:
+    """Snapshot/delta → JSON-able ``{name: {type, series: [...]}}``."""
+    out: dict = {}
+    for name in sorted(snap.get("counters", {})):
+        out[name] = {
+            "type": "counter",
+            "series": [
+                {"labels": dict(k), "value": v}
+                for k, v in sorted(snap["counters"][name].items())
+            ],
+        }
+    for name in sorted(snap.get("gauges", {})):
+        out[name] = {
+            "type": "gauge",
+            "series": [
+                {"labels": dict(k), "value": v}
+                for k, v in sorted(snap["gauges"][name].items())
+            ],
+        }
+    for name in sorted(snap.get("histograms", {})):
+        bounds, series = snap["histograms"][name]
+        out[name] = {
+            "type": "histogram",
+            "bucket_upper": list(bounds) + ["inf"],
+            "series": [
+                {
+                    "labels": dict(k),
+                    "counts": list(row[0]),
+                    "sum": row[1],
+                    "count": row[2],
+                }
+                for k, row in sorted(series.items())
+            ],
+        }
+    return out

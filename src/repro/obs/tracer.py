@@ -1,0 +1,374 @@
+"""Hierarchical span tracer with a zero-overhead-when-disabled switch.
+
+The library is instrumented with two primitives:
+
+``trace_span(name, **attrs)``
+    A context manager producing a timed :class:`Span` in a per-thread
+    tree.  **When tracing is off this returns a shared no-op singleton**
+    — the instrumented hot path pays one module-global branch and
+    nothing else (no object, no clock read).  Real spans nest by the
+    call structure: a span opened while another is open on the same
+    thread becomes its child; a root span is handed to the active
+    :func:`capture`.
+
+``timed_span(name, **attrs)``
+    Same, but it *always* measures wall-clock (``.elapsed``) even when
+    tracing is off — the replacement for the old ad-hoc ``Stopwatch``
+    sites whose results carry a ``runtime`` field regardless of
+    observability.  Timing uses :class:`~repro.util.stopwatch.Stopwatch`
+    (whose ``split()`` also timestamps :meth:`Span.event` marks).
+
+Recording is controlled by two process-global switches (one branch each
+at every instrumentation site):
+
+* **metrics** — call sites write to :data:`REGISTRY` (the process-wide
+  :class:`~repro.obs.registry.MetricsRegistry`); the serve daemon turns
+  this on for its lifetime so ``/metrics`` reports library-level series.
+* **tracing** — ``trace_span`` returns real spans.
+
+:func:`capture` turns both on for a ``with`` block and yields a
+:class:`Capture` collecting the root spans plus the registry delta —
+the machinery behind ``partition_graph(..., profile=True)``.  Captures
+are process-global (one at a time); worker processes run their own
+(:func:`repro.util.parallel.parallel_map` ships each task's
+:meth:`Capture.payload` back and :func:`absorb_payload` grafts it into
+the parent's tree, rebased onto the submitting span's timeline).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs.registry import MetricsRegistry
+from repro.util.stopwatch import Stopwatch
+
+__all__ = [
+    "REGISTRY",
+    "Span",
+    "Capture",
+    "trace_span",
+    "timed_span",
+    "capture",
+    "enable",
+    "disable",
+    "metrics_on",
+    "tracing_on",
+    "active",
+    "absorb_payload",
+    "add",
+    "gauge_set",
+    "gauge_add",
+    "observe",
+    "observe_bulk",
+    "cache_event",
+    "current_span",
+]
+
+#: The process-wide metrics registry every instrumented series lands in.
+REGISTRY = MetricsRegistry()
+
+_METRICS_ON = False
+_TRACING_ON = False
+_CAPTURE: "Capture | None" = None
+_capture_lock = threading.Lock()
+_tls = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+# --------------------------------------------------------------------- #
+# spans
+# --------------------------------------------------------------------- #
+class Span:
+    """One timed node of the trace tree (a Chrome complete event)."""
+
+    __slots__ = (
+        "name", "attrs", "children", "events",
+        "t0", "elapsed", "tid", "pid", "_sw",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.children: list[Span] = []
+        self.events: list[tuple] = []  # (name, offset_s, attrs)
+        self.t0 = 0.0
+        self.elapsed = 0.0
+        self.tid = threading.get_ident()
+        self.pid = os.getpid()
+        self._sw = Stopwatch()
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes (e.g. results known only at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant event at the current offset into this span."""
+        self.events.append((name, self._sw.split(), dict(attrs) if attrs else {}))
+
+    def __enter__(self) -> "Span":
+        self.t0 = time.perf_counter()
+        self._sw.start()
+        _stack().append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self._sw.stop()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            cap = _CAPTURE
+            if cap is not None:
+                with _capture_lock:
+                    cap.spans.append(self)
+        # without a capture, a finished root span is simply discarded
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "t0": self.t0,
+            "elapsed": self.elapsed,
+            "tid": self.tid,
+            "pid": self.pid,
+            "events": [list(e) for e in self.events],
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict, shift: float = 0.0) -> "Span":
+        s = object.__new__(cls)
+        s.name = d["name"]
+        s.attrs = dict(d.get("attrs", {}))
+        s.t0 = d["t0"] + shift
+        s.elapsed = d["elapsed"]
+        s.tid = d.get("tid", 0)
+        s.pid = d.get("pid", 0)
+        s.events = [tuple(e) for e in d.get("events", [])]
+        s.children = [cls.from_dict(c, shift) for c in d.get("children", [])]
+        s._sw = None
+        return s
+
+
+class _NullSpan:
+    """Shared do-nothing span: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _TimerSpan:
+    """Records nothing, but still times — ``timed_span`` when disabled."""
+
+    __slots__ = ("_sw", "elapsed")
+
+    def __enter__(self) -> "_TimerSpan":
+        self.elapsed = 0.0
+        self._sw = Stopwatch().start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self._sw.stop()
+
+    def set(self, **attrs) -> "_TimerSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+
+def trace_span(name: str, **attrs):
+    """A recording span when tracing is on, else the no-op singleton."""
+    if not _TRACING_ON:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def timed_span(name: str, **attrs):
+    """A span that always exposes ``.elapsed`` (the Stopwatch successor)."""
+    if _TRACING_ON:
+        return Span(name, attrs)
+    return _TimerSpan()
+
+
+def current_span():
+    """The innermost open span of this thread (``None`` outside any)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+# --------------------------------------------------------------------- #
+# switches
+# --------------------------------------------------------------------- #
+def metrics_on() -> bool:
+    return _METRICS_ON
+
+
+def tracing_on() -> bool:
+    return _TRACING_ON
+
+
+def active() -> bool:
+    return _METRICS_ON or _TRACING_ON
+
+
+def enable(metrics: bool = True, tracing: bool = False) -> None:
+    """Turn instrumentation on process-wide (the serve daemon's mode)."""
+    global _METRICS_ON, _TRACING_ON
+    _METRICS_ON = bool(metrics)
+    _TRACING_ON = bool(tracing)
+
+
+def disable() -> None:
+    global _METRICS_ON, _TRACING_ON
+    _METRICS_ON = False
+    _TRACING_ON = False
+
+
+# --------------------------------------------------------------------- #
+# metric helpers — each is one switch branch when observability is off
+# --------------------------------------------------------------------- #
+def add(name: str, value: float = 1.0, **labels) -> None:
+    if _METRICS_ON:
+        REGISTRY.inc(name, value, **labels)
+
+
+def gauge_set(name: str, value: float, **labels) -> None:
+    if _METRICS_ON:
+        REGISTRY.gauge_set(name, value, **labels)
+
+
+def gauge_add(name: str, value: float, **labels) -> None:
+    if _METRICS_ON:
+        REGISTRY.gauge_add(name, value, **labels)
+
+
+def observe(name: str, value: float, buckets=None, **labels) -> None:
+    if _METRICS_ON:
+        REGISTRY.observe(name, value, buckets=buckets, **labels)
+
+
+def observe_bulk(name: str, values, buckets=None, **labels) -> None:
+    if _METRICS_ON:
+        REGISTRY.observe_bulk(name, values, buckets=buckets, **labels)
+
+
+def cache_event(cache: str, outcome: str) -> None:
+    """One ``cache.lookups`` count — the unified hit/miss/promotion series."""
+    if _METRICS_ON:
+        REGISTRY.inc("cache.lookups", 1.0, cache=cache, outcome=outcome)
+
+
+# --------------------------------------------------------------------- #
+# capture
+# --------------------------------------------------------------------- #
+class Capture:
+    """Everything observed inside one :func:`capture` block."""
+
+    __slots__ = ("spans", "metrics", "t0", "wall_s", "pid", "_before")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.metrics: dict = {}
+        self.t0 = 0.0
+        self.wall_s = 0.0
+        self.pid = os.getpid()
+        self._before: dict = {}
+
+    def payload(self) -> dict:
+        """Picklable form for shipping across processes (``parallel_map``)."""
+        return {
+            "pid": self.pid,
+            "t0": self.t0,
+            "spans": [s.to_dict() for s in self.spans],
+            "metrics": self.metrics,
+        }
+
+
+@contextmanager
+def capture(tracing: bool = True, metrics: bool = True):
+    """Enable instrumentation for the block; yield the :class:`Capture`.
+
+    Span roots and the registry delta are filled in when the block
+    exits.  Previous switch states are restored (a serve daemon that
+    enabled metrics process-wide keeps them on).  One capture at a time
+    per process: captures are global so that spans from *any* thread
+    land in the trace.
+    """
+    global _CAPTURE, _METRICS_ON, _TRACING_ON
+    if _CAPTURE is not None and _CAPTURE.pid != os.getpid():
+        # a fork-started worker inherits the parent's capture (and its
+        # switch state) in its memory image — stale here, discard it
+        _CAPTURE = None
+        _METRICS_ON = _TRACING_ON = False
+        _stack().clear()
+    if _CAPTURE is not None:
+        raise RuntimeError("an observability capture is already active")
+    cap = Capture()
+    prev = (_METRICS_ON, _TRACING_ON)
+    cap._before = REGISTRY.snapshot()
+    cap.t0 = time.perf_counter()
+    _CAPTURE = cap
+    _METRICS_ON = _METRICS_ON or bool(metrics)
+    _TRACING_ON = _TRACING_ON or bool(tracing)
+    try:
+        yield cap
+    finally:
+        _METRICS_ON, _TRACING_ON = prev
+        _CAPTURE = None
+        cap.wall_s = time.perf_counter() - cap.t0
+        cap.metrics = REGISTRY.delta(cap._before)
+
+
+def absorb_payload(payload: dict) -> None:
+    """Graft a worker task's shipped :meth:`Capture.payload` locally.
+
+    Metrics merge into :data:`REGISTRY` (in the caller's task order —
+    deterministic at any ``n_jobs``); span trees are rebased so the
+    child's capture start aligns with the innermost open span here (the
+    ``parallel_map`` wave span) and attached as its children.
+    """
+    if not payload:
+        return
+    if _METRICS_ON and payload.get("metrics"):
+        REGISTRY.merge(payload["metrics"])
+    if _TRACING_ON and payload.get("spans"):
+        parent = current_span()
+        anchor = parent.t0 if parent is not None else (
+            _CAPTURE.t0 if _CAPTURE is not None else 0.0
+        )
+        shift = anchor - payload.get("t0", 0.0)
+        trees = [Span.from_dict(d, shift) for d in payload["spans"]]
+        if parent is not None:
+            parent.children.extend(trees)
+        elif _CAPTURE is not None:
+            with _capture_lock:
+                _CAPTURE.spans.extend(trees)

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng
@@ -444,12 +445,22 @@ def build_hierarchy(
     if coarsen_to < 1:
         raise PartitionError(f"coarsen_to must be >= 1, got {coarsen_to}")
     rng = as_rng(seed)
-    hier = Hierarchy(levels=[CoarseLevel(graph=g, node_map=None)])
-    current = g
-    while current.n > coarsen_to:
-        coarse, node_map, method = coarsen_once(current, seed=rng, methods=methods)
-        if coarse.n >= current.n * (1 - min_shrink):
-            break
-        hier.levels.append(CoarseLevel(graph=coarse, node_map=node_map, method=method))
-        current = coarse
+    with _obs.trace_span("coarsen", nodes=g.n, coarsen_to=coarsen_to) as sp:
+        hier = Hierarchy(levels=[CoarseLevel(graph=g, node_map=None)])
+        current = g
+        while current.n > coarsen_to:
+            with _obs.trace_span(
+                "coarsen.level", level=len(hier.levels), nodes_in=current.n
+            ) as lv:
+                coarse, node_map, method = coarsen_once(
+                    current, seed=rng, methods=methods
+                )
+                lv.set(nodes_out=coarse.n, method=method)
+            if coarse.n >= current.n * (1 - min_shrink):
+                break
+            hier.levels.append(
+                CoarseLevel(graph=coarse, node_map=node_map, method=method)
+            )
+            current = coarse
+        sp.set(levels=len(hier.levels), coarsest=current.n)
     return hier

@@ -25,8 +25,8 @@ import numpy as np
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
+import repro.obs as _obs
 from repro.util.errors import InfeasibleError, PartitionError
-from repro.util.stopwatch import Stopwatch
 
 __all__ = ["exact_partition", "exact_min_cut", "feasibility_certificate"]
 
@@ -141,10 +141,11 @@ def exact_partition(
         raise PartitionError(
             f"exact search is limited to {_MAX_NODES} nodes, got {g.n}"
         )
-    sw = Stopwatch().start()
-    order = np.argsort(-g.node_weights, kind="stable").astype(np.int64)
-    assign, _ = _search(g, k, constraints, enforce, order, require_all_parts)
-    sw.stop()
+    with _obs.timed_span("exact", nodes=g.n, k=k) as sw:
+        order = np.argsort(-g.node_weights, kind="stable").astype(np.int64)
+        assign, _ = _search(
+            g, k, constraints, enforce, order, require_all_parts
+        )
     if assign is None:
         raise InfeasibleError(
             f"no assignment satisfies Bmax={constraints.bmax}, "

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.coarsen import Hierarchy, build_hierarchy
@@ -36,7 +37,6 @@ from repro.partition.refine_state import RefinementState
 from repro.util.errors import InfeasibleError, PartitionError
 from repro.util.parallel import parallel_map
 from repro.util.rng import as_rng, spawn_seeds
-from repro.util.stopwatch import Stopwatch
 
 __all__ = ["GPConfig", "gp_partition"]
 
@@ -134,28 +134,36 @@ def _uncoarsen(
     rng = as_rng(seed)
     assign = np.asarray(assign_coarsest, dtype=np.int64)
 
-    def refine_best(graph: WGraph, a: np.ndarray) -> np.ndarray:
+    def refine_best(graph: WGraph, a: np.ndarray, level: int) -> np.ndarray:
         cand_seeds = spawn_seeds(rng, config.level_candidates)
-        # one engine build per level; each candidate run works on a copy and
-        # its goodness comes from the incrementally-tracked metrics
-        base = RefinementState(graph, a, k)
-        best, best_key = None, None
-        for s in cand_seeds:
-            st = base.copy()
-            cand = constrained_kway_fm(
-                graph, a, k, constraints,
-                max_passes=config.refine_passes, seed=s, state=st,
-            )
-            key = goodness_key(st.metrics(constraints), constraints)
-            if best_key is None or key < best_key:
-                best, best_key = cand, key
+        with _obs.trace_span(
+            "gp.refine_level", level=level, nodes=graph.n, edges=graph.m
+        ) as sp:
+            # one engine build per level; each candidate run works on a copy
+            # and its goodness comes from the incrementally-tracked metrics
+            base = RefinementState(graph, a, k)
+            if _obs.tracing_on():
+                sp.set(cut_before=base.metrics(constraints).cut)
+            best, best_key, best_cut = None, None, None
+            for s in cand_seeds:
+                st = base.copy()
+                cand = constrained_kway_fm(
+                    graph, a, k, constraints,
+                    max_passes=config.refine_passes, seed=s, state=st,
+                )
+                m = st.metrics(constraints)
+                key = goodness_key(m, constraints)
+                if best_key is None or key < best_key:
+                    best, best_key, best_cut = cand, key, m.cut
+            sp.set(cut_after=best_cut)
         return best
 
-    for level in range(hier.depth - 1, 0, -1):
-        assign = hier.project(assign, level)
-        assign = refine_best(hier.levels[level - 1].graph, assign)
-    if hier.depth == 1:
-        assign = refine_best(hier.levels[0].graph, assign)
+    with _obs.trace_span("uncoarsen", levels=hier.depth):
+        for level in range(hier.depth - 1, 0, -1):
+            assign = hier.project(assign, level)
+            assign = refine_best(hier.levels[level - 1].graph, assign, level - 1)
+        if hier.depth == 1:
+            assign = refine_best(hier.levels[0].graph, assign, 0)
     return assign
 
 
@@ -170,31 +178,34 @@ def _run_gp_cycle(context, seeds) -> tuple[np.ndarray, "PartitionMetrics", int]:
     """
     g, k, constraints, config = context
     s_hier, s_init, s_unc, s_vc = seeds
-    # Re-coarsening each cycle realises the paper's "go back to
-    # coarsening phase ... (randomly), cyclically".
-    # never coarsen below 2k nodes: a halving step from just above the
-    # threshold must still leave enough nodes to seed k partitions
-    hier = build_hierarchy(
-        g,
-        coarsen_to=max(config.coarsen_to, 2 * k),
-        seed=s_hier,
-        methods=config.matchings,
-    )
-    assign_c = greedy_initial_partition(
-        hier.coarsest, k, constraints,
-        restarts=config.restarts, seed=s_init,
-    )
-    assign = _uncoarsen(hier, assign_c, k, constraints, config, s_unc)
-    if config.vcycles:
-        from repro.partition.vcycle import vcycle_refine
-
-        assign = vcycle_refine(
-            g, assign, k, constraints,
-            rounds=config.vcycles,
-            refine_passes=config.refine_passes,
-            seed=s_vc,
+    with _obs.trace_span("gp.cycle", nodes=g.n, k=k) as sp:
+        # Re-coarsening each cycle realises the paper's "go back to
+        # coarsening phase ... (randomly), cyclically".
+        # never coarsen below 2k nodes: a halving step from just above the
+        # threshold must still leave enough nodes to seed k partitions
+        hier = build_hierarchy(
+            g,
+            coarsen_to=max(config.coarsen_to, 2 * k),
+            seed=s_hier,
+            methods=config.matchings,
         )
-    metrics = evaluate_partition(g, assign, k, constraints)
+        with _obs.trace_span("gp.initial", nodes=hier.coarsest.n):
+            assign_c = greedy_initial_partition(
+                hier.coarsest, k, constraints,
+                restarts=config.restarts, seed=s_init,
+            )
+        assign = _uncoarsen(hier, assign_c, k, constraints, config, s_unc)
+        if config.vcycles:
+            from repro.partition.vcycle import vcycle_refine
+
+            assign = vcycle_refine(
+                g, assign, k, constraints,
+                rounds=config.vcycles,
+                refine_passes=config.refine_passes,
+                seed=s_vc,
+            )
+        metrics = evaluate_partition(g, assign, k, constraints)
+        sp.set(levels=hier.depth, cut=metrics.cut, feasible=metrics.feasible)
     return assign, metrics, hier.depth
 
 
@@ -250,28 +261,27 @@ def gp_partition(
         raise PartitionError(f"k={k} exceeds node count {g.n}")
     rng = as_rng(seed if seed is not None else config.seed)
 
-    sw = Stopwatch().start()
-    # all cycle seeds up front (the same rng stream the serial loop drew
-    # from, one quadruple per cycle) — what makes the cycles independent
-    cycle_seeds = [spawn_seeds(rng, 4) for _ in range(config.max_cycles)]
-    results = parallel_map(
-        _run_gp_cycle,
-        cycle_seeds,
-        n_jobs=n_jobs,
-        stop=lambda r: r[1].feasible,
-        context=(g, k, constraints, config),
-    )
+    with _obs.timed_span("gp", nodes=g.n, k=k) as sw:
+        # all cycle seeds up front (the same rng stream the serial loop drew
+        # from, one quadruple per cycle) — what makes the cycles independent
+        cycle_seeds = [spawn_seeds(rng, 4) for _ in range(config.max_cycles)]
+        results = parallel_map(
+            _run_gp_cycle,
+            cycle_seeds,
+            n_jobs=n_jobs,
+            stop=lambda r: r[1].feasible,
+            context=(g, k, constraints, config),
+        )
 
-    best_assign: np.ndarray | None = None
-    best_key = None
-    for assign, metrics, _depth in results:
-        key = goodness_key(metrics, constraints)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_assign = assign
-    cycles_used = len(results)
-    levels_last = results[-1][2]
-    sw.stop()
+        best_assign: np.ndarray | None = None
+        best_key = None
+        for assign, metrics, _depth in results:
+            key = goodness_key(metrics, constraints)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_assign = assign
+        cycles_used = len(results)
+        levels_last = results[-1][2]
 
     assert best_assign is not None
     metrics = evaluate_partition(g, best_assign, k, constraints)

@@ -32,6 +32,7 @@ import heapq
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.partition.metrics import ConstraintSpec, check_assignment
 from repro.partition.refine_state import BucketQueue, RefinementState
@@ -377,11 +378,21 @@ def run_constrained_fm(
     if abort_after is None:
         abort_after = max(50, n // 10)
 
+    # Pass statistics ship to the obs registry, labeled by engine — the
+    # local accumulators keep the per-move cost at zero lock traffic
+    # (one observe_bulk flush at the end) and at literally nothing when
+    # metrics are off.
+    rec = _obs.metrics_on()
+    engine = type(st).__name__ if rec else ""
+    passes = tried = escape_seeds = 0
+    gains: list | None = [] if rec else None
+
     st.clear_trail()
     best_key = st.key(constraints)
     best_mark = st.snapshot()
 
     for _ in range(max_passes):
+        passes += 1
         locked = np.zeros(n, dtype=bool)
         start_key = st.key(constraints)
 
@@ -399,6 +410,8 @@ def run_constrained_fm(
         seeds = st.boundary_nodes()
         extra = st.overloaded_nodes(constraints)
         if extra.size:
+            if rec:
+                escape_seeds += int(extra.size)
             seeds = np.union1d(seeds, extra)
         seeds = seeds.astype(np.int64)
         rng.shuffle(seeds)
@@ -422,6 +435,9 @@ def run_constrained_fm(
             if dv > -_EPS and dc > _EPS and stagnant >= abort_after:
                 break
             st.move(u, dest)
+            if rec:
+                tried += 1
+                gains.append(dc)
             locked[u] = True
             key_now = st.key(constraints)
             if key_now < best_key:
@@ -439,5 +455,18 @@ def run_constrained_fm(
         st.rollback(best_mark)
         if not best_key < start_key:
             break  # the pass found nothing better anywhere
+    if rec:
+        # after the final rollback the trail length *is* the kept prefix
+        kept = int(st.snapshot())
+        _obs.add("fm.passes", passes, engine=engine)
+        _obs.add("fm.moves_tried", tried, engine=engine)
+        _obs.add("fm.moves_kept", kept, engine=engine)
+        _obs.add("fm.moves_rolled_back", tried - kept, engine=engine)
+        if escape_seeds:
+            _obs.add("fm.escape_seeds", escape_seeds, engine=engine)
+        if gains:
+            _obs.observe_bulk(
+                "fm.gain", gains, buckets=_obs.GAIN_BUCKETS, engine=engine
+            )
     st.clear_trail()
     return st.assign.copy()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.coarsen import build_hierarchy
@@ -29,7 +30,6 @@ from repro.partition.metrics import ConstraintSpec, evaluate_partition
 from repro.partition.refine_state import RefinementState
 from repro.util.errors import PartitionError
 from repro.util.rng import as_rng, spawn_seeds
-from repro.util.stopwatch import Stopwatch
 
 __all__ = ["mlkp_partition", "recursive_bisection"]
 
@@ -154,48 +154,57 @@ def mlkp_partition(
     seed_hier, seed_init, seed_refine = spawn_seeds(rng, 3)
     if coarsen_to is None:
         coarsen_to = max(20, 4 * k)
-    sw = Stopwatch().start()
+    with _obs.timed_span("mlkp", nodes=g.n, k=k) as sw:
+        hier = build_hierarchy(g, coarsen_to=max(coarsen_to, k),
+                               seed=seed_hier, methods=("hem",))
+        coarsest = hier.coarsest
+        with _obs.trace_span("mlkp.initial", nodes=coarsest.n):
+            assign = recursive_bisection(
+                coarsest, k, seed=seed_init, balance=balance
+            )
 
-    hier = build_hierarchy(g, coarsen_to=max(coarsen_to, k), seed=seed_hier,
-                           methods=("hem",))
-    coarsest = hier.coarsest
-    assign = recursive_bisection(coarsest, k, seed=seed_init, balance=balance)
-
-    max_part_weight = balance * g.total_node_weight / k
-    refine_seeds = spawn_seeds(seed_refine, max(hier.depth, 1))
-    for level in range(hier.depth - 1, 0, -1):
-        level_graph = hier.levels[level - 1].graph
-        assign = hier.project(assign, level)
-        # one engine state per level, shared by both phases so connectivity
-        # and bandwidth are never rebuilt between them
-        state = RefinementState(level_graph, assign, k)
-        # kmetis order: restore balance first, then chase the cut
-        assign = rebalance_pass(
-            level_graph, assign, k, max_part_weight,
-            seed=refine_seeds[level - 1], state=state,
-        )
-        assign = greedy_kway_refine(
-            level_graph,
-            assign,
-            k,
-            max_part_weight=max_part_weight,
-            max_passes=refine_passes,
-            seed=refine_seeds[level - 1],
-            state=state,
-        )
-    if hier.depth == 1:
-        state = RefinementState(g, assign, k)
-        assign = rebalance_pass(
-            g, assign, k, max_part_weight, seed=refine_seeds[0], state=state
-        )
-        assign = greedy_kway_refine(
-            g, assign, k,
-            max_part_weight=max_part_weight,
-            max_passes=refine_passes,
-            seed=refine_seeds[0],
-            state=state,
-        )
-    sw.stop()
+        max_part_weight = balance * g.total_node_weight / k
+        refine_seeds = spawn_seeds(seed_refine, max(hier.depth, 1))
+        for level in range(hier.depth - 1, 0, -1):
+            level_graph = hier.levels[level - 1].graph
+            assign = hier.project(assign, level)
+            with _obs.trace_span(
+                "mlkp.refine_level", level=level - 1,
+                nodes=level_graph.n, edges=level_graph.m,
+            ):
+                # one engine state per level, shared by both phases so
+                # connectivity and bandwidth are never rebuilt between them
+                state = RefinementState(level_graph, assign, k)
+                # kmetis order: restore balance first, then chase the cut
+                assign = rebalance_pass(
+                    level_graph, assign, k, max_part_weight,
+                    seed=refine_seeds[level - 1], state=state,
+                )
+                assign = greedy_kway_refine(
+                    level_graph,
+                    assign,
+                    k,
+                    max_part_weight=max_part_weight,
+                    max_passes=refine_passes,
+                    seed=refine_seeds[level - 1],
+                    state=state,
+                )
+        if hier.depth == 1:
+            with _obs.trace_span(
+                "mlkp.refine_level", level=0, nodes=g.n, edges=g.m
+            ):
+                state = RefinementState(g, assign, k)
+                assign = rebalance_pass(
+                    g, assign, k, max_part_weight,
+                    seed=refine_seeds[0], state=state,
+                )
+                assign = greedy_kway_refine(
+                    g, assign, k,
+                    max_part_weight=max_part_weight,
+                    max_passes=refine_passes,
+                    seed=refine_seeds[0],
+                    state=state,
+                )
 
     metrics = evaluate_partition(g, assign, k, constraints)
     return PartitionResult(

@@ -52,9 +52,9 @@ from repro.partition.vector_state import (
     check_weight_matrix,
 )
 from repro.util.errors import InfeasibleError, PartitionError
+import repro.obs as _obs
 from repro.util.parallel import KeyedCache, parallel_map
 from repro.util.rng import as_rng, spawn_seeds
-from repro.util.stopwatch import Stopwatch
 
 __all__ = [
     "VectorConstraints",
@@ -74,7 +74,7 @@ __all__ = [
 #: deliberately absent from the key: results are bit-identical for every
 #: worker count, so a serial run may serve a parallel request and vice
 #: versa.
-multires_cache = KeyedCache(maxsize=32)
+multires_cache = KeyedCache(maxsize=32, name="multires")
 
 
 def clear_multires_cache() -> None:
@@ -320,36 +320,47 @@ def _run_mr_cycle(context, seeds):
     """
     g, w, proxy_graph, k, cons, coarsen_to, restarts, refine_passes = context
     s_hier, s_init, s_ref = seeds
-    hier = build_hierarchy(
-        proxy_graph, coarsen_to=max(coarsen_to, 2 * k), seed=s_hier
-    )
-    # aggregate the weight matrix down the hierarchy
-    level_weights = [w]
-    for lvl in hier.levels[1:]:
-        prev = level_weights[-1]
-        agg = np.zeros((lvl.graph.n, w.shape[1]))
-        np.add.at(agg, lvl.node_map, prev)
-        level_weights.append(agg)
+    with _obs.trace_span("mr.cycle", nodes=g.n, k=k) as sp:
+        hier = build_hierarchy(
+            proxy_graph, coarsen_to=max(coarsen_to, 2 * k), seed=s_hier
+        )
+        # aggregate the weight matrix down the hierarchy
+        level_weights = [w]
+        for lvl in hier.levels[1:]:
+            prev = level_weights[-1]
+            agg = np.zeros((lvl.graph.n, w.shape[1]))
+            np.add.at(agg, lvl.node_map, prev)
+            level_weights.append(agg)
 
-    assign = mr_greedy_initial(
-        hier.coarsest, level_weights[-1], k, cons,
-        restarts=restarts, seed=s_init,
-    )
-    ref_seeds = spawn_seeds(s_ref, hier.depth)
-    for level in range(hier.depth - 1, 0, -1):
-        assign = hier.project(assign, level)
-        assign = mr_constrained_fm(
-            hier.levels[level - 1].graph,
-            level_weights[level - 1],
-            assign, k, cons,
-            max_passes=refine_passes, seed=ref_seeds[level - 1],
-        )
-    if hier.depth == 1:
-        assign = mr_constrained_fm(
-            g, w, assign, k, cons,
-            max_passes=refine_passes, seed=ref_seeds[0],
-        )
-    m = evaluate_multires(g, w, assign, k, cons)
+        with _obs.trace_span("mr.initial", nodes=hier.coarsest.n):
+            assign = mr_greedy_initial(
+                hier.coarsest, level_weights[-1], k, cons,
+                restarts=restarts, seed=s_init,
+            )
+        ref_seeds = spawn_seeds(s_ref, hier.depth)
+        for level in range(hier.depth - 1, 0, -1):
+            assign = hier.project(assign, level)
+            lvl_graph = hier.levels[level - 1].graph
+            with _obs.trace_span(
+                "mr.refine_level", level=level - 1,
+                nodes=lvl_graph.n, edges=lvl_graph.m,
+            ):
+                assign = mr_constrained_fm(
+                    lvl_graph,
+                    level_weights[level - 1],
+                    assign, k, cons,
+                    max_passes=refine_passes, seed=ref_seeds[level - 1],
+                )
+        if hier.depth == 1:
+            with _obs.trace_span(
+                "mr.refine_level", level=0, nodes=g.n, edges=g.m
+            ):
+                assign = mr_constrained_fm(
+                    g, w, assign, k, cons,
+                    max_passes=refine_passes, seed=ref_seeds[0],
+                )
+        m = evaluate_multires(g, w, assign, k, cons)
+        sp.set(levels=hier.depth, cut=m.cut, feasible=m.feasible)
     return assign, m, hier.depth
 
 
@@ -444,26 +455,26 @@ def mr_gp_partition(
     proxy_graph = g.with_node_weights(scalar_proxy + 1e-9)
     rng = as_rng(seed)
 
-    sw = Stopwatch().start()
-    # all cycle seeds up front (the same stream the serial loop drew from,
-    # one triple per cycle) — what makes the cycles race-independent
-    cycle_seeds = [spawn_seeds(rng, 3) for _ in range(max_cycles)]
-    results = parallel_map(
-        _run_mr_cycle,
-        cycle_seeds,
-        n_jobs=n_jobs,
-        stop=lambda r: r[1].feasible,
-        context=(g, w, proxy_graph, k, cons, coarsen_to, restarts,
-                 refine_passes),
-    )
+    with _obs.timed_span("mr_gp", nodes=g.n, k=k) as sw:
+        # all cycle seeds up front (the same stream the serial loop drew
+        # from, one triple per cycle) — what makes the cycles
+        # race-independent
+        cycle_seeds = [spawn_seeds(rng, 3) for _ in range(max_cycles)]
+        results = parallel_map(
+            _run_mr_cycle,
+            cycle_seeds,
+            n_jobs=n_jobs,
+            stop=lambda r: r[1].feasible,
+            context=(g, w, proxy_graph, k, cons, coarsen_to, restarts,
+                     refine_passes),
+        )
 
-    best_assign, best_metrics, best_key = None, None, None
-    for assign, m, _depth in results:
-        cand = (m.total_violation, m.bandwidth_violation, m.cut)
-        if best_key is None or cand < best_key:
-            best_assign, best_metrics, best_key = assign, m, cand
-    cycles_used = len(results)
-    sw.stop()
+        best_assign, best_metrics, best_key = None, None, None
+        for assign, m, _depth in results:
+            cand = (m.total_violation, m.bandwidth_violation, m.cut)
+            if best_key is None or cand < best_key:
+                best_assign, best_metrics, best_key = assign, m, cand
+        cycles_used = len(results)
 
     assert best_assign is not None and best_metrics is not None
     result = MultiResResult(

@@ -42,9 +42,9 @@ from repro.partition.goodness import goodness_key
 from repro.partition.gp import GPConfig, gp_partition
 from repro.partition.metrics import ConstraintSpec
 from repro.util.errors import InfeasibleError, PartitionError
+import repro.obs as _obs
 from repro.util.parallel import KeyedCache, parallel_map
 from repro.util.rng import spawn_seeds
-from repro.util.stopwatch import Stopwatch
 
 __all__ = [
     "default_portfolio",
@@ -55,7 +55,7 @@ __all__ = [
 ]
 
 #: In-process memo of completed portfolio runs (see module docstring).
-portfolio_cache = KeyedCache(maxsize=64)
+portfolio_cache = KeyedCache(maxsize=64, name="portfolio")
 
 
 def clear_portfolio_cache() -> None:
@@ -192,15 +192,14 @@ def portfolio_partition(
             return result
 
     seeds = spawn_seeds(seed, len(members))
-    sw = Stopwatch().start()
-    results = parallel_map(
-        _run_member,
-        list(zip(members, seeds)),
-        n_jobs=n_jobs,
-        stop=(lambda r: r.feasible) if stop_on_feasible else None,
-        context=(g, k, constraints),
-    )
-    sw.stop()
+    with _obs.timed_span("portfolio", members=len(members), k=k) as sw:
+        results = parallel_map(
+            _run_member,
+            list(zip(members, seeds)),
+            n_jobs=n_jobs,
+            stop=(lambda r: r.feasible) if stop_on_feasible else None,
+            context=(g, k, constraints),
+        )
 
     best: PartitionResult | None = None
     best_key = None
@@ -292,24 +291,25 @@ def race_models(
     s_graph, s_hyper = spawn_seeds(seed, 2)
     hg, _names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
 
-    sw = Stopwatch().start()
-    g, _ = ppn_to_mapped_graph(ppn, mode="tokens", scale=bandwidth_scale)
-    member_cfg = gp_config or GPConfig()
-    if member_cfg.on_infeasible != "return":
-        member_cfg = dataclasses.replace(member_cfg, on_infeasible="return")
-    # members never raise: an infeasible model must still lose the race,
-    # not abort it
-    if hyper_config is not None and hyper_config.on_infeasible != "return":
-        hyper_config = dataclasses.replace(hyper_config, on_infeasible="return")
-    res_graph, res_hyper = parallel_map(
-        _run_race_member,
-        [
-            ("graph", (g, k, constraints, member_cfg, s_graph)),
-            ("hyper", (hg, k, constraints, hyper_config, s_hyper)),
-        ],
-        n_jobs=n_jobs,
-    )
-    sw.stop()
+    with _obs.timed_span("race_models", k=k) as sw:
+        g, _ = ppn_to_mapped_graph(ppn, mode="tokens", scale=bandwidth_scale)
+        member_cfg = gp_config or GPConfig()
+        if member_cfg.on_infeasible != "return":
+            member_cfg = dataclasses.replace(member_cfg, on_infeasible="return")
+        # members never raise: an infeasible model must still lose the race,
+        # not abort it
+        if hyper_config is not None and hyper_config.on_infeasible != "return":
+            hyper_config = dataclasses.replace(
+                hyper_config, on_infeasible="return"
+            )
+        res_graph, res_hyper = parallel_map(
+            _run_race_member,
+            [
+                ("graph", (g, k, constraints, member_cfg, s_graph)),
+                ("hyper", (hg, k, constraints, hyper_config, s_hyper)),
+            ],
+            n_jobs=n_jobs,
+        )
 
     from repro.hypergraph.metrics import evaluate_hyper_partition
 

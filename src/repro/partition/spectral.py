@@ -18,8 +18,8 @@ from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.fm import fm_refine_bisection
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
+import repro.obs as _obs
 from repro.util.errors import PartitionError
-from repro.util.stopwatch import Stopwatch
 
 __all__ = ["fiedler_vector", "spectral_bisection", "spectral_partition"]
 
@@ -93,7 +93,7 @@ def spectral_partition(
         raise PartitionError(f"k must be >= 1, got {k}")
     if k > g.n:
         raise PartitionError(f"k={k} exceeds node count {g.n}")
-    sw = Stopwatch().start()
+    sw = _obs.timed_span("spectral", nodes=g.n, k=k)
     assign = np.zeros(g.n, dtype=np.int64)
 
     def rec(nodes: np.ndarray, k_sub: int, first_label: int) -> None:
@@ -124,8 +124,8 @@ def spectral_partition(
         rec(idx[a == 0], k0, first_label)
         rec(idx[a == 1], k_sub - k0, first_label + k0)
 
-    rec(np.arange(g.n, dtype=np.int64), k, 0)
-    sw.stop()
+    with sw:
+        rec(np.arange(g.n, dtype=np.int64), k, 0)
     return PartitionResult(
         assign=assign,
         k=k,

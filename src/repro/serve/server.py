@@ -28,8 +28,10 @@ import time
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+import repro.obs as _obs
 from repro import __version__
 from repro.core.api import configure_cache_backend, partition_graph
+from repro.obs import LATENCY_BUCKETS_MS
 from repro.serve.schema import (
     ServeError,
     ServeRequest,
@@ -50,73 +52,96 @@ from repro.util.parallel import (
 
 __all__ = ["ReproServer", "ServerMetrics"]
 
-#: Latency histogram bucket upper bounds, milliseconds (last is +inf).
-_LATENCY_BUCKETS_MS = (5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0)
-
 #: Maximum accepted request body (a graph payload of ~1M edges).
 _MAX_BODY_BYTES = 128 * 1024 * 1024
 
 
 class ServerMetrics:
-    """Thread-safe request counters and latency histogram."""
+    """Request counters and latency histogram on the shared obs registry.
+
+    Serve-level series — ``serve.requests{endpoint}`` /
+    ``serve.errors{endpoint}`` counters, the ``serve.latency_ms``
+    histogram, the ``serve.in_flight`` gauge and the ``serve.computes``
+    counter — are written straight into :data:`repro.obs.REGISTRY` (the
+    registry's own lock makes them thread-safe).  :meth:`snapshot`
+    reads them back as a delta against a baseline taken at construction,
+    so each server instance reports its own lifetime even though the
+    registry is process-global, while ``/metrics`` keeps its historical
+    payload shape.
+
+    Uptime is measured from a monotonic start reference: wall-clock
+    adjustments (NTP steps, DST) cannot bend or negate it.  The
+    wall-clock ``started`` stamp is kept separately for humans.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
         self.started = time.time()
-        self.in_flight = 0
-        self.computes = 0
-        self.requests: dict[str, dict[str, int]] = {}
-        self._bucket_counts = [0] * (len(_LATENCY_BUCKETS_MS) + 1)
-        self._latency_sum_ms = 0.0
-        self._latency_count = 0
+        self._started_monotonic = time.monotonic()
+        self._baseline = _obs.REGISTRY.snapshot()
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
 
     def note_compute(self) -> None:
-        with self._lock:
-            self.computes += 1
+        _obs.REGISTRY.inc("serve.computes")
 
     @contextmanager
     def track(self, endpoint: str):
         t0 = time.perf_counter()
-        with self._lock:
-            self.in_flight += 1
-            row = self.requests.setdefault(endpoint, {"count": 0, "errors": 0})
-            row["count"] += 1
-        ok = True
+        reg = _obs.REGISTRY
+        reg.gauge_add("serve.in_flight", 1.0)
+        reg.inc("serve.requests", 1.0, endpoint=endpoint)
         try:
             yield
         except BaseException:
-            ok = False
+            reg.inc("serve.errors", 1.0, endpoint=endpoint)
             raise
         finally:
-            elapsed_ms = (time.perf_counter() - t0) * 1000.0
-            with self._lock:
-                self.in_flight -= 1
-                if not ok:
-                    self.requests[endpoint]["errors"] += 1
-                i = 0
-                while (
-                    i < len(_LATENCY_BUCKETS_MS)
-                    and elapsed_ms > _LATENCY_BUCKETS_MS[i]
-                ):
-                    i += 1
-                self._bucket_counts[i] += 1
-                self._latency_sum_ms += elapsed_ms
-                self._latency_count += 1
+            reg.gauge_add("serve.in_flight", -1.0)
+            reg.observe(
+                "serve.latency_ms",
+                (time.perf_counter() - t0) * 1000.0,
+                buckets=LATENCY_BUCKETS_MS,
+            )
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "uptime_s": time.time() - self.started,
-                "in_flight": self.in_flight,
-                "computes": self.computes,
-                "requests": {k: dict(v) for k, v in self.requests.items()},
-                "latency": {
-                    "bucket_upper_ms": list(_LATENCY_BUCKETS_MS) + ["inf"],
-                    "counts": list(self._bucket_counts),
-                    "count": self._latency_count,
-                    "sum_ms": self._latency_sum_ms,
-                },
-            }
+        d = _obs.REGISTRY.delta(self._baseline)
+        counters = d.get("counters", {})
+        requests: dict[str, dict[str, int]] = {}
+        for key, v in counters.get("serve.requests", {}).items():
+            endpoint = dict(key).get("endpoint", "")
+            requests[endpoint] = {"count": int(v), "errors": 0}
+        for key, v in counters.get("serve.errors", {}).items():
+            endpoint = dict(key).get("endpoint", "")
+            row = requests.setdefault(endpoint, {"count": 0, "errors": 0})
+            row["errors"] = int(v)
+        in_flight = 0
+        for v in d.get("gauges", {}).get("serve.in_flight", {}).values():
+            in_flight = int(v)
+        counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        sum_ms, count = 0.0, 0
+        _, series = d.get("histograms", {}).get(
+            "serve.latency_ms", ((), {})
+        )
+        for row_counts, row_sum, row_count in series.values():
+            counts = [a + b for a, b in zip(counts, row_counts)]
+            sum_ms += row_sum
+            count += row_count
+        return {
+            "uptime_s": self.uptime_s,
+            "in_flight": in_flight,
+            "computes": int(
+                sum(counters.get("serve.computes", {}).values())
+            ),
+            "requests": requests,
+            "latency": {
+                "bucket_upper_ms": list(LATENCY_BUCKETS_MS) + ["inf"],
+                "counts": counts,
+                "count": count,
+                "sum_ms": sum_ms,
+            },
+        }
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -159,14 +184,20 @@ class ReproServer:
         warm_pool: bool = True,
     ) -> None:
         self.disk = (
-            DiskCache(cache_dir, max_bytes=cache_bytes)
+            DiskCache(cache_dir, max_bytes=cache_bytes, name="serve-disk")
             if cache_dir is not None
             else None
         )
-        self.results = KeyedCache(maxsize=memory_entries, backend=self.disk)
+        self.results = KeyedCache(
+            maxsize=memory_entries, backend=self.disk, name="results"
+        )
         # the library's own memos persist through the same store
         configure_cache_backend(self.disk)
         self.flight = SingleFlight()
+        # library-level metrics (FM stats, cache rates, pool utilization)
+        # stay on for the daemon's lifetime so /metrics can report them
+        self._prev_obs = (_obs.metrics_on(), _obs.tracing_on())
+        _obs.enable(metrics=True, tracing=self._prev_obs[1])
         self.metrics = ServerMetrics()
         self.n_jobs = resolve_jobs(n_jobs)
         self.pool_workers = (
@@ -202,6 +233,7 @@ class ReproServer:
         self.httpd.server_close()
         stop_warm_pool()
         configure_cache_backend(None)
+        _obs.enable(metrics=self._prev_obs[0], tracing=self._prev_obs[1])
 
     # ------------------------------------------------------------------ #
     def handle_partition(self, doc) -> tuple[int, dict]:
@@ -251,6 +283,13 @@ class ReproServer:
                 "queue_depth": out["in_flight"],
                 "warm_pool_workers": warm_pool_size(),
                 "caches": caches,
+                # library-level series from the shared obs registry:
+                # FM pass stats, unified cache rates, pool utilization
+                "library": {
+                    name: data
+                    for name, data in _obs.REGISTRY.collect().items()
+                    if name.startswith(("fm.", "cache.", "pool."))
+                },
             }
         )
         return out
@@ -259,7 +298,7 @@ class ReproServer:
         return {
             "status": "ok",
             "version": __version__,
-            "uptime_s": time.time() - self.metrics.started,
+            "uptime_s": self.metrics.uptime_s,
             "persistent_cache": self.disk is not None,
         }
 

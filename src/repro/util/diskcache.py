@@ -46,6 +46,7 @@ import tempfile
 import threading
 from pathlib import Path
 
+import repro.obs as _obs
 from repro import __version__
 from repro.util.errors import ReproError
 
@@ -76,6 +77,9 @@ class DiskCache:
         Extra string mixed into every key hash — lets tests (and
         deliberate cache-busting deployments) isolate stores sharing a
         directory.
+    name:
+        Label for this store's series in the unified observability
+        registry (``cache.lookups{cache=<name>, ...}``).
     """
 
     def __init__(
@@ -83,12 +87,14 @@ class DiskCache:
         root: str | os.PathLike,
         max_bytes: int = 256 * 1024 * 1024,
         salt: str = "",
+        name: str = "disk",
     ) -> None:
         if max_bytes < 1:
             raise ReproError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = int(max_bytes)
+        self.name = name
         self._version_tag = f"repro/{__version__}/schema/{SCHEMA_VERSION}/{salt}"
         self._lock = threading.Lock()
         self.hits = 0
@@ -113,6 +119,7 @@ class DiskCache:
                 blob = path.read_bytes()
             except OSError:
                 self.misses += 1
+                _obs.cache_event(self.name, "miss")
                 return False, None
             try:
                 doc = pickle.loads(blob)
@@ -122,18 +129,21 @@ class DiskCache:
                 # torn/corrupt/foreign entry: drop it, report a miss
                 path.unlink(missing_ok=True)
                 self.misses += 1
+                _obs.cache_event(self.name, "miss")
                 return False, None
             if stored_repr != key_repr:
                 # hash collision — astronomically unlikely, but the cost
                 # of verifying is one string compare and the cost of not
                 # verifying would be a *wrong result*
                 self.misses += 1
+                _obs.cache_event(self.name, "miss")
                 return False, None
             try:
                 os.utime(path)  # refresh recency for LRU-ish eviction
             except OSError:  # pragma: no cover - defensive
                 pass
             self.hits += 1
+            _obs.cache_event(self.name, "hit")
             return True, value
 
     def get(self, key, default=None):
@@ -163,6 +173,7 @@ class DiskCache:
                     pass
                 raise
             self.puts += 1
+            _obs.add("cache.puts", cache=self.name)
             self._evict_over_budget()
 
     # ------------------------------------------------------------------ #
@@ -188,6 +199,7 @@ class DiskCache:
             except OSError:  # pragma: no cover - defensive
                 continue
             self.evictions += 1
+            _obs.add("cache.evictions", cache=self.name)
             total -= size
             if total <= self.max_bytes:
                 break

@@ -39,6 +39,7 @@ from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from typing import Any
 
+import repro.obs as _obs
 from repro.util.errors import ReproError
 
 __all__ = [
@@ -114,6 +115,60 @@ def _apply_with_payload(fn, ctx, task):
     return fn(ctx, task)
 
 
+class _ObsResult:
+    """A worker result plus the child-process observability capture.
+
+    When the parent has instrumentation on, workers run each task inside
+    their own :func:`repro.obs.capture` and ship the picklable payload
+    (span trees + metric deltas) back alongside the value.  The parent
+    unwraps in submission order — so merged metrics are deterministic at
+    any ``n_jobs`` — before the stop predicate ever sees the value.
+    """
+
+    __slots__ = ("value", "payload")
+
+    def __init__(self, value, payload) -> None:
+        self.value = value
+        self.payload = payload
+
+
+def _obs_reset_worker() -> None:
+    # A fork-started worker inherits the parent's registry contents; a
+    # gauge write equal to the inherited value would then vanish from
+    # the task delta, making the merge depend on fork timing.  A worker
+    # registry exists only to compute per-task deltas, so start clean.
+    _obs.REGISTRY.reset()
+
+
+def _obs_apply(fn, task, trace):
+    _obs_reset_worker()
+    with _obs.capture(tracing=trace) as cap:
+        res = fn(task)
+    return _ObsResult(res, cap.payload())
+
+
+def _obs_apply_with_context(fn, task, trace):
+    _obs_reset_worker()
+    with _obs.capture(tracing=trace) as cap:
+        res = fn(_WORKER_CONTEXT, task)
+    return _ObsResult(res, cap.payload())
+
+
+def _obs_apply_with_payload(fn, ctx, task, trace):
+    _obs_reset_worker()
+    with _obs.capture(tracing=trace) as cap:
+        res = fn(ctx, task)
+    return _ObsResult(res, cap.payload())
+
+
+def _unwrap(res):
+    """Absorb a shipped child capture (if any) and return the bare value."""
+    if isinstance(res, _ObsResult):
+        _obs.absorb_payload(res.payload)
+        return res.value
+    return res
+
+
 def _serial_map(fn, tasks, stop, context=_NO_CONTEXT):
     call = fn if context is _NO_CONTEXT else (lambda t: fn(context, t))
     out = []
@@ -184,35 +239,57 @@ def _discard_broken_warm_pool() -> None:
             pass
 
 
-def _get_executor(fn, context, n_jobs, n_tasks):
+def _get_executor(fn, context, n_jobs, n_tasks, trace=None):
     """Per-call pool — or the shared warm pool when one is installed.
 
     Returns ``(executor, submit, owned)``; only an *owned* (per-call)
-    executor may be shut down by the caller.
+    executor may be shut down by the caller.  When *trace* is not
+    ``None`` instrumentation is on: tasks run inside a child-process
+    observability capture (tracing spans included iff *trace* is true)
+    and futures resolve to :class:`_ObsResult` wrappers.
     """
     from concurrent.futures import ProcessPoolExecutor
 
     shared = _WARM_POOL
     if shared is not None:
-        if context is _NO_CONTEXT:
-            submit = lambda t: shared.submit(fn, t)  # noqa: E731
+        if trace is None:
+            if context is _NO_CONTEXT:
+                submit = lambda t: shared.submit(fn, t)  # noqa: E731
+            else:
+                submit = lambda t: shared.submit(  # noqa: E731
+                    _apply_with_payload, fn, context, t
+                )
+        elif context is _NO_CONTEXT:
+            submit = lambda t: shared.submit(  # noqa: E731
+                _obs_apply, fn, t, trace
+            )
         else:
             submit = lambda t: shared.submit(  # noqa: E731
-                _apply_with_payload, fn, context, t
+                _obs_apply_with_payload, fn, context, t, trace
             )
         return shared, submit, False
     if context is _NO_CONTEXT:
         executor = ProcessPoolExecutor(max_workers=min(n_jobs, n_tasks))
-        submit = lambda t: executor.submit(fn, t)  # noqa: E731
+        if trace is None:
+            submit = lambda t: executor.submit(fn, t)  # noqa: E731
+        else:
+            submit = lambda t: executor.submit(  # noqa: E731
+                _obs_apply, fn, t, trace
+            )
     else:
         executor = ProcessPoolExecutor(
             max_workers=min(n_jobs, n_tasks),
             initializer=_set_worker_context,
             initargs=(context,),
         )
-        submit = lambda t: executor.submit(  # noqa: E731
-            _apply_with_context, fn, t
-        )
+        if trace is None:
+            submit = lambda t: executor.submit(  # noqa: E731
+                _apply_with_context, fn, t
+            )
+        else:
+            submit = lambda t: executor.submit(  # noqa: E731
+                _obs_apply_with_context, fn, t, trace
+            )
     return executor, submit, True
 
 
@@ -248,75 +325,126 @@ def parallel_map(
     by fn* propagate to the caller exactly like serial ones — pending
     tasks are cancelled first (``cancel_futures``), so one failing task
     never blocks on the rest of the batch.
+
+    When observability is on (:func:`repro.obs.active`), every call is
+    wrapped in a ``parallel_map`` span (waves get child spans) and each
+    worker task runs inside its own child-process capture whose spans
+    and metric deltas ship back with the result and are absorbed **in
+    submission order** — merged series are therefore identical for
+    every ``n_jobs``.  (The one wrinkle: a mid-flight
+    ``BrokenProcessPool`` falls back to serial recomputation, so
+    metrics from tasks absorbed before the break count twice; results
+    are unaffected.)  When off, this function is byte-for-byte the
+    uninstrumented path plus one branch.
     """
     n_jobs = resolve_jobs(n_jobs)
     tasks = list(tasks)
+    obs_on = _obs.active()
     if n_jobs == 1 or len(tasks) <= 1:
-        return _serial_map(fn, tasks, stop, context)
+        if not obs_on:
+            return _serial_map(fn, tasks, stop, context)
+        with _obs.trace_span(
+            "parallel_map", tasks=len(tasks), jobs=1, mode="serial"
+        ):
+            res = _serial_map(fn, tasks, stop, context)
+            _obs.add("pool.tasks", len(res), mode="serial")
+            return res
     from concurrent.futures import BrokenExecutor
 
-    try:
-        executor, submit, owned = _get_executor(fn, context, n_jobs, len(tasks))
-    except Exception:  # pragma: no cover - platform-dependent
-        return _serial_map(fn, tasks, stop, context)
-
-    def _fail_fast(futures) -> None:
-        # a task raised: drop everything not yet running before the
-        # re-raise, so the failure doesn't block on the rest of the batch
-        if owned:
-            executor.shutdown(wait=False, cancel_futures=True)
-        else:
-            for fut in futures:
-                fut.cancel()
-
-    out: list[Any] = []
-    try:
+    trace = _obs.tracing_on() if obs_on else None
+    outer = _obs.trace_span("parallel_map", tasks=len(tasks), jobs=n_jobs)
+    with outer:
         try:
-            if stop is None:
-                # no early exit possible: submit everything up front so no
-                # worker idles at a wave boundary
-                futures = [submit(t) for t in tasks]
-                try:
-                    for fut in futures:
-                        out.append(fut.result())
-                except BrokenExecutor:
-                    raise
-                except BaseException:
-                    _fail_fast(futures)
-                    raise
+            executor, submit, owned = _get_executor(
+                fn, context, n_jobs, len(tasks), trace
+            )
+        except Exception:  # pragma: no cover - platform-dependent
+            outer.set(mode="serial")
+            res = _serial_map(fn, tasks, stop, context)
+            if obs_on:
+                _obs.add("pool.tasks", len(res), mode="serial")
+            return res
+        mode = "pool" if owned else "warm"
+        outer.set(mode=mode)
+        if obs_on:
+            _obs.gauge_set(
+                "pool.workers",
+                min(n_jobs, len(tasks)) if owned else _WARM_POOL_JOBS,
+            )
+
+        def _fail_fast(futures) -> None:
+            # a task raised: drop everything not yet running before the
+            # re-raise, so the failure doesn't block on the rest of the batch
+            if owned:
+                executor.shutdown(wait=False, cancel_futures=True)
+            else:
+                for fut in futures:
+                    fut.cancel()
+
+        out: list[Any] = []
+        try:
+            try:
+                if stop is None:
+                    # no early exit possible: submit everything up front so no
+                    # worker idles at a wave boundary
+                    futures = [submit(t) for t in tasks]
+                    try:
+                        for fut in futures:
+                            out.append(_unwrap(fut.result()))
+                    except BrokenExecutor:
+                        raise
+                    except BaseException:
+                        _fail_fast(futures)
+                        raise
+                    if obs_on:
+                        _obs.add("pool.tasks", len(out), mode=mode)
+                    return out
+                # waves of n_jobs bound the speculation an early stop discards
+                for wave_start in range(0, len(tasks), n_jobs):
+                    wave = tasks[wave_start : wave_start + n_jobs]
+                    if obs_on:
+                        _obs.add("pool.waves", mode=mode)
+                    with _obs.trace_span(
+                        "parallel_map.wave",
+                        wave=wave_start // n_jobs,
+                        size=len(wave),
+                    ):
+                        futures = [submit(t) for t in wave]
+                        stopped = False
+                        try:
+                            for fut in futures:
+                                res = _unwrap(fut.result())
+                                out.append(res)
+                                if stop(res):
+                                    stopped = True
+                                    break
+                        except BrokenExecutor:
+                            raise
+                        except BaseException:
+                            _fail_fast(futures)
+                            raise
+                    if stopped:
+                        for fut in futures:
+                            fut.cancel()
+                        break
+                if obs_on:
+                    _obs.add("pool.tasks", len(out), mode=mode)
                 return out
-            # waves of n_jobs bound the speculation an early stop discards
-            for wave_start in range(0, len(tasks), n_jobs):
-                wave = tasks[wave_start : wave_start + n_jobs]
-                futures = [submit(t) for t in wave]
-                stopped = False
-                try:
-                    for fut in futures:
-                        res = fut.result()
-                        out.append(res)
-                        if stop(res):
-                            stopped = True
-                            break
-                except BrokenExecutor:
-                    raise
-                except BaseException:
-                    _fail_fast(futures)
-                    raise
-                if stopped:
-                    for fut in futures:
-                        fut.cancel()
-                    break
-            return out
-        except BrokenExecutor:
-            # the pool itself died (worker OOM-killed, pipes torn down) — an
-            # infrastructure failure, not a task failure: recompute serially.
-            # Exceptions raised by fn inside a live pool re-raise above as-is.
-            if not owned:
-                _discard_broken_warm_pool()
-            return _serial_map(fn, tasks, stop, context)
-    finally:
-        if owned:
-            executor.shutdown(wait=True)
+            except BrokenExecutor:
+                # the pool itself died (worker OOM-killed, pipes torn down) —
+                # an infrastructure failure, not a task failure: recompute
+                # serially.  Exceptions raised by fn inside a live pool
+                # re-raise above as-is.
+                if not owned:
+                    _discard_broken_warm_pool()
+                res = _serial_map(fn, tasks, stop, context)
+                if obs_on:
+                    _obs.add("pool.serial_fallbacks")
+                    _obs.add("pool.tasks", len(res), mode="serial")
+                return res
+        finally:
+            if owned:
+                executor.shutdown(wait=True)
 
 
 class KeyedCache:
@@ -340,12 +468,19 @@ class KeyedCache:
     Not thread-safe beyond the backend's own locking (the library races
     *processes*, and each process owns its cache); the serve daemon
     wraps lookups in its single-flight layer.
+
+    *name* labels this cache's series in the unified observability
+    registry (``cache.lookups{cache=<name>, outcome=hit|backend_hit|miss}``
+    and ``cache.puts{cache=<name>}``); the local ``hits``/``misses``
+    counters remain for ``stats()`` compatibility.
     """
 
-    def __init__(self, maxsize: int = 128, backend=None) -> None:
+    def __init__(self, maxsize: int = 128, backend=None,
+                 name: str = "keyed") -> None:
         if maxsize < 1:
             raise ReproError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
+        self.name = name
         self._data: OrderedDict[Any, Any] = OrderedDict()
         self.backend = backend
         self.hits = 0
@@ -370,6 +505,7 @@ class KeyedCache:
         else:
             self._data.move_to_end(key)
             self.hits += 1
+            _obs.cache_event(self.name, "hit")
             return True, value
         if self.backend is not None:
             found, value = self.backend.lookup(key)
@@ -377,8 +513,10 @@ class KeyedCache:
                 self._insert(key, value)
                 self.hits += 1
                 self.backend_hits += 1
+                _obs.cache_event(self.name, "backend_hit")
                 return True, value
         self.misses += 1
+        _obs.cache_event(self.name, "miss")
         return False, None
 
     def get(self, key, default=None):
@@ -396,6 +534,7 @@ class KeyedCache:
 
     def put(self, key, value) -> None:
         self._insert(key, value)
+        _obs.add("cache.puts", cache=self.name)
         if self.backend is not None:
             self.backend.put(key, value)
 

@@ -36,8 +36,21 @@ class Stopwatch:
         return self.elapsed
 
     def reset(self) -> None:
-        self._start = None
+        if self._start is not None:
+            raise RuntimeError(
+                "stopwatch is running; stop() before reset()"
+            )
         self.elapsed = 0.0
+
+    def split(self) -> float:
+        """Elapsed time so far without stopping (lap read).
+
+        Works on a running or stopped watch; the span tracer uses it to
+        timestamp instant events at their offset into the open span.
+        """
+        if self._start is None:
+            return self.elapsed
+        return self.elapsed + (time.perf_counter() - self._start)
 
     @property
     def running(self) -> bool:

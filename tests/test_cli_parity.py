@@ -46,7 +46,8 @@ def run_module(mod: str, *args: str) -> subprocess.CompletedProcess:
 class TestParity:
     def test_parser_defines_expected_surface(self):
         assert parser_subcommands() == {
-            "partition", "tables", "figures", "generate", "cache", "serve"
+            "partition", "tables", "figures", "generate", "cache", "serve",
+            "profile",
         }
 
     def test_python_m_repro_exposes_full_surface(self):

@@ -89,6 +89,27 @@ class TestStopwatch:
         sw.stop()
         assert not sw.running
 
+    def test_reset_while_running_raises(self):
+        # silently discarding a live start would corrupt the measurement
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.reset()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_split_reads_without_stopping(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        mid = sw.split()
+        assert mid >= 0.004
+        assert sw.running  # split never stops the watch
+        time.sleep(0.005)
+        assert sw.split() >= mid
+        total = sw.stop()
+        assert total >= mid
+        assert sw.split() == total  # stopped: split reports the total
+
 
 class TestFormatTable:
     def test_basic_alignment(self):
