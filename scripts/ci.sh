@@ -33,7 +33,13 @@
 # (scripts/profile_smoke.py): a profiled `repro partition --profile
 # --trace-out` must emit a schema-valid Chrome trace with the per-level
 # pipeline spans, `repro profile` must summarise it, and a live daemon's
-# /metrics must expose the library-level fm./cache./pool. series.
+# /metrics must expose the library-level fm./cache./pool. series;
+# stage 9 runs the flow-refinement suites with real workers (the
+# max-flow solver pinned against brute-force min-cut enumeration, the
+# corridor/never-worse/cross-engine invariants, and the fm+flow
+# serial==parallel bit-identity) plus the X14 equal-budget smoke
+# benchmark (gated: fm+flow never worse than fm anywhere, strictly
+# better somewhere; artefact benchmarks/artifacts/x14_flow_quality.txt).
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -81,5 +87,11 @@ python scripts/serve_smoke.py
 echo "== stage 8: observability suite + profiling smoke =="
 REPRO_TEST_JOBS=2 python -m pytest -q tests/test_obs.py
 python scripts/profile_smoke.py
+
+echo "== stage 9: flow refinement suite + equal-budget smoke =="
+REPRO_TEST_JOBS=2 python -m pytest -q \
+  tests/test_flow_core.py \
+  tests/test_flow_refine.py
+python -m pytest -q benchmarks/bench_flow_refine.py
 
 echo "CI OK"

@@ -32,6 +32,10 @@ Usage (see ``python -m repro --help``):
 ``--model``); ``--generations`` / ``--time-budget`` / ``--pop-size``
 shape its budget (see ``docs/evolve.md``).
 
+``--refine flow|fm+flow`` swaps or augments the multilevel methods'
+refinement stage with corridor max-flow passes (``--method
+gp/mlkp/evolve``; see ``docs/refinement.md``).
+
 ``python -m repro`` and the ``repro`` console script expose the identical
 surface (``tests/test_cli_parity.py`` pins the parity).
 """
@@ -39,6 +43,7 @@ surface (``tests/test_cli_parity.py`` pins the parity).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -138,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["graph", "hypergraph"],
         help="traffic model: 2-pin edge cut (graph) or (λ-1) connectivity "
              "(hypergraph; .hgr inputs load natively, graphs are lifted)",
+    )
+    p.add_argument(
+        "--refine",
+        default="fm",
+        choices=["fm", "flow", "fm+flow"],
+        help="refinement stage of the multilevel methods: the native "
+             "local search (fm, default), corridor max-flow passes "
+             "replacing it (flow), or fm plus a guarded flow polish that "
+             "is never worse than fm (fm+flow) — --method gp/mlkp/evolve "
+             "(--model hypergraph: evolve only); see docs/refinement.md",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -382,8 +397,20 @@ def _run_partition(args: argparse.Namespace) -> int:
                 "--dot renders 2-pin graphs only; re-run with "
                 "--model graph or export the instance via star expansion"
             )
+        if args.refine != "fm" and args.method != "evolve":
+            raise ReproError(
+                "--refine applies to --method evolve under --model "
+                "hypergraph (gp/hyper have no pluggable refinement "
+                "stage there)"
+            )
         hg = _load_hypergraph(args.input)
         if args.method == "evolve":
+            if args.refine != "fm":
+                evolve_cfg = (
+                    dataclasses.replace(evolve_cfg, refine=args.refine)
+                    if evolve_cfg is not None
+                    else EvolveConfig(refine=args.refine)
+                )
             result = evolve_partition(
                 hg, args.k, constraints, config=evolve_cfg, seed=args.seed,
                 n_jobs=args.jobs, cache=not args.no_cache,
@@ -428,7 +455,7 @@ def _run_partition(args: argparse.Namespace) -> int:
     result = partition_graph(
         g, args.k, bmax=args.bmax, rmax=rmax,
         method=args.method, seed=args.seed, config=evolve_cfg,
-        n_jobs=args.jobs, cache=not args.no_cache,
+        n_jobs=args.jobs, cache=not args.no_cache, refine=args.refine,
     )
     results = [result]
     if args.compare and args.method != "mlkp":
@@ -501,6 +528,7 @@ def _cmd_partition_vector(
         g, args.k, bmax=args.bmax, rmax=rmax,
         method=args.method, seed=args.seed, config=evolve_cfg,
         n_jobs=args.jobs, cache=not args.no_cache, resources=w,
+        refine=args.refine,
     )
     print(multires_report([result], constraints))
     if args.dot:

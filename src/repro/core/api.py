@@ -33,6 +33,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from collections.abc import Mapping as MappingABC
@@ -49,6 +51,7 @@ from repro.hypergraph.partition import HyperConfig, hyper_partition
 from repro.kpn.traffic import ppn_to_mapped_graph
 from repro.partition.base import PartitionResult
 from repro.partition.exact import exact_partition
+from repro.partition.flow_refine import check_refine_mode
 from repro.partition.gp import GPConfig, gp_partition
 from repro.partition.metrics import ConstraintSpec
 from repro.partition.mlkp import mlkp_partition
@@ -123,6 +126,22 @@ _MODELS = ("graph", "hypergraph")
 _JOBS_METHODS = ("gp", "evolve")
 #: Methods that can partition under vector resource budgets.
 _VECTOR_METHODS = ("gp", "evolve")
+#: Methods with a pluggable refinement stage (refine="flow"/"fm+flow").
+_REFINE_METHODS = ("gp", "mlkp", "evolve")
+
+
+def _fold_refine(config, refine: str, ctor):
+    """Fold the ``refine=`` argument into the method's config object.
+
+    ``"fm"`` (the default) means "unspecified" — the config's own
+    ``refine`` field stands; anything else overrides it (building a
+    default config when none was given).
+    """
+    if refine == "fm":
+        return config
+    if config is None:
+        return ctor(refine=refine)
+    return dataclasses.replace(config, refine=refine)
 
 
 def _rmax_is_vector(rmax) -> bool:
@@ -142,6 +161,7 @@ def _partition_graph_vector(
     n_jobs,
     cache,
     resources,
+    refine,
 ) -> MultiResResult | PartitionResult:
     """The ``resources=W`` branch of :func:`partition_graph`."""
     if method not in _VECTOR_METHODS:
@@ -168,21 +188,22 @@ def _partition_graph_vector(
                 f"got {type(config).__name__}"
             )
         return evolve_partition(
-            VectorGraph(g, w), k, cons, config=config, seed=seed,
+            VectorGraph(g, w), k, cons,
+            config=_fold_refine(config, refine, EvolveConfig), seed=seed,
             n_jobs=n_jobs, cache=cache,
         )
     if config is not None and not isinstance(config, GPConfig):
         raise PartitionError(
             f"method='gp' takes a GPConfig, got {type(config).__name__}"
         )
-    cfg = config or GPConfig(max_cycles=10)
+    cfg = _fold_refine(config, refine, GPConfig) or GPConfig(max_cycles=10)
     return mr_gp_partition(
         g, w, k, cons,
         coarsen_to=cfg.coarsen_to, restarts=cfg.restarts,
         max_cycles=cfg.max_cycles, refine_passes=cfg.refine_passes,
         on_infeasible=cfg.on_infeasible,
         seed=seed if seed is not None else cfg.seed,
-        n_jobs=n_jobs, cache=cache,
+        n_jobs=n_jobs, cache=cache, refine=cfg.refine,
     )
 
 
@@ -198,6 +219,7 @@ def partition_graph(
     cache: bool = True,
     resources=None,
     profile: bool = False,
+    refine: str = "fm",
 ) -> PartitionResult | MultiResResult | _obs.ProfileReport:
     """Partition *g* into *k* parts under the paper's two constraints.
 
@@ -229,6 +251,15 @@ def partition_graph(
     *cache* belongs to the memoised methods — ``"evolve"``, and ``"gp"``
     with *resources* (the multires cache) — and is rejected elsewhere.
 
+    *refine* selects the refinement stage of the multilevel methods
+    (``docs/refinement.md``): ``"fm"`` — each method's native local
+    search (default); ``"flow"`` — corridor max-flow passes replace it;
+    ``"fm+flow"`` — native refinement plus a guarded flow polish that is
+    never worse than ``"fm"`` at equal seeds.  Honoured by ``"gp"``
+    (scalar and vector), ``"mlkp"`` and ``"evolve"``; rejected elsewhere
+    (the single-pass methods have no refinement stage to swap).  A
+    non-default *refine* overrides the config's own ``refine`` field.
+
     *profile* runs the call under an observability capture
     (:func:`repro.obs.capture`) and returns a
     :class:`~repro.obs.ProfileReport` instead: the same result plus the
@@ -242,13 +273,19 @@ def partition_graph(
             result = partition_graph(
                 g, k, bmax=bmax, rmax=rmax, method=method, seed=seed,
                 config=config, n_jobs=n_jobs, cache=cache,
-                resources=resources,
+                resources=resources, refine=refine,
             )
         return _obs.ProfileReport(
             result=result,
             spans=[s.to_dict() for s in cap.spans],
             metrics=cap.metrics,
             wall_s=cap.wall_s,
+        )
+    check_refine_mode(refine)
+    if refine != "fm" and method not in _REFINE_METHODS:
+        raise PartitionError(
+            f"refine={refine!r} is only supported by methods "
+            f"{_REFINE_METHODS}, got method={method!r}"
         )
     if n_jobs not in (None, 1) and method not in _JOBS_METHODS:
         raise PartitionError(
@@ -264,7 +301,8 @@ def partition_graph(
         )
     if resources is not None:
         return _partition_graph_vector(
-            g, k, bmax, rmax, method, seed, config, n_jobs, cache, resources
+            g, k, bmax, rmax, method, seed, config, n_jobs, cache,
+            resources, refine,
         )
     if _rmax_is_vector(rmax):
         raise PartitionError(
@@ -279,8 +317,9 @@ def partition_graph(
                 f"got {type(config).__name__}"
             )
         return evolve_partition(
-            g, k, constraints, config=config, seed=seed, n_jobs=n_jobs,
-            cache=cache,
+            g, k, constraints,
+            config=_fold_refine(config, refine, EvolveConfig), seed=seed,
+            n_jobs=n_jobs, cache=cache,
         )
     if method == "gp":
         if config is not None and not isinstance(config, GPConfig):
@@ -288,10 +327,14 @@ def partition_graph(
                 f"method='gp' takes a GPConfig, got {type(config).__name__}"
             )
         return gp_partition(
-            g, k, constraints, config=config, seed=seed, n_jobs=n_jobs
+            g, k, constraints,
+            config=_fold_refine(config, refine, GPConfig), seed=seed,
+            n_jobs=n_jobs,
         )
     if method == "mlkp":
-        return mlkp_partition(g, k, seed=seed, constraints=constraints)
+        return mlkp_partition(
+            g, k, seed=seed, constraints=constraints, refine=refine
+        )
     if method == "spectral":
         return spectral_partition(g, k, constraints=constraints)
     if method == "exact":
@@ -353,6 +396,7 @@ def partition_ppn(
     n_jobs: int | None = 1,
     cache: bool = True,
     resources=None,
+    refine: str = "fm",
 ) -> tuple[PartitionResult | MultiResResult, WGraph | HGraph, list[str]]:
     """Derive (if needed), weight, and partition a process network.
 
@@ -377,7 +421,12 @@ def partition_ppn(
     :func:`partition_graph`'s rules — ``n_jobs`` needs a method with
     independent randomized work (``"gp"`` / ``"evolve"``), ``cache``
     belongs to the memoised methods; both are rejected elsewhere to keep
-    the knobs honest.
+    the knobs honest.  *refine* follows the same discipline
+    (``docs/refinement.md``): with ``model="graph"`` it is forwarded to
+    :func:`partition_graph` (methods ``"gp"``/``"mlkp"``/``"evolve"``);
+    with ``model="hypergraph"`` only ``method="evolve"`` has a
+    refinement stage to swap, so anything but ``"fm"`` is rejected for
+    ``"gp"``/``"hyper"``.
 
     Returns ``(result, mapping_structure, names)`` — the second element is
     the :class:`WGraph` or :class:`HGraph` that was partitioned, and
@@ -385,6 +434,13 @@ def partition_ppn(
     """
     if model not in _MODELS:
         raise PartitionError(f"unknown model {model!r}; valid models: {_MODELS}")
+    check_refine_mode(refine)
+    if refine != "fm" and model == "hypergraph" and method != "evolve":
+        raise PartitionError(
+            f"refine={refine!r} with model='hypergraph' is supported by "
+            f"method='evolve' only (gp/hyper have no pluggable refinement "
+            f"stage there), got method={method!r}"
+        )
     if resources is not None and model != "graph":
         raise PartitionError(
             "resources (vector budgets) are supported with model='graph' "
@@ -417,8 +473,9 @@ def partition_ppn(
                 )
             hg, names = ppn.to_hypergraph(bandwidth_scale=bandwidth_scale)
             result = evolve_partition(
-                hg, k, constraints, config=config, seed=seed, n_jobs=n_jobs,
-                cache=cache,
+                hg, k, constraints,
+                config=_fold_refine(config, refine, EvolveConfig),
+                seed=seed, n_jobs=n_jobs, cache=cache,
             )
             return result, hg, names
         if config is not None and not isinstance(config, HyperConfig):
@@ -449,6 +506,7 @@ def partition_ppn(
             None if resources is None
             else _ppn_resource_matrix(resources, names)
         ),
+        refine=refine,
     )
     return result, g, names
 

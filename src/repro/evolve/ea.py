@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.evolve.engines import make_engine
+from repro.partition.flow_refine import check_refine_mode
 from repro.evolve.operators import mutate_perturb, mutate_walk, recombine
 from repro.evolve.population import Individual, Population
 from repro.graph.wgraph import WGraph
@@ -114,6 +115,13 @@ class EvolveConfig:
     stagnation_limit:
         Generations without best-key improvement before an immigrant
         (fresh portfolio-member run) is injected.
+    refine:
+        Refinement stage used by every operator and (graph/vector)
+        seeding member — ``"fm"`` (default), ``"flow"`` or ``"fm+flow"``
+        (see :mod:`repro.partition.flow_refine`).  ``"fm+flow"`` applies
+        the guarded corridor-flow polish on finest-level refinement
+        states; hypergraph seeding members are native FM either way
+        (their flow stage lives in the operators).
     seed_max_cycles:
         ``max_cycles`` cap applied to every seeding/immigrant member —
         seeding should populate the pool quickly, not exhaust the budget
@@ -143,6 +151,7 @@ class EvolveConfig:
     perturb_frac: float = 0.15
     walk_steps: int | None = None
     refine_passes: int = 6
+    refine: str = "fm"
     coarsen_to: int | None = None
     stagnation_limit: int = 4
     seed_max_cycles: int = 2
@@ -168,6 +177,7 @@ class EvolveConfig:
             raise PartitionError("walk_steps must be >= 0")
         if self.refine_passes < 1:
             raise PartitionError("refine_passes must be >= 1")
+        check_refine_mode(self.refine)
         if self.coarsen_to is not None and self.coarsen_to < 1:
             raise PartitionError("coarsen_to must be >= 1")
         if self.stagnation_limit < 1:
@@ -212,6 +222,20 @@ def _seed_member_configs(kind: str, config: EvolveConfig) -> list:
             HyperConfig(coarsen_to=60),
             HyperConfig(restarts=5, max_cycles=30),
         ]
+    if kind in ("graph", "vector"):
+        # GPConfig members inherit the run's refine mode (the vector
+        # member runner forwards it to mr_gp_partition); HyperConfig
+        # has no refine field — hypergraph flow runs live in the
+        # engine-level operators, not the seeding members
+        return [
+            dataclasses.replace(
+                cfg,
+                on_infeasible="return",
+                max_cycles=min(cfg.max_cycles, config.seed_max_cycles),
+                refine=config.refine,
+            )
+            for cfg in members
+        ]
     return [
         dataclasses.replace(
             cfg,
@@ -233,6 +257,7 @@ def _run_member(structure, k, constraints, cfg, seed):
             coarsen_to=cfg.coarsen_to, restarts=cfg.restarts,
             max_cycles=cfg.max_cycles, refine_passes=cfg.refine_passes,
             seed=seed, on_infeasible="return", cache=False,
+            refine=cfg.refine,
         )
     if isinstance(structure, WGraph):
         return gp_partition(structure, k, constraints, cfg, seed=seed)
@@ -259,7 +284,7 @@ def _run_offspring(context, task):
     """
     structure, k, constraints, config = context
     op, payload, s = task
-    engine = make_engine(structure, k)
+    engine = make_engine(structure, k, refine=config.refine)
     if op == "recombine":
         best_a, other_a, best_metrics = payload
         return recombine(
@@ -399,7 +424,7 @@ def evolve_partition(
         ``.best``).
     """
     config = config or EvolveConfig()
-    engine = make_engine(structure, k)
+    engine = make_engine(structure, k, refine=config.refine)
     if engine.kind == "vector":
         if not isinstance(constraints, VectorConstraints):
             raise PartitionError(

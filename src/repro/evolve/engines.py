@@ -38,6 +38,7 @@ from repro.hypergraph.hgraph import HGraph
 from repro.hypergraph.metrics import evaluate_hyper_partition
 from repro.hypergraph.refine_state import HyperRefinementState
 from repro.partition.coarsen import contract
+from repro.partition.flow_refine import check_refine_mode, run_flow_refine
 from repro.partition.kway_refine import run_constrained_fm
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
 from repro.partition.refine_state import RefinementState
@@ -58,14 +59,35 @@ __all__ = [
 ]
 
 
+def _refined(engine, st, structure, neighbors_of, constraints,
+             max_passes, seed) -> np.ndarray:
+    """The engine's refinement stage on state *st* (shared by all three
+    adapters): FM unless the engine was built with ``refine="flow"``;
+    corridor flow passes (:mod:`repro.partition.flow_refine`) at every
+    level for ``"flow"``, and at the finest level only for ``"fm+flow"``
+    (coarse levels keep plain FM — the flow polish is a finest-level
+    cut instrument, and the guard makes it free to skip)."""
+    if engine.refine != "flow":
+        out = run_constrained_fm(
+            st, structure.n, neighbors_of, constraints,
+            max_passes=max_passes, seed=seed,
+        )
+    if engine.refine == "flow" or (
+        engine.refine == "fm+flow" and structure.n == engine.structure.n
+    ):
+        out = run_flow_refine(st, constraints)
+    return out
+
+
 class GraphEngine:
     """The 2-pin edge-cut substrate behind the uniform engine surface."""
 
     kind = "graph"
 
-    def __init__(self, g: WGraph, k: int) -> None:
+    def __init__(self, g: WGraph, k: int, refine: str = "fm") -> None:
         self.structure = g
         self.k = int(k)
+        self.refine = check_refine_mode(refine)
 
     def digest(self) -> str:
         return self.structure.content_digest()
@@ -101,9 +123,9 @@ class GraphEngine:
     def fm_state(self, structure: WGraph, st, constraints, max_passes, seed):
         """:meth:`fm` on an already-built (possibly moved-on) engine state —
         callers that just mutated through ``st.move`` skip a rebuild."""
-        out = run_constrained_fm(
-            st, structure.n, structure.neighbors, constraints,
-            max_passes=max_passes, seed=seed,
+        out = _refined(
+            self, st, structure, structure.neighbors, constraints,
+            max_passes, seed,
         )
         return out, st.metrics(constraints)
 
@@ -127,9 +149,10 @@ class HyperEngine:
 
     kind = "hypergraph"
 
-    def __init__(self, hg: HGraph, k: int) -> None:
+    def __init__(self, hg: HGraph, k: int, refine: str = "fm") -> None:
         self.structure = hg
         self.k = int(k)
+        self.refine = check_refine_mode(refine)
 
     def digest(self) -> str:
         return self.structure.content_digest()
@@ -160,9 +183,9 @@ class HyperEngine:
 
     def fm_state(self, structure: HGraph, st, constraints, max_passes, seed):
         """:meth:`fm` on an already-built Φ engine state (see GraphEngine)."""
-        out = run_constrained_fm(
-            st, structure.n, structure.adjacent_nodes, constraints,
-            max_passes=max_passes, seed=seed,
+        out = _refined(
+            self, st, structure, structure.adjacent_nodes, constraints,
+            max_passes, seed,
         )
         return out, st.metrics(constraints)
 
@@ -200,9 +223,10 @@ class VectorGraphEngine:
 
     kind = "vector"
 
-    def __init__(self, vg: VectorGraph, k: int) -> None:
+    def __init__(self, vg: VectorGraph, k: int, refine: str = "fm") -> None:
         self.structure = vg
         self.k = int(k)
+        self.refine = check_refine_mode(refine)
 
     def digest(self) -> str:
         """Covers topology, node/edge weights **and** the weight matrix."""
@@ -238,9 +262,9 @@ class VectorGraphEngine:
         )
 
     def fm_state(self, structure: VectorGraph, st, constraints, max_passes, seed):
-        out = run_constrained_fm(
-            st, structure.n, structure.graph.neighbors, constraints,
-            max_passes=max_passes, seed=seed,
+        out = _refined(
+            self, st, structure, structure.graph.neighbors, constraints,
+            max_passes, seed,
         )
         return out, st.metrics(constraints)
 
@@ -263,16 +287,17 @@ class VectorGraphEngine:
         return VectorGraph(coarse, agg, names=structure.names), node_map
 
 
-def make_engine(structure, k: int):
+def make_engine(structure, k: int, refine: str = "fm"):
     """Adapter for *structure*: :class:`WGraph` → :class:`GraphEngine`,
     :class:`HGraph` → :class:`HyperEngine`, :class:`VectorGraph` →
-    :class:`VectorGraphEngine`."""
+    :class:`VectorGraphEngine`.  *refine* is threaded to the adapter
+    (see :mod:`repro.partition.flow_refine`)."""
     if isinstance(structure, WGraph):
-        return GraphEngine(structure, k)
+        return GraphEngine(structure, k, refine=refine)
     if isinstance(structure, HGraph):
-        return HyperEngine(structure, k)
+        return HyperEngine(structure, k, refine=refine)
     if isinstance(structure, VectorGraph):
-        return VectorGraphEngine(structure, k)
+        return VectorGraphEngine(structure, k, refine=refine)
     raise PartitionError(
         f"evolve needs a WGraph, HGraph or VectorGraph, "
         f"got {type(structure).__name__}"

@@ -170,6 +170,51 @@ class HyperRefinementState:
         return np.nonzero(self.overloaded_mask(constraints)[self.assign])[0]
 
     # ------------------------------------------------------------------ #
+    # flow-refinement hooks (see repro.partition.flow_refine)
+    # ------------------------------------------------------------------ #
+    def flow_adjacency(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted adjacency of *u* by **clique expansion** of its nets:
+        every net *e* with ≥ 2 pins contributes ``w_e / (|pins(e)| − 1)``
+        to each of *u*'s co-pins.  Exact on 2-pin nets (where it equals
+        the graph edge weight) and the standard conservative approximation
+        on larger ones — cutting all arcs of the expansion costs at least
+        as much as cutting the net once, so flow corridors built on it
+        never undercount a candidate cut."""
+        hg = self.hg
+        acc: dict[int, float] = {}
+        for e in hg.nets_of(u):
+            e = int(e)
+            size = hg.net_size(e)
+            if size < 2:
+                continue
+            w = float(hg.net_weights[e]) / (size - 1)
+            for v in hg.pins_of(e):
+                v = int(v)
+                if v != u:
+                    acc[v] = acc.get(v, 0.0) + w
+        if not acc:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        nbrs = np.array(sorted(acc), dtype=np.int64)
+        ws = np.array([acc[int(v)] for v in nbrs], dtype=np.float64)
+        return nbrs, ws
+
+    def pair_boundary(self, a: int, b: int) -> np.ndarray:
+        """Sorted ids of part-*a*/*b* pins of nets touching both parts —
+        the seed set of a flow corridor."""
+        pins, net_ids = self.hg.pin_arrays
+        cut = (self.phi[a] > 0) & (self.phi[b] > 0)
+        nodes = np.unique(pins[cut[net_ids]])
+        sides = self.assign[nodes]
+        return nodes[(sides == a) | (sides == b)]
+
+    def flow_node_weights(self) -> np.ndarray:
+        """Per-node weights for the most-balanced min-cut heuristic."""
+        return self.hg.node_weights
+
+    # ------------------------------------------------------------------ #
     # moves and rollback
     # ------------------------------------------------------------------ #
     def move(self, u: int, dest: int) -> None:

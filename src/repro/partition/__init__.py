@@ -15,6 +15,8 @@ Contents
 * :mod:`repro.partition.fm` / :mod:`repro.partition.kl` — local refinement.
 * :mod:`repro.partition.kway_refine` — k-way boundary refinement, both
   cut-driven (METIS style) and constraint-driven (GP style).
+* :mod:`repro.partition.flow_refine` — corridor max-flow refinement on the
+  same engine seam (``refine="flow"/"fm+flow"``; ``docs/refinement.md``).
 * :mod:`repro.partition.mlkp` — METIS-like unconstrained multilevel k-way
   baseline.
 * :mod:`repro.partition.gp` — the paper's constrained partitioner.
@@ -26,6 +28,13 @@ Contents
 """
 
 from repro.partition.base import PartitionResult
+from repro.partition.flow_refine import (
+    REFINE_MODES,
+    FlowConfig,
+    check_refine_mode,
+    constrained_flow_pass,
+    run_flow_refine,
+)
 from repro.partition.refine_state import BucketQueue, RefinementState
 from repro.partition.metrics import (
     ConstraintSpec,
@@ -56,4 +65,9 @@ __all__ = [
     "MultiResMetrics",
     "VectorGraph",
     "VectorRefinementState",
+    "REFINE_MODES",
+    "FlowConfig",
+    "check_refine_mode",
+    "constrained_flow_pass",
+    "run_flow_refine",
 ]

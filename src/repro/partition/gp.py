@@ -29,6 +29,7 @@ import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.coarsen import Hierarchy, build_hierarchy
+from repro.partition.flow_refine import check_refine_mode, run_flow_refine
 from repro.partition.goodness import goodness_key
 from repro.partition.initial import greedy_initial_partition
 from repro.partition.kway_refine import constrained_kway_fm
@@ -66,6 +67,13 @@ class GPConfig:
         paper's outer loop; benchmark X8 measures this knob).
     matchings:
         Coarsening heuristics raced per level (Section IV.A's three).
+    refine:
+        Refinement stage (see :mod:`repro.partition.flow_refine`):
+        ``"fm"`` — the paper's constrained FM per level (default, exact
+        historical behaviour); ``"flow"`` — corridor max-flow passes
+        replace the per-level FM (ablation mode); ``"fm+flow"`` — FM per
+        level, then one guarded flow stage on the race winner, so the
+        result is never worse than ``"fm"`` under the same seeds.
     on_infeasible:
         ``"return"`` — give back the least-violating partition with
         ``feasible=False``; ``"raise"`` — raise :class:`InfeasibleError`.
@@ -89,6 +97,7 @@ class GPConfig:
     refine_passes: int = 6
     vcycles: int = 0
     matchings: tuple[str, ...] = ("random", "hem", "kmeans")
+    refine: str = "fm"
     on_infeasible: str = "return"
     seed: int | None = None
 
@@ -108,6 +117,7 @@ class GPConfig:
             raise PartitionError("level_candidates must be >= 1")
         if self.refine_passes < 1:
             raise PartitionError("refine_passes must be >= 1")
+        check_refine_mode(self.refine)
         if self.on_infeasible not in ("return", "raise"):
             raise PartitionError(
                 f"on_infeasible must be 'return' or 'raise', "
@@ -144,6 +154,15 @@ def _uncoarsen(
             base = RefinementState(graph, a, k)
             if _obs.tracing_on():
                 sp.set(cut_before=base.metrics(constraints).cut)
+            if config.refine == "flow":
+                # flow passes are deterministic — one candidate tells all
+                # (the candidate seeds above are still drawn, keeping the
+                # rng stream aligned with the FM modes)
+                st = base.copy()
+                best = run_flow_refine(st, constraints)
+                best_cut = st.metrics(constraints).cut
+                sp.set(cut_after=best_cut)
+                return best
             best, best_key, best_cut = None, None, None
             for s in cand_seeds:
                 st = base.copy()
@@ -203,6 +222,7 @@ def _run_gp_cycle(context, seeds) -> tuple[np.ndarray, "PartitionMetrics", int]:
                 rounds=config.vcycles,
                 refine_passes=config.refine_passes,
                 seed=s_vc,
+                refine="fm" if config.refine == "fm+flow" else config.refine,
             )
         metrics = evaluate_partition(g, assign, k, constraints)
         sp.set(levels=hier.depth, cut=metrics.cut, feasible=metrics.feasible)
@@ -283,7 +303,17 @@ def gp_partition(
         cycles_used = len(results)
         levels_last = results[-1][2]
 
-    assert best_assign is not None
+        assert best_assign is not None
+        if config.refine == "fm+flow":
+            # one guarded flow stage on the race winner.  Placed *after*
+            # the race on purpose: the cycle loop stops at the first
+            # feasible cycle, so refining inside a cycle could change
+            # which cycle wins; refining the winner leaves the race
+            # untouched and (with the pass's never-worse guard) makes
+            # "fm+flow" ≤ "fm" in (violation, cut) under the same seeds.
+            st = RefinementState(g, best_assign, k)
+            best_assign = run_flow_refine(st, constraints)
+
     metrics = evaluate_partition(g, best_assign, k, constraints)
     result = PartitionResult(
         assign=best_assign,

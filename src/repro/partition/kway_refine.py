@@ -318,6 +318,7 @@ def constrained_kway_fm(
     seed=None,
     abort_after: int | None = None,
     state: RefinementState | None = None,
+    selection: str = "first",
 ) -> np.ndarray:
     """Constraint-driven FM k-way refinement (the GP local search).
 
@@ -331,6 +332,9 @@ def constrained_kway_fm(
     ``max(50, n // 10)``), the standard early-exit that keeps passes cheap
     on large graphs.
 
+    *selection* picks the move-ordering discipline — see
+    :func:`run_constrained_fm`.
+
     When *state* is given the engine is reused (and left holding the
     returned assignment, so callers can read ``state.metrics()`` without a
     from-scratch evaluation).
@@ -342,6 +346,7 @@ def constrained_kway_fm(
     return run_constrained_fm(
         st, g.n, g.neighbors, constraints,
         max_passes=max_passes, seed=seed, abort_after=abort_after,
+        selection=selection,
     )
 
 
@@ -353,6 +358,7 @@ def run_constrained_fm(
     max_passes: int = 6,
     seed=None,
     abort_after: int | None = None,
+    selection: str = "first",
 ) -> np.ndarray:
     """The constrained-FM pass discipline, engine-agnostic.
 
@@ -373,7 +379,22 @@ def run_constrained_fm(
     three objectives with identical move ordering, tie-breaking, queue
     discipline and best-prefix recovery — the 2-pin differential parity
     between the graph and Φ engines is a property of their states alone.
+
+    *selection* picks the move-ordering discipline.  ``"first"`` (default,
+    byte-identical to the historical behaviour) pops from the lazy gain
+    queue — near-linear passes, the production setting.  ``"steepest"``
+    re-evaluates every unlocked boundary/overloaded candidate after each
+    move and applies the global argmin on ``(dv, dc, dest, u)`` — the
+    textbook steepest-descent FM, O(boundary) gain work per move, no RNG
+    (so no *seed* sensitivity).  Acceptance, stagnation and best-prefix
+    rules are shared, so the two differ only in move *order*; steepest is
+    meant for coarsest-level polish where the boundary is tiny (see
+    ROADMAP/X13 notes on the cost-quality trade).
     """
+    if selection not in ("first", "steepest"):
+        raise PartitionError(
+            f"selection must be 'first' or 'steepest', got {selection!r}"
+        )
     rng = as_rng(seed)
     if abort_after is None:
         abort_after = max(50, n // 10)
@@ -395,6 +416,51 @@ def run_constrained_fm(
         passes += 1
         locked = np.zeros(n, dtype=bool)
         start_key = st.key(constraints)
+
+        if selection == "steepest":
+            if rec:
+                escape_seeds += int(st.overloaded_nodes(constraints).size)
+            stagnant = 0
+            while True:
+                # fresh global scan: every unlocked boundary/overloaded
+                # node, re-gained after the previous move
+                cand = np.union1d(
+                    st.boundary_nodes(), st.overloaded_nodes(constraints)
+                ).astype(np.int64)
+                cand = cand[~locked[cand]]
+                best = None
+                if cand.size:
+                    for u, mv in zip(cand, st.best_moves(cand, constraints)):
+                        if mv is None:
+                            continue
+                        key = (mv[0], mv[1], mv[2], int(u))
+                        if best is None or key < best:
+                            best = key
+                if best is None:
+                    break
+                dv, dc, dest, u = best
+                if dv > _EPS:
+                    break  # even the best move worsens violation
+                if dv > -_EPS and dc > _EPS and stagnant >= abort_after:
+                    break
+                st.move(u, dest)
+                if rec:
+                    tried += 1
+                    gains.append(dc)
+                locked[u] = True
+                key_now = st.key(constraints)
+                if key_now < best_key:
+                    best_key = key_now
+                    best_mark = st.snapshot()
+                    stagnant = 0
+                else:
+                    stagnant += 1
+                if stagnant > abort_after:
+                    break
+            st.rollback(best_mark)
+            if not best_key < start_key:
+                break
+            continue
 
         queue = BucketQueue()
 

@@ -24,6 +24,7 @@ import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.coarsen import build_hierarchy
+from repro.partition.flow_refine import check_refine_mode, run_flow_refine
 from repro.partition.fm import fm_refine_bisection
 from repro.partition.kway_refine import greedy_kway_refine, rebalance_pass
 from repro.partition.metrics import ConstraintSpec, evaluate_partition
@@ -137,13 +138,21 @@ def mlkp_partition(
     balance: float = DEFAULT_BALANCE,
     refine_passes: int = 8,
     constraints: ConstraintSpec | None = None,
+    refine: str = "fm",
 ) -> PartitionResult:
     """Partition *g* into *k* parts, METIS style.
 
     *constraints* (optional) are **not enforced** — they are only used to
     evaluate the result's feasibility, mirroring how the paper audits the
     METIS output against ``Bmax``/``Rmax`` after the fact.
+
+    *refine* other than ``"fm"`` (the native pipeline, default) appends a
+    guarded corridor-flow stage (:mod:`repro.partition.flow_refine`) after
+    un-coarsening, run under the baseline's *own* objective — a balance
+    cap of ``balance · total / k`` as the resource constraint — so the
+    stage polishes the cut without abandoning kmetis's balance contract.
     """
+    check_refine_mode(refine)
     if k < 1:
         raise PartitionError(f"k must be >= 1, got {k}")
     if k > g.n:
@@ -205,6 +214,14 @@ def mlkp_partition(
                     seed=refine_seeds[0],
                     state=state,
                 )
+        if refine != "fm":
+            # guarded flow polish under the baseline's balance objective;
+            # the pass's never-worse guard keeps (balance violation, cut)
+            # from regressing, so the kmetis contract survives
+            st = RefinementState(g, assign, k)
+            assign = run_flow_refine(
+                st, ConstraintSpec(rmax=float(max_part_weight))
+            )
 
     metrics = evaluate_partition(g, assign, k, constraints)
     return PartitionResult(
@@ -214,5 +231,5 @@ def mlkp_partition(
         algorithm="MLKP",
         runtime=sw.elapsed,
         constraints=constraints or ConstraintSpec(),
-        info={"levels": hier.depth, "balance": balance},
+        info={"levels": hier.depth, "balance": balance, "refine": refine},
     )

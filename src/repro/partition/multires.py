@@ -42,6 +42,7 @@ import numpy as np
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionState
 from repro.partition.coarsen import build_hierarchy
+from repro.partition.flow_refine import check_refine_mode, run_flow_refine
 from repro.partition.kway_refine import run_constrained_fm
 from repro.partition.metrics import check_assignment
 from repro.partition.vector_state import (
@@ -318,7 +319,8 @@ def _run_mr_cycle(context, seeds):
     instance travels in the shared *context* (shipped once per worker).
     Returns ``(assign, metrics, hierarchy_depth)``.
     """
-    g, w, proxy_graph, k, cons, coarsen_to, restarts, refine_passes = context
+    (g, w, proxy_graph, k, cons, coarsen_to, restarts, refine_passes,
+     refine) = context
     s_hier, s_init, s_ref = seeds
     with _obs.trace_span("mr.cycle", nodes=g.n, k=k) as sp:
         hier = build_hierarchy(
@@ -338,6 +340,16 @@ def _run_mr_cycle(context, seeds):
                 restarts=restarts, seed=s_init,
             )
         ref_seeds = spawn_seeds(s_ref, hier.depth)
+
+        def level_refine(lvl_graph, lvl_w, a_level, s):
+            if refine == "flow":
+                st = VectorRefinementState(lvl_graph, lvl_w, a_level, k)
+                return run_flow_refine(st, cons)
+            return mr_constrained_fm(
+                lvl_graph, lvl_w, a_level, k, cons,
+                max_passes=refine_passes, seed=s,
+            )
+
         for level in range(hier.depth - 1, 0, -1):
             assign = hier.project(assign, level)
             lvl_graph = hier.levels[level - 1].graph
@@ -345,20 +357,15 @@ def _run_mr_cycle(context, seeds):
                 "mr.refine_level", level=level - 1,
                 nodes=lvl_graph.n, edges=lvl_graph.m,
             ):
-                assign = mr_constrained_fm(
-                    lvl_graph,
-                    level_weights[level - 1],
-                    assign, k, cons,
-                    max_passes=refine_passes, seed=ref_seeds[level - 1],
+                assign = level_refine(
+                    lvl_graph, level_weights[level - 1], assign,
+                    ref_seeds[level - 1],
                 )
         if hier.depth == 1:
             with _obs.trace_span(
                 "mr.refine_level", level=0, nodes=g.n, edges=g.m
             ):
-                assign = mr_constrained_fm(
-                    g, w, assign, k, cons,
-                    max_passes=refine_passes, seed=ref_seeds[0],
-                )
+                assign = level_refine(g, w, assign, ref_seeds[0])
         m = evaluate_multires(g, w, assign, k, cons)
         sp.set(levels=hier.depth, cut=m.cut, feasible=m.feasible)
     return assign, m, hier.depth
@@ -398,6 +405,7 @@ def mr_gp_partition(
     on_infeasible: str = "return",
     n_jobs: int | None = 1,
     cache: bool = True,
+    refine: str = "fm",
 ) -> MultiResResult:
     """GP lifted to vector resources: multilevel + cyclic retries.
 
@@ -416,7 +424,15 @@ def mr_gp_partition(
     (structure + weight matrix), constraints, the tuning knobs and the
     seed; hits return a fresh copy flagged ``info["cache_hit"]=True``
     (only ``int``/``None`` seeds participate).
+
+    *refine* selects the refinement stage exactly as
+    :class:`~repro.partition.gp.GPConfig` does: ``"flow"`` swaps the
+    per-level FM for corridor flow passes on the vector engine (its
+    componentwise ``key`` drives acceptance), ``"fm+flow"`` adds one
+    guarded flow stage on the race winner — never worse than ``"fm"``
+    under the same seeds.
     """
+    check_refine_mode(refine)
     if on_infeasible not in ("return", "raise"):
         raise PartitionError(
             f"on_infeasible must be return/raise, got {on_infeasible!r}"
@@ -438,6 +454,7 @@ def mr_gp_partition(
             restarts,
             max_cycles,
             refine_passes,
+            refine,
             # n_jobs / on_infeasible are absent on purpose: neither
             # changes the computed partition, only delivery
             None if seed is None else int(seed),
@@ -466,7 +483,7 @@ def mr_gp_partition(
             n_jobs=n_jobs,
             stop=lambda r: r[1].feasible,
             context=(g, w, proxy_graph, k, cons, coarsen_to, restarts,
-                     refine_passes),
+                     refine_passes, refine),
         )
 
         best_assign, best_metrics, best_key = None, None, None
@@ -475,6 +492,15 @@ def mr_gp_partition(
             if best_key is None or cand < best_key:
                 best_assign, best_metrics, best_key = assign, m, cand
         cycles_used = len(results)
+
+        if refine == "fm+flow":
+            # guarded flow stage on the race winner — after the race for
+            # the same reason as gp_partition: the first-feasible early
+            # stop must not see flow-modified cycles, so "fm+flow" stays
+            # never worse than "fm" under the same seeds
+            st = VectorRefinementState(g, w, best_assign, k)
+            best_assign = run_flow_refine(st, cons)
+            best_metrics = evaluate_multires(g, w, best_assign, k, cons)
 
     assert best_assign is not None and best_metrics is not None
     result = MultiResResult(

@@ -312,6 +312,33 @@ class RefinementState:
         )
 
     # ------------------------------------------------------------------ #
+    # flow-refinement hooks (see repro.partition.flow_refine)
+    # ------------------------------------------------------------------ #
+    def flow_adjacency(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted adjacency of *u* for corridor growth and network build:
+        ``(neighbour ids, edge weights)``.  On a plain graph this is the
+        CSR row; the hypergraph Φ engine overrides it with a clique
+        expansion of the incident nets."""
+        return self.g.neighbor_weights(u)
+
+    def pair_boundary(self, a: int, b: int) -> np.ndarray:
+        """Sorted ids of nodes in part *a* or *b* with connectivity into
+        the other — the seed set of a flow corridor."""
+        assign = self.assign
+        conn = self.conn
+        mask = ((assign == a) & (conn[b] > 0.0)) | (
+            (assign == b) & (conn[a] > 0.0)
+        )
+        return np.nonzero(mask)[0]
+
+    def flow_node_weights(self) -> np.ndarray:
+        """Per-node weights for the most-balanced min-cut heuristic.  The
+        scalar resource on graph engines; engines with richer resource
+        models keep this scalar (acceptance runs on :meth:`key`, which is
+        componentwise where it needs to be)."""
+        return self.g.node_weights
+
+    # ------------------------------------------------------------------ #
     # moves and rollback
     # ------------------------------------------------------------------ #
     def move(self, u: int, dest: int) -> None:

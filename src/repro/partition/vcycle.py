@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.graph.wgraph import WGraph
 from repro.partition.coarsen import MATCHING_METHODS, contract
+from repro.partition.flow_refine import check_refine_mode, run_flow_refine
 from repro.partition.goodness import goodness_key
 from repro.partition.kway_refine import constrained_kway_fm
 from repro.partition.metrics import ConstraintSpec, check_assignment, evaluate_partition
@@ -69,6 +70,7 @@ def vcycle_refine(
     refine_passes: int = 6,
     method: str = "hem",
     seed=None,
+    refine: str = "fm",
 ) -> np.ndarray:
     """Improve *assign* with *rounds* partition-preserving V-cycles.
 
@@ -77,7 +79,14 @@ def vcycle_refine(
     the way *down and back up* with the constrained FM, keep the result iff
     it improves the goodness key.  Stops early when a round brings no
     improvement.
+
+    *refine* swaps the per-level local search (see
+    :mod:`repro.partition.flow_refine`): ``"flow"`` replaces the FM with
+    corridor flow passes; ``"fm+flow"`` runs FM per level plus a flow
+    stage on the finest level — both still inside the round's goodness
+    guard, so the never-worse-than-input property is unchanged.
     """
+    check_refine_mode(refine)
     if rounds < 0:
         raise PartitionError(f"rounds must be >= 0, got {rounds}")
     a = check_assignment(g, assign, k).copy()
@@ -118,21 +127,35 @@ def vcycle_refine(
             break  # no hierarchy to exploit
 
         refine_seeds = spawn_seeds(s_refine, len(graphs))
+
+        def level_refine(graph, a_level, s, state=None):
+            if refine == "flow":
+                from repro.partition.kway_refine import _as_state
+
+                stf = _as_state(graph, check_assignment(graph, a_level, k),
+                                k, state)
+                return run_flow_refine(stf, constraints), stf
+            out = constrained_kway_fm(
+                graph, a_level, k, constraints,
+                max_passes=refine_passes, seed=s, state=state,
+            )
+            return out, state
+
         # refine the coarsest, then project down with refinement per level;
         # the finest level's engine state also supplies the goodness metrics
-        cand = constrained_kway_fm(
-            graphs[-1], assigns[-1], k, constraints,
-            max_passes=refine_passes, seed=refine_seeds[-1],
-        )
+        cand, _ = level_refine(graphs[-1], assigns[-1], refine_seeds[-1])
         st = None
         for level in range(len(graphs) - 1, 0, -1):
             cand = cand[maps[level - 1]]
             st = RefinementState(graphs[level - 1], cand, k)
-            cand = constrained_kway_fm(
-                graphs[level - 1], cand, k, constraints,
-                max_passes=refine_passes, seed=refine_seeds[level - 1],
-                state=st,
+            cand, st = level_refine(
+                graphs[level - 1], cand, refine_seeds[level - 1], state=st
             )
+        if refine == "fm+flow":
+            # flow polish on the finest level, inside the goodness guard
+            if st is None:
+                st = RefinementState(g, cand, k)
+            cand = run_flow_refine(st, constraints)
         metrics = (
             st.metrics(constraints)
             if st is not None

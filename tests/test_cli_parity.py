@@ -92,7 +92,7 @@ class TestParity:
         assert proc.returncode == 0
         for flag in ("--method", "--generations", "--time-budget",
                      "--pop-size", "--no-cache", "--jobs", "--model",
-                     "--resources", "--rmax"):
+                     "--resources", "--rmax", "--refine"):
             assert flag in proc.stdout, f"{flag} missing from module help"
 
     def test_vector_flags_on_every_entry_form(self):
@@ -140,3 +140,81 @@ class TestParity:
         code, message = outcomes[0]
         assert code == 1
         assert "--method gp or evolve" in message
+
+    def test_refine_flag_on_every_entry_form(self):
+        # --refine (with its three spellings) must surface identically via
+        # `python -m repro` and `python -m repro.cli`
+        for mod in ("repro", "repro.cli"):
+            proc = run_module(mod, "partition", "--help")
+            assert proc.returncode == 0, proc.stderr
+            assert "--refine" in proc.stdout, f"{mod}: partition lost --refine"
+            assert "fm+flow" in proc.stdout, f"{mod}: --refine lost a choice"
+
+    def _outcomes(self, argv):
+        """(returncode, stderr) of *argv* through all three entry forms."""
+        import contextlib
+        import io
+
+        outcomes = []
+        for mod in ("repro", "repro.cli"):
+            proc = run_module(mod, *argv)
+            outcomes.append((proc.returncode, proc.stderr.strip()))
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            code = main(argv)
+        outcomes.append((code, err.getvalue().strip()))
+        return outcomes
+
+    def test_refine_rejected_identically_on_unsupported_methods(
+        self, tmp_path
+    ):
+        # --refine flow on a method without a refinement stage must fail
+        # with the same clear error through every entry form
+        graph = tmp_path / "g.json"
+        proc = run_module(
+            "repro", "generate", "--n", "8", "--m", "12", "--out", str(graph)
+        )
+        assert proc.returncode == 0, proc.stderr
+        argv = [
+            "partition", "--input", str(graph), "--k", "2",
+            "--method", "spectral", "--refine", "flow",
+        ]
+        outcomes = self._outcomes(argv)
+        assert all(o == outcomes[0] for o in outcomes), outcomes
+        code, message = outcomes[0]
+        assert code == 1
+        assert "refine" in message and "spectral" in message
+
+    def test_refine_rejected_identically_on_hypergraph_gp(self, tmp_path):
+        # under --model hypergraph only evolve has a refine stage to swap
+        graph = tmp_path / "g.json"
+        proc = run_module(
+            "repro", "generate", "--n", "8", "--m", "12", "--out", str(graph)
+        )
+        assert proc.returncode == 0, proc.stderr
+        argv = [
+            "partition", "--input", str(graph), "--k", "2",
+            "--model", "hypergraph", "--method", "gp",
+            "--refine", "fm+flow",
+        ]
+        outcomes = self._outcomes(argv)
+        assert all(o == outcomes[0] for o in outcomes), outcomes
+        code, message = outcomes[0]
+        assert code == 1
+        assert "--refine" in message and "evolve" in message
+
+    def test_refine_accepted_on_gp(self, tmp_path):
+        # the happy path runs (and agrees) through every entry form
+        graph = tmp_path / "g.json"
+        proc = run_module(
+            "repro", "generate", "--n", "10", "--m", "18", "--out", str(graph)
+        )
+        assert proc.returncode == 0, proc.stderr
+        argv = [
+            "partition", "--input", str(graph), "--k", "2",
+            "--bmax", "40", "--rmax", "250", "--refine", "fm+flow",
+        ]
+        outcomes = self._outcomes(argv)
+        assert all(o == outcomes[0] for o in outcomes), outcomes
+        assert outcomes[0][0] in (0, 2), outcomes[0]
+        assert outcomes[0][1] == ""
