@@ -24,9 +24,10 @@ hard invariant of the implementation, so any violation is a bug, not a
 tuning regression.
 """
 
-from conftest import emit
+from conftest import emit, emit_bench
 
 from repro.graph.generators import multicast_network, random_process_network
+from repro.obs.benchdb import BenchMetric
 from repro.hypergraph.partition import HyperConfig, hyper_partition
 from repro.hypergraph.refine_state import HyperRefinementState
 from repro.kpn.traffic import ppn_to_mapped_graph
@@ -53,7 +54,7 @@ def _fmt_key(key):
     return f"viol={v:g} cut={cut:g}"
 
 
-def _graph_rows(name, g, k, cons, rows, keys):
+def _graph_rows(name, g, k, cons, rows, keys, bench):
     fm = gp_partition(
         g, k, cons, GPConfig(max_cycles=CYCLES, refine="fm"), seed=SEED
     )
@@ -70,9 +71,14 @@ def _graph_rows(name, g, k, cons, rows, keys):
         f"{fm.runtime:.2f}", f"{ff.runtime:.2f}",
     ])
     keys[name] = (k_fm, k_ff)
+    p = {"instance": name, "n": g.n, "k": k}
+    bench.append(BenchMetric("x14.fm.cut", float(fm.metrics.cut), "", p))
+    bench.append(BenchMetric("x14.flow.cut", float(ff.metrics.cut), "", p))
+    bench.append(BenchMetric("x14.fm.runtime", fm.runtime, "s", p))
+    bench.append(BenchMetric("x14.flow.runtime", ff.runtime, "s", p))
 
 
-def _hyper_rows(name, hg, k, cons, rows, keys):
+def _hyper_rows(name, hg, k, cons, rows, keys, bench):
     fm = hyper_partition(
         hg, k, cons, config=HyperConfig(max_cycles=CYCLES), seed=SEED
     )
@@ -89,11 +95,16 @@ def _hyper_rows(name, hg, k, cons, rows, keys):
         f"{fm.runtime:.2f}", "-",
     ])
     keys[name] = (k_fm, k_ff)
+    p = {"instance": name, "n": hg.n, "k": k}
+    bench.append(BenchMetric("x14.fm.cut", float(fm.metrics.cut), "", p))
+    bench.append(BenchMetric("x14.flow.cut", float(m_ff.cut), "", p))
+    bench.append(BenchMetric("x14.fm.runtime", fm.runtime, "s", p))
 
 
 def test_fm_plus_flow_vs_fm(benchmark, artifacts_dir):
     rows = []
     keys = {}
+    bench = []
 
     def sweep():
         # gallery PPNs through the paper pipeline (2-pin mapping graph)
@@ -104,7 +115,7 @@ def test_fm_plus_flow_vs_fm(benchmark, artifacts_dir):
             ppn = derive_ppn(prog)
             g, _ = ppn_to_mapped_graph(ppn, mode="tokens")
             cons = _constraints(g.total_node_weight, k, bmax=bmax)
-            _graph_rows(name, g, k, cons, rows, keys)
+            _graph_rows(name, g, k, cons, rows, keys, bench)
 
         # synthetic process networks, cut-dominated and bandwidth-tight
         for n, m, k, bmax, gseed in [
@@ -114,13 +125,14 @@ def test_fm_plus_flow_vs_fm(benchmark, artifacts_dir):
         ]:
             g = random_process_network(n, m, seed=gseed)
             cons = _constraints(g.total_node_weight, k, bmax=bmax)
-            _graph_rows(f"rand(n={n},k={k})", g, k, cons, rows, keys)
+            _graph_rows(f"rand(n={n},k={k})", g, k, cons, rows, keys, bench)
 
         # multicast synthetics under the (λ-1) connectivity objective
         for n, fanout, k in [(90, 6, 3), (120, 10, 4)]:
             hg = multicast_network(n, seed=fanout, fanout=fanout)
             cons = _constraints(hg.total_node_weight, k)
-            _hyper_rows(f"multicast(n={n},f={fanout})", hg, k, cons, rows, keys)
+            _hyper_rows(f"multicast(n={n},f={fanout})", hg, k, cons, rows,
+                        keys, bench)
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = format_table(
@@ -143,6 +155,7 @@ def test_fm_plus_flow_vs_fm(benchmark, artifacts_dir):
         "\ntheir fm+flow wall-clock is not separately measured.\n"
     )
     emit("x14_flow_quality.txt", table)
+    emit_bench("x14_flow_quality", bench, seed=SEED)
 
     worse = {n: (kf, kq) for n, (kf, kq) in keys.items() if kq > kf}
     assert not worse, f"fm+flow worse than fm on: {worse}"

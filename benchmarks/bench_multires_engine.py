@@ -29,12 +29,13 @@ vector GP under the goodness order.
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, emit_bench
 
 import _legacy_multires as legacy
 from repro.evolve import EvolveConfig, evolve_partition
 from repro.fpga.resources import random_device_matrix
 from repro.graph.generators import random_process_network
+from repro.obs.benchdb import BenchMetric
 from repro.partition.goodness import goodness_key
 from repro.partition.multires import (
     VectorConstraints,
@@ -82,6 +83,7 @@ def timed(fn, repeats: int = 1):
 def fm_speedup_study():
     """Seam FM vs frozen loop: same greedy start, same seed, wall-clock."""
     rows = []
+    bench = []
     speedups = []
     for kind, n, m, R, k in (
         ("rand", 60, 132, 3, 4),
@@ -114,18 +116,23 @@ def fm_speedup_study():
             f"{m_old.total_violation:g}/{m_old.cut:g}",
             f"{m_new.total_violation:g}/{m_new.cut:g}",
         ])
+        p = {"stage": "fm", "kind": kind, "n": n, "R": R, "k": k}
+        bench.append(BenchMetric("x13.engine", t_new * 1e3, "ms", p))
+        bench.append(BenchMetric("x13.legacy", t_old * 1e3, "ms", p))
+        bench.append(BenchMetric("x13.cut", float(m_new.cut), "", p))
     table = format_table(
         ["instance", "legacy FM (ms)", "engine FM (ms)", "speedup",
          "legacy viol/cut", "engine viol/cut"],
         rows,
         title="X13a — vector FM: frozen loop vs shared engine",
     )
-    return table, speedups
+    return table, speedups, bench
 
 
 def end_to_end_study():
     """mr_gp_partition vs the frozen serial pipeline, identical knobs."""
     rows = []
+    bench = []
     feas_pairs = []
     speedups = []
     for kind, n, m, R, k in (
@@ -151,13 +158,18 @@ def end_to_end_study():
             f"{new.metrics.total_violation:g}/{new.metrics.cut:g}",
             f"{old.feasible}/{new.feasible}",
         ])
+        p = {"stage": "e2e", "kind": kind, "n": n, "R": R, "k": k}
+        bench.append(BenchMetric("x13.engine", t_new, "s", p))
+        bench.append(BenchMetric("x13.cut", float(new.metrics.cut), "", p))
+        bench.append(BenchMetric("x13.feasible", float(new.feasible), "",
+                                 p, better="higher"))
     table = format_table(
         ["instance", "legacy (s)", "engine (s)", "speedup",
          "legacy viol/cut", "engine viol/cut", "feasible old/new"],
         rows,
         title="X13b — mr_gp_partition: frozen pipeline vs shared engine",
     )
-    return table, feas_pairs, speedups
+    return table, feas_pairs, speedups, bench
 
 
 def evolve_unlocked_study():
@@ -201,8 +213,8 @@ def evolve_unlocked_study():
 
 
 def run_study():
-    fm_table, fm_speedups = fm_speedup_study()
-    e2e_table, feas_pairs, e2e_speedups = end_to_end_study()
+    fm_table, fm_speedups, fm_bench = fm_speedup_study()
+    e2e_table, feas_pairs, e2e_speedups, e2e_bench = end_to_end_study()
     ea_table, verdicts = evolve_unlocked_study()
     lines = [fm_table, "", e2e_table, "", ea_table, ""]
     largest_n, largest_speedup = max(fm_speedups)
@@ -212,14 +224,16 @@ def run_study():
         f"{min(e2e_speedups):.1f}-{max(e2e_speedups):.1f}x; evolve verdicts "
         f"vs restart-only GP at equal budget: {', '.join(verdicts)}"
     )
-    return "\n".join(lines), fm_speedups, feas_pairs, verdicts
+    return "\n".join(lines), fm_speedups, feas_pairs, verdicts, \
+        fm_bench + e2e_bench
 
 
 def test_multires_engine(benchmark):
-    (text, fm_speedups, feas_pairs, verdicts) = benchmark.pedantic(
+    (text, fm_speedups, feas_pairs, verdicts, bench) = benchmark.pedantic(
         run_study, rounds=1, iterations=1
     )
     emit("x13_multires_engine.txt", text)
+    emit_bench("x13_multires_engine", bench, seed=SEED)
     # gated acceptance — see module docstring
     for n, s in fm_speedups:
         assert s > 1.0, f"vector FM slower than the frozen loop at n={n}"
@@ -237,5 +251,6 @@ def test_multires_engine(benchmark):
 
 
 if __name__ == "__main__":
-    text, *_ = run_study()
+    text, _, _, _, bench = run_study()
     emit("x13_multires_engine.txt", text)
+    emit_bench("x13_multires_engine", bench, seed=SEED)

@@ -24,10 +24,11 @@ import os
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, emit_bench
 
 import _legacy_coarsen as legacy
 from repro.graph import random_process_network
+from repro.obs.benchdb import BenchMetric
 from repro.partition.coarsen import coarsen_once
 from repro.partition.metrics import ConstraintSpec
 from repro.partition.portfolio import (
@@ -79,6 +80,7 @@ def _timed(fn, *args, repeats=3, **kwargs):
 
 def test_parallel_portfolio_and_coarsening(benchmark):
     rows = []
+    bench = []
     cpus = os.cpu_count() or 1
 
     def sweep():
@@ -106,6 +108,15 @@ def test_parallel_portfolio_and_coarsening(benchmark):
              f"{t_serial:.2f}s", f"{t_parallel:.2f}s ({N_JOBS} jobs)",
              f"{ratio:.2f}x", f"identical ({cpus} CPUs visible)"]
         )
+        p = {"n": PORTFOLIO_N, "k": PORTFOLIO_K}
+        bench.append(BenchMetric("x11.portfolio.serial", t_serial, "s", p))
+        bench.append(BenchMetric(
+            "x11.portfolio.parallel", t_parallel, "s",
+            {**p, "jobs": N_JOBS},
+        ))
+        bench.append(BenchMetric(
+            "x11.portfolio.cut", float(serial.metrics.cut), "", p,
+        ))
         if cpus >= N_JOBS:
             # the acceptance bar only binds where 4 workers can exist
             assert ratio >= 2.0, (
@@ -127,6 +138,9 @@ def test_parallel_portfolio_and_coarsening(benchmark):
             ["portfolio repeat (cache hit)", f"{t_serial:.2f}s",
              f"{t_hit * 1e3:.2f}ms", f"{t_serial / t_hit:.0f}x", "identical"]
         )
+        bench.append(BenchMetric(
+            "x11.portfolio.cache_hit", t_hit * 1e3, "ms", p,
+        ))
         clear_portfolio_cache()
 
         # ---- coarsening microbenchmark ----------------------------------
@@ -141,6 +155,13 @@ def test_parallel_portfolio_and_coarsening(benchmark):
              f"{t_old * 1e3:.0f}ms", f"{t_new * 1e3:.0f}ms",
              f"{ratio_c:.1f}x", "see note"]
         )
+        pc = {"n": COARSEN_N, "methods": "random+hem"}
+        bench.append(BenchMetric("x11.coarsen.vectorized",
+                                 t_new * 1e3, "ms", pc))
+        bench.append(BenchMetric("x11.coarsen.legacy",
+                                 t_old * 1e3, "ms", pc))
+        bench.append(BenchMetric("x11.coarsen.speedup", ratio_c, "", pc,
+                                 better="higher"))
         assert ratio_c >= 5.0, (
             f"10k-node coarsening speedup {ratio_c:.1f}x is below the 5x bar"
         )
@@ -168,3 +189,4 @@ def test_parallel_portfolio_and_coarsening(benchmark):
         title="X11 parallel portfolio racing + vectorized coarsening",
     )
     emit("x11_parallel_portfolio.txt", table)
+    emit_bench("x11_parallel_portfolio", bench)

@@ -21,7 +21,7 @@ Artefact: ``benchmarks/artifacts/x9_refine_engine.txt``.
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, emit_bench
 
 from _legacy_refine import (
     legacy_constrained_kway_fm,
@@ -34,6 +34,7 @@ from repro.partition.kway_refine import (
     greedy_kway_refine,
     rebalance_pass,
 )
+from repro.obs.benchdb import BenchMetric
 from repro.partition.metrics import ConstraintSpec
 from repro.partition.refine_state import RefinementState
 from repro.util.tables import format_table
@@ -89,6 +90,7 @@ def _timed(fn, *args):
 
 def test_refine_engine_speedup(benchmark):
     rows = []
+    bench = []
     speedup_10k = None
 
     def sweep():
@@ -107,6 +109,11 @@ def test_refine_engine_speedup(benchmark):
                 ["uncoarsen", n, K, round(t_old, 3), round(t_new, 3),
                  f"{ratio:.1f}x", "identical"]
             )
+            p = {"stage": "uncoarsen", "n": n, "k": K}
+            bench.append(BenchMetric("x9.engine", t_new, "s", p))
+            bench.append(BenchMetric("x9.legacy", t_old, "s", p))
+            bench.append(BenchMetric("x9.speedup", ratio, "", p,
+                                     better="higher"))
             if n == 10_000:
                 speedup_10k = ratio
 
@@ -124,6 +131,11 @@ def test_refine_engine_speedup(benchmark):
                 ["ckfm", n, K, round(t_old, 3), round(t_new, 3),
                  f"{t_old / t_new:.1f}x", "identical"]
             )
+            p = {"stage": "ckfm", "n": n, "k": K}
+            bench.append(BenchMetric("x9.engine", t_new, "s", p))
+            bench.append(BenchMetric("x9.legacy", t_old, "s", p))
+            bench.append(BenchMetric("x9.speedup", t_old / t_new, "", p,
+                                     better="higher"))
 
         for n in SCALING_SIZES:
             g = _graph(n)
@@ -133,6 +145,10 @@ def test_refine_engine_speedup(benchmark):
             rows.append(
                 ["uncoarsen/scale", n, K, legacy_cell, round(t_new, 3), "-", "-"]
             )
+            bench.append(BenchMetric(
+                "x9.engine", t_new, "s",
+                {"stage": "uncoarsen/scale", "n": n, "k": K},
+            ))
         return rows
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -142,6 +158,7 @@ def test_refine_engine_speedup(benchmark):
         title="X9 vectorized refinement engine vs pre-refactor path",
     )
     emit("x9_refine_engine.txt", table)
+    emit_bench("x9_refine_engine", bench)
 
     # acceptance: ≥5× on the 10k-node k=8 refinement path
     assert speedup_10k is not None and speedup_10k >= 5.0, (

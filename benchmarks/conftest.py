@@ -25,3 +25,20 @@ def emit(name: str, text: str) -> None:
     ARTIFACTS.mkdir(parents=True, exist_ok=True)
     (ARTIFACTS / name).write_text(text)
     print(f"\n{text}")
+
+
+def emit_bench(suite: str, metrics, seed: int = 0) -> None:
+    """Persist a driver's structured metrics as a BENCH JSON artifact.
+
+    The machine-readable companion of :func:`emit`: the same study run
+    lands as ``artifacts/BENCH_<suite>.json`` in the schema
+    ``repro bench --compare`` gates on (see ``docs/observability.md``),
+    so driver runs accumulate a revision-to-revision trajectory instead
+    of only a text table.
+    """
+    from repro.obs.benchdb import BenchResult, write_bench
+
+    path = ARTIFACTS / f"BENCH_{suite}.json"
+    write_bench(path, BenchResult(suite=suite, metrics=list(metrics),
+                                  seed=seed))
+    print(f"wrote {path}")

@@ -39,7 +39,12 @@
 # corridor/never-worse/cross-engine invariants, and the fm+flow
 # serial==parallel bit-identity) plus the X14 equal-budget smoke
 # benchmark (gated: fm+flow never worse than fm anywhere, strictly
-# better somewhere; artefact benchmarks/artifacts/x14_flow_quality.txt).
+# better somewhere; artefact benchmarks/artifacts/x14_flow_quality.txt);
+# stage 10 exercises the benchmark telemetry gate end to end: `repro
+# bench --suite smoke` must write a schema-valid BENCH JSON artifact,
+# comparing the run against its own artifact must pass, and comparing
+# against a copy with a +25% injected runtime regression must exit 3
+# (the gate actually trips, not just runs).
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -93,5 +98,45 @@ REPRO_TEST_JOBS=2 python -m pytest -q \
   tests/test_flow_core.py \
   tests/test_flow_refine.py
 python -m pytest -q benchmarks/bench_flow_refine.py
+
+echo "== stage 10: benchmark telemetry + regression gate =="
+python -m repro bench --suite smoke
+python - <<'EOF'
+import json, sys
+
+from repro.obs.benchdb import load_bench
+
+# re-validate the artifact the bench run just wrote, then derive a
+# perturbed copy: every timing metric 25% slower must trip the 15% band
+doc = load_bench("benchmarks/artifacts/BENCH_smoke.json")
+bad = json.loads(json.dumps(doc))
+slowed = 0
+for m in bad["metrics"]:
+    if m["unit"] == "s":
+        m["value"] *= 1.25
+        slowed += 1
+if not slowed:
+    sys.exit("smoke suite has no timing metrics to perturb")
+with open("benchmarks/artifacts/BENCH_smoke_perturbed.json", "w") as fh:
+    json.dump(bad, fh)
+print(f"validated BENCH_smoke.json; perturbed {slowed} timing metrics")
+EOF
+# identical comparison must pass ...
+python -m repro bench --compare benchmarks/artifacts/BENCH_smoke.json \
+  --current benchmarks/artifacts/BENCH_smoke.json
+# ... and the injected regression must trip the gate (exit 3)
+if python -m repro bench --compare benchmarks/artifacts/BENCH_smoke.json \
+     --current benchmarks/artifacts/BENCH_smoke_perturbed.json; then
+  echo "regression gate FAILED to trip on a 25% injected slowdown" >&2
+  exit 1
+else
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "regression gate exited $rc, expected 3" >&2
+    exit 1
+  fi
+fi
+rm -f benchmarks/artifacts/BENCH_smoke_perturbed.json
+echo "regression gate trips correctly"
 
 echo "CI OK"

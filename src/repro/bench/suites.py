@@ -4,16 +4,24 @@ These go beyond the paper's three 12-node experiments, probing the regime
 the paper motivates but does not measure ("graphs with potentially thousands
 nodes", Section I): scaling, matching-strategy ablations, restart ablations,
 constraint-tightness sweeps and the exact-optimality gap.
+
+Importing this module also registers the ``repro bench`` suites (see
+:mod:`repro.obs.benchdb`): ``smoke`` — the fast everything-touched run CI
+gates on — plus thin wrappers around the X9/X11/X13/X14 study workloads
+(``x9_refine``, ``x11_portfolio``, ``x13_multires``, ``x14_flow``) that
+emit the same structured BENCH metrics at benchmark-driver scale.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.graph.generators import random_process_network
+from repro.graph.generators import multicast_network, random_process_network
 from repro.graph.wgraph import WGraph
+from repro.obs.benchdb import BenchMetric, register_suite
 from repro.partition.exact import exact_partition
 from repro.partition.gp import GPConfig, gp_partition
 from repro.partition.metrics import ConstraintSpec
@@ -29,6 +37,7 @@ __all__ = [
     "constraint_sweep",
     "exact_gap_suite",
     "tight_instance",
+    "smoke_suite",
 ]
 
 
@@ -248,3 +257,172 @@ def exact_gap_suite(
                 )
             )
     return rows
+
+
+# --------------------------------------------------------------------- #
+# registered BENCH suites (`repro bench`; see repro.obs.benchdb)
+# --------------------------------------------------------------------- #
+def _run_metrics(name: str, fn, params: dict, seed: int) -> list[BenchMetric]:
+    """Time *fn* and emit the standard (runtime, cut, feasible) triple.
+
+    The cut and feasibility metrics are exact — the partitioners are
+    deterministic at fixed seeds, so any drift there is a real behaviour
+    change, not noise; only the runtime gets a tolerance band.
+    """
+    t0 = time.perf_counter()
+    res = fn()
+    elapsed = time.perf_counter() - t0
+    return [
+        BenchMetric(f"{name}.runtime", elapsed, "s", dict(params), seed),
+        BenchMetric(f"{name}.cut", float(res.metrics.cut), "", dict(params),
+                    seed),
+        BenchMetric(f"{name}.feasible", float(res.feasible), "",
+                    dict(params), seed, better="higher"),
+    ]
+
+
+@register_suite(
+    "smoke",
+    description="fast cross-method run (gp/mlkp/hyper/portfolio/multires) "
+                "— the suite CI stage 10 gates on",
+)
+def smoke_suite(seed: int = 0) -> list[BenchMetric]:
+    """Every major partitioning path once, at a size that stays seconds.
+
+    Small on purpose: the value of the smoke suite is the *trajectory*
+    (the same metrics across revisions under ``repro bench --compare``),
+    not the absolute load, so it must be cheap enough to run in CI and
+    as part of the test suite.
+    """
+    from repro.hypergraph.partition import hyper_partition
+    from repro.partition.multires import mr_gp_partition
+    from repro.partition.portfolio import portfolio_partition
+    from repro.fpga.resources import random_device_matrix
+    from repro.partition.vector_state import VectorConstraints
+
+    out: list[BenchMetric] = []
+    g, cons = tight_instance(60, 3, seed=seed)
+    p = {"instance": "pn", "n": 60, "k": 3}
+    out += _run_metrics(
+        "gp", lambda: gp_partition(
+            g, 3, cons, GPConfig(max_cycles=3, restarts=3), seed=seed
+        ), p, seed,
+    )
+    out += _run_metrics(
+        "mlkp", lambda: mlkp_partition(g, 3, seed=seed, constraints=cons),
+        p, seed,
+    )
+    out += _run_metrics(
+        "portfolio", lambda: portfolio_partition(
+            g, 3, cons, seed=seed, cache=False
+        ), p, seed,
+    )
+    hg = multicast_network(40, seed=seed, fanout=4)
+    out += _run_metrics(
+        "hyper", lambda: hyper_partition(hg, 3, seed=seed),
+        {"instance": "multicast", "n": 40, "k": 3}, seed,
+    )
+    gv = random_process_network(50, 120, seed=seed)
+    w, names = random_device_matrix(50, seed=seed, n_resources=3)
+    caps = tuple(1.3 * float(c) / 3 for c in w.sum(axis=0))
+    vcons = VectorConstraints(bmax=float("inf"), rmax=caps, names=names)
+    out += _run_metrics(
+        "multires", lambda: mr_gp_partition(
+            gv, w, 3, vcons, coarsen_to=20, restarts=3, max_cycles=3,
+            seed=seed, cache=False,
+        ), {"instance": "device", "n": 50, "k": 3, "resources": 3}, seed,
+    )
+    return out
+
+
+@register_suite(
+    "x9_refine",
+    description="study X9 workload: the vectorized refinement engine "
+                "inside gp/mlkp at 1k-2k nodes",
+)
+def _x9_suite(seed: int = 0) -> list[BenchMetric]:
+    out: list[BenchMetric] = []
+    for n in (1000, 2000):
+        g, cons = tight_instance(n, 8, seed=seed + n)
+        p = {"instance": "pn", "n": n, "k": 8}
+        out += _run_metrics(
+            "x9.gp", lambda: gp_partition(
+                g, 8, cons, GPConfig(max_cycles=3, restarts=3), seed=seed
+            ), p, seed,
+        )
+        out += _run_metrics(
+            "x9.mlkp",
+            lambda: mlkp_partition(g, 8, seed=seed, constraints=cons),
+            p, seed,
+        )
+    return out
+
+
+@register_suite(
+    "x11_portfolio",
+    description="study X11 workload: the GP config portfolio, cold run "
+                "plus the memo-cache hit",
+)
+def _x11_suite(seed: int = 0) -> list[BenchMetric]:
+    from repro.partition.portfolio import (
+        clear_portfolio_cache,
+        portfolio_partition,
+    )
+
+    g, cons = tight_instance(180, 4, seed=seed)
+    p = {"instance": "pn", "n": 180, "k": 4}
+    clear_portfolio_cache()
+    out = _run_metrics(
+        "x11.portfolio",
+        lambda: portfolio_partition(g, 4, cons, seed=seed), p, seed,
+    )
+    t0 = time.perf_counter()
+    portfolio_partition(g, 4, cons, seed=seed)
+    out.append(BenchMetric(
+        "x11.cache_hit", time.perf_counter() - t0, "s", dict(p), seed,
+    ))
+    return out
+
+
+@register_suite(
+    "x13_multires",
+    description="study X13 workload: vector-resource multilevel GP on a "
+                "device-shaped matrix",
+)
+def _x13_suite(seed: int = 0) -> list[BenchMetric]:
+    from repro.fpga.resources import random_device_matrix
+    from repro.partition.multires import mr_gp_partition
+    from repro.partition.vector_state import VectorConstraints
+
+    out: list[BenchMetric] = []
+    for n in (200, 400):
+        g = random_process_network(n, int(2.4 * n), seed=seed + n)
+        w, names = random_device_matrix(n, seed=seed + n)
+        caps = tuple(1.25 * float(c) / 4 for c in w.sum(axis=0))
+        vcons = VectorConstraints(bmax=float("inf"), rmax=caps, names=names)
+        out += _run_metrics(
+            "x13.multires", lambda: mr_gp_partition(
+                g, w, 4, vcons, coarsen_to=50, restarts=5, max_cycles=4,
+                seed=seed, cache=False,
+            ), {"instance": "device", "n": n, "k": 4}, seed,
+        )
+    return out
+
+
+@register_suite(
+    "x14_flow",
+    description="study X14 workload: corridor max-flow refinement "
+                "(flow / fm+flow) against plain fm",
+)
+def _x14_suite(seed: int = 0) -> list[BenchMetric]:
+    out: list[BenchMetric] = []
+    g, cons = tight_instance(300, 4, seed=seed)
+    for mode in ("fm", "flow", "fm+flow"):
+        p = {"instance": "pn", "n": 300, "k": 4, "refine": mode}
+        out += _run_metrics(
+            f"x14.{mode}", lambda mode=mode: gp_partition(
+                g, 4, cons,
+                GPConfig(max_cycles=3, restarts=3, refine=mode), seed=seed,
+            ), p, seed,
+        )
+    return out

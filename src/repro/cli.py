@@ -26,7 +26,12 @@ Usage (see ``python -m repro --help``):
 * ``python -m repro serve --port 8077 --cache-dir ~/.cache/repro`` — run
   the partitioning daemon: JSON requests over HTTP, digest-keyed results
   served from a persistent cache, concurrent duplicates computed once
-  (see ``docs/serve.md``).
+  (see ``docs/serve.md``).  ``GET /metrics?format=prometheus`` exposes
+  the metrics registry in the Prometheus text format.
+* ``python -m repro bench --suite smoke`` — run a registered benchmark
+  suite and write ``benchmarks/artifacts/BENCH_<suite>.json``; with
+  ``--compare BASELINE.json`` judge the run against a stored baseline
+  (exit 3 on regression — the CI gate; see ``docs/observability.md``).
 
 ``--method evolve`` selects the memetic population search (either
 ``--model``); ``--generations`` / ``--time-budget`` / ``--pop-size``
@@ -184,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome trace-event JSON of the run here "
                         "(Perfetto-loadable; summarise it later with "
                         "`repro profile --trace FILE`)")
+    p.add_argument("--mem", action="store_true",
+                   help="with --profile/--trace-out: also measure memory — "
+                        "per-span peak/retained bytes (tracemalloc) and the "
+                        "big-allocation gauges; slower, results still "
+                        "bit-identical")
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")
     t.add_argument("--experiment", type=int, choices=[1, 2, 3], default=None)
@@ -261,6 +271,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument("--trace", required=True, metavar="FILE",
                     help="trace-event JSON file to summarise")
+    pr.add_argument("--mem", action="store_true",
+                    help="force the memory columns (peak/allocated bytes "
+                         "per call path) even when no span carries them; "
+                         "they appear automatically for traces recorded "
+                         "with `partition --profile --mem`")
+
+    b = sub.add_parser(
+        "bench",
+        help="run a registered benchmark suite, write the structured "
+             "BENCH JSON artifact, optionally gate against a baseline "
+             "(see docs/observability.md)",
+    )
+    b.add_argument("--suite", metavar="NAME", default=None,
+                   help="registered suite to run (see --list)")
+    b.add_argument("--list", action="store_true",
+                   help="list registered suites and exit")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--out", metavar="FILE", default=None,
+                   help="artifact path (default "
+                        "benchmarks/artifacts/BENCH_<suite>.json)")
+    b.add_argument("--compare", metavar="BASELINE", default=None,
+                   help="judge the run against this stored BENCH JSON; "
+                        "exit 3 if any shared metric regressed past its "
+                        "tolerance band")
+    b.add_argument("--current", metavar="FILE", default=None,
+                   help="with --compare: judge this stored BENCH JSON "
+                        "instead of re-running the suite (what CI does — "
+                        "no timing noise from a second run)")
+    b.add_argument("--tolerance", metavar="PAT=FRAC", action="append",
+                   default=[],
+                   help="override a tolerance band: fnmatch pattern on "
+                        "metric names = relative fraction, e.g. "
+                        "'*.runtime=0.3' (repeatable; per-unit defaults: "
+                        "s/ms 15%%, bytes 25%%, else exact)")
     return parser
 
 
@@ -349,8 +393,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     is bit-identical to an unprofiled run.
     """
     if not (args.profile or args.trace_out):
+        if args.mem:
+            raise ReproError("--mem needs --profile or --trace-out")
         return _run_partition(args)
-    with _obs.capture() as cap:
+    with _obs.capture(memory=args.mem) as cap:
         rc = _run_partition(args)
     spans = [s.to_dict() for s in cap.spans]
     if args.trace_out:
@@ -641,6 +687,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     ):
         s = c.stats()
         print(f"{name}: size={s['size']} hits={s['hits']} misses={s['misses']}")
+    # the instrumented view: cache.* counter series from the metrics
+    # registry (populated when observability was on during the runs)
+    cache_series = [
+        (mname, key, value)
+        for mname, series in sorted(
+            _obs.REGISTRY.snapshot()["counters"].items()
+        )
+        if mname.startswith("cache.")
+        for key, value in sorted(series.items())
+    ]
+    if cache_series:
+        print("registry cache.* counters:")
+        for mname, key, value in cache_series:
+            labels = ",".join(f"{k}={v}" for k, v in key)
+            tag = f"{mname}{{{labels}}}" if labels else mname
+            print(f"  {tag} {value:g}")
     if args.dir:
         from repro.util.diskcache import DiskCache
 
@@ -709,9 +771,77 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     repro_data = doc.get("otherData", {}).get("repro", {})
     print(f"{args.trace}: {n_events} trace events")
     print(_obs.format_profile(
-        repro_data.get("spans", []), repro_data.get("metrics")
+        repro_data.get("spans", []), repro_data.get("metrics"),
+        mem=True if args.mem else None,
     ))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench`` — run a suite, write BENCH JSON, gate regressions.
+
+    Exit codes: 0 ok, 1 usage/suite error, 3 regression past tolerance
+    (distinct from 1 so CI can tell "the gate tripped" from "the tool
+    broke").  ``--compare`` with ``--current`` judges two stored files
+    without running anything — the noise-free mode CI stage 10 uses.
+    """
+    from repro.obs import benchdb
+    import repro.bench.suites  # noqa: F401  (registers the suites)
+
+    if args.list:
+        for name, desc in benchdb.list_suites().items():
+            print(f"  {name:<14} {desc}")
+        return 0
+
+    tolerances: dict[str, float] = {}
+    for spec in args.tolerance:
+        pattern, eq, frac = spec.partition("=")
+        try:
+            if not eq:
+                raise ValueError
+            tolerances[pattern] = float(frac)
+        except ValueError:
+            raise ReproError(
+                f"bad --tolerance {spec!r}; expected PATTERN=FRACTION "
+                f"like '*.runtime=0.3'"
+            ) from None
+
+    if args.current:
+        if not args.compare:
+            raise ReproError("--current needs --compare BASELINE")
+        try:
+            current = benchdb.load_bench(args.current)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    else:
+        if not args.suite:
+            raise ReproError("--suite NAME is required (or --list)")
+        try:
+            result = benchdb.run_suite(args.suite, seed=args.seed)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        out = args.out or f"benchmarks/artifacts/BENCH_{args.suite}.json"
+        current = benchdb.write_bench(out, result)
+        print(f"{current['suite']}: {len(current['metrics'])} metrics "
+              f"-> {out} (rev {current['git_rev'][:12]})")
+
+    if not args.compare:
+        return 0
+    try:
+        baseline = benchdb.load_bench(args.compare)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    deltas, only_b, only_c = benchdb.compare_results(
+        baseline, current, tolerances
+    )
+    print(f"compare vs {args.compare} "
+          f"(baseline rev {baseline['git_rev'][:12]}):")
+    print(benchdb.format_compare(deltas, only_b, only_c))
+    if not deltas:
+        raise ReproError(
+            "baseline and current share no metrics; nothing was gated"
+        )
+    return 3 if any(d.regressed for d in deltas) else 0
 
 
 _COMMANDS = {
@@ -722,6 +852,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 

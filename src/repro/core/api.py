@@ -218,7 +218,7 @@ def partition_graph(
     n_jobs: int | None = 1,
     cache: bool = True,
     resources=None,
-    profile: bool = False,
+    profile: bool | str = False,
     refine: str = "fm",
 ) -> PartitionResult | MultiResResult | _obs.ProfileReport:
     """Partition *g* into *k* parts under the paper's two constraints.
@@ -265,11 +265,15 @@ def partition_graph(
     :class:`~repro.obs.ProfileReport` instead: the same result plus the
     span tree, the metrics delta, and the wall-clock — exportable as a
     Chrome trace (``report.write_trace(path)``) or a text summary
-    (``report.summary()``).  The partition itself is bit-identical to
-    the unprofiled call (see ``docs/observability.md``).
+    (``report.summary()``).  ``profile="mem"`` additionally turns on
+    memory instrumentation: every span carries ``peak_bytes`` /
+    ``alloc_delta`` attrs (tracemalloc) and the big-array allocation
+    gauges (``mem.alloc_bytes``) land in the metrics delta.  The
+    partition itself is bit-identical to the unprofiled call (see
+    ``docs/observability.md``).
     """
     if profile:
-        with _obs.capture() as cap:
+        with _obs.capture(memory=(profile == "mem")) as cap:
             result = partition_graph(
                 g, k, bmax=bmax, rmax=rmax, method=method, seed=seed,
                 config=config, n_jobs=n_jobs, cache=cache,

@@ -34,6 +34,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.graph.wgraph import WGraph
+from repro.obs.memory import note_bytes
 from repro.util.errors import GraphError
 
 __all__ = ["HGraph"]
@@ -161,6 +162,12 @@ class HGraph:
             a.setflags(write=False)
         self._adj_cache: dict[int, np.ndarray] = {}
         self._digest: str | None = None
+        note_bytes(
+            "hgraph.csr",
+            net_indptr.nbytes + pins.nbytes + net_w.nbytes + roots.nbytes
+            + pin_net_ids.nbytes + inc_indptr.nbytes + self._inc_nets.nbytes,
+            n=self._n, nets=n_nets,
+        )
 
     def content_digest(self) -> str:
         """Stable hex digest of the full hypergraph content.

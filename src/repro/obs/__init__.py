@@ -10,6 +10,12 @@ Public surface (see ``docs/observability.md``):
 * :func:`enable` / :func:`disable` / :func:`capture` — switches;
 * :func:`chrome_trace` / :func:`write_trace` /
   :func:`validate_chrome_trace` / :func:`format_profile` — export;
+* :func:`memory_on` / :func:`note_bytes` / :func:`rss_bytes` — memory
+  instrumentation (tracemalloc per-span peaks, allocation gauges);
+* :func:`render_prometheus` / :func:`validate_prometheus_text` —
+  Prometheus text exposition of the registry;
+* :mod:`repro.obs.benchdb` — structured benchmark results and the
+  regression-compare machinery behind ``repro bench``;
 * :class:`ProfileReport` — what ``partition_graph(..., profile=True)``
   returns.
 
@@ -27,6 +33,16 @@ from repro.obs.export import (
     format_profile,
     validate_chrome_trace,
     write_trace,
+)
+from repro.obs.memory import (
+    memory_on,
+    note_bytes,
+    rss_bytes,
+    rss_peak_bytes,
+)
+from repro.obs.prometheus import (
+    render_prometheus,
+    validate_prometheus_text,
 )
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -87,6 +103,12 @@ __all__ = [
     "write_trace",
     "validate_chrome_trace",
     "format_profile",
+    "memory_on",
+    "note_bytes",
+    "rss_bytes",
+    "rss_peak_bytes",
+    "render_prometheus",
+    "validate_prometheus_text",
 ]
 
 

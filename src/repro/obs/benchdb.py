@@ -1,0 +1,388 @@
+"""Structured benchmark telemetry: the BENCH JSON schema and the gate.
+
+Every ``benchmarks/bench_*.py`` driver historically printed a one-off
+text table — human-readable, machine-opaque, no trajectory.  This module
+is the machine-readable half: a benchmark run is a :class:`BenchResult`
+(suite name, git revision, schema version, seed) holding
+:class:`BenchMetric` rows (name, value, unit, instance params), written
+to ``benchmarks/artifacts/BENCH_<suite>.json`` and diffable across
+revisions by :func:`compare_results` with per-unit tolerance bands —
+the regression gate ``repro bench --compare`` and CI stage 10 run.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "git_rev": "<hex or 'unknown'>",
+      "created_utc": "2026-01-01T00:00:00Z",
+      "seed": 0,
+      "metrics": [
+        {"name": "gp.runtime", "value": 0.41, "unit": "s",
+         "params": {"instance": "rand", "n": 60, "k": 3},
+         "seed": 0, "better": "lower"},
+        ...
+      ]
+    }
+
+Metric identity for comparison is ``(name, params)`` — the same metric
+measured on the same instance.  ``better`` declares the improvement
+direction (``"lower"`` for runtimes/cuts/bytes — the default — or
+``"higher"``); a change past the tolerance band in the *worse*
+direction is a regression.  Default bands are per unit: timing units
+are noisy (15%), byte counts allocator-dependent (25%), everything
+else — cuts, connectivity, violation counts — exact.
+
+The **suite registry** maps names to callables returning metric lists;
+:mod:`repro.bench.suites` registers the ``smoke`` suite and the
+X9/X11/X13/X14 study wrappers on import, and ``repro bench`` resolves
+through :func:`run_suite`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchMetric",
+    "BenchResult",
+    "MetricDelta",
+    "validate_bench_doc",
+    "load_bench",
+    "write_bench",
+    "git_revision",
+    "default_tolerance",
+    "compare_results",
+    "format_compare",
+    "register_suite",
+    "run_suite",
+    "list_suites",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default relative tolerance band per unit; anything unlisted is exact.
+UNIT_TOLERANCES = {"s": 0.15, "ms": 0.15, "bytes": 0.25}
+
+#: Slack for "exact" metrics — absorbs float formatting, nothing real.
+EXACT_EPS = 1e-9
+
+
+# --------------------------------------------------------------------- #
+# model
+# --------------------------------------------------------------------- #
+@dataclass
+class BenchMetric:
+    """One measured value of one suite instance."""
+
+    name: str
+    value: float
+    unit: str
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+    better: str = "lower"
+
+    def key(self) -> tuple:
+        """Comparison identity: same metric on the same instance."""
+        return (self.name, tuple(sorted(self.params.items())))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "value": float(self.value),
+            "unit": self.unit,
+            "params": dict(self.params),
+            "seed": int(self.seed),
+            "better": self.better,
+        }
+
+
+@dataclass
+class BenchResult:
+    """One suite run: provenance header plus the metric rows."""
+
+    suite: str
+    metrics: list
+    git_rev: str = "unknown"
+    seed: int = 0
+    created_utc: str = ""
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": int(self.schema_version),
+            "suite": self.suite,
+            "git_rev": self.git_rev,
+            "created_utc": self.created_utc,
+            "seed": int(self.seed),
+            "metrics": [m.to_dict() for m in self.metrics],
+        }
+
+
+def git_revision(cwd=None) -> str:
+    """The current ``git rev-parse HEAD`` (``"unknown"`` outside a repo)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+# --------------------------------------------------------------------- #
+# schema validation / io
+# --------------------------------------------------------------------- #
+def validate_bench_doc(doc: dict) -> int:
+    """Check *doc* against the BENCH schema; returns the metric count.
+
+    Raises :class:`ValueError` naming the first violation — the gate CI
+    stage 10 runs on every emitted artifact.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("BENCH document must be a JSON object")
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    for fld in ("suite", "git_rev", "created_utc"):
+        if not isinstance(doc.get(fld), str) or not doc[fld]:
+            raise ValueError(f"{fld!r} must be a non-empty string")
+    if not isinstance(doc.get("seed"), int):
+        raise ValueError("'seed' must be an integer")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        raise ValueError("'metrics' must be a non-empty list")
+    seen = set()
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(m, dict):
+            raise ValueError(f"{where}: must be an object")
+        if not isinstance(m.get("name"), str) or not m["name"]:
+            raise ValueError(f"{where}: missing metric name")
+        v = m.get("value")
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v):
+            raise ValueError(
+                f"{where} ({m['name']}): value must be a finite number, "
+                f"got {v!r}"
+            )
+        if not isinstance(m.get("unit"), str):
+            raise ValueError(f"{where} ({m['name']}): missing unit")
+        params = m.get("params")
+        if not isinstance(params, dict):
+            raise ValueError(f"{where} ({m['name']}): params must be an object")
+        for pk, pv in params.items():
+            if not isinstance(pk, str) or not isinstance(
+                pv, (str, int, float, bool)
+            ):
+                raise ValueError(
+                    f"{where} ({m['name']}): param {pk!r} must map a string "
+                    f"to a scalar, got {pv!r}"
+                )
+        if not isinstance(m.get("seed"), int):
+            raise ValueError(f"{where} ({m['name']}): seed must be an integer")
+        if m.get("better", "lower") not in ("lower", "higher"):
+            raise ValueError(
+                f"{where} ({m['name']}): better must be 'lower' or 'higher'"
+            )
+        key = (m["name"], tuple(sorted(params.items())))
+        if key in seen:
+            raise ValueError(
+                f"{where}: duplicate metric {m['name']!r} with params {params}"
+            )
+        seen.add(key)
+    return len(metrics)
+
+
+def load_bench(path) -> dict:
+    """Read and validate a BENCH JSON file; returns the document."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read BENCH file {path}: {exc}") from exc
+    validate_bench_doc(doc)
+    return doc
+
+
+def write_bench(path, result: BenchResult) -> dict:
+    """Serialize *result* to *path* (validated first); returns the doc."""
+    doc = result.to_dict()
+    if not doc.get("created_utc"):
+        doc["created_utc"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+    if doc.get("git_rev") in ("", "unknown"):
+        doc["git_rev"] = git_revision()
+    validate_bench_doc(doc)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    return doc
+
+
+# --------------------------------------------------------------------- #
+# comparison — the regression gate
+# --------------------------------------------------------------------- #
+@dataclass
+class MetricDelta:
+    """One baseline-vs-current metric pair, judged."""
+
+    name: str
+    params: dict
+    unit: str
+    baseline: float
+    current: float
+    rel_delta: float  # signed, relative to the baseline magnitude
+    tolerance: float
+    regressed: bool
+    improved: bool
+
+
+def default_tolerance(unit: str) -> float:
+    return UNIT_TOLERANCES.get(unit, 0.0)
+
+
+def _tolerance_for(metric: dict, overrides: dict) -> float:
+    for pattern, tol in overrides.items():
+        if fnmatch.fnmatchcase(metric["name"], pattern):
+            return tol
+    return default_tolerance(metric.get("unit", ""))
+
+
+def compare_results(
+    baseline: dict, current: dict, tolerances: dict | None = None
+) -> tuple[list[MetricDelta], list[str], list[str]]:
+    """Judge *current* against *baseline* metric by metric.
+
+    *tolerances* maps ``fnmatch`` patterns on metric names to relative
+    tolerance fractions, overriding the per-unit defaults.  Returns
+    ``(deltas, only_in_baseline, only_in_current)`` — the unmatched
+    name lists are informational, not regressions (suites grow).
+    """
+    tolerances = dict(tolerances or {})
+    b_by_key = {
+        (m["name"], tuple(sorted(m["params"].items()))): m
+        for m in baseline["metrics"]
+    }
+    c_by_key = {
+        (m["name"], tuple(sorted(m["params"].items()))): m
+        for m in current["metrics"]
+    }
+    deltas: list[MetricDelta] = []
+    for key in sorted(b_by_key.keys() & c_by_key.keys()):
+        b, c = b_by_key[key], c_by_key[key]
+        bv, cv = float(b["value"]), float(c["value"])
+        denom = max(abs(bv), EXACT_EPS)
+        rel = (cv - bv) / denom
+        tol = _tolerance_for(b, tolerances)
+        worse = rel if b.get("better", "lower") == "lower" else -rel
+        deltas.append(
+            MetricDelta(
+                name=b["name"],
+                params=dict(b["params"]),
+                unit=b.get("unit", ""),
+                baseline=bv,
+                current=cv,
+                rel_delta=rel,
+                tolerance=tol,
+                regressed=worse > tol + EXACT_EPS,
+                improved=worse < -(tol + EXACT_EPS),
+            )
+        )
+    only_b = sorted(
+        f"{k[0]}{dict(k[1])}" for k in b_by_key.keys() - c_by_key.keys()
+    )
+    only_c = sorted(
+        f"{k[0]}{dict(k[1])}" for k in c_by_key.keys() - b_by_key.keys()
+    )
+    return deltas, only_b, only_c
+
+
+def format_compare(
+    deltas: list, only_baseline: list, only_current: list
+) -> str:
+    """Human-readable comparison table; regressions flagged per row."""
+    lines = [
+        f"  {'metric':<34} {'params':<28} {'baseline':>12} "
+        f"{'current':>12} {'delta':>8}  verdict"
+    ]
+    for d in deltas:
+        verdict = (
+            "REGRESSED" if d.regressed
+            else "improved" if d.improved else "ok"
+        )
+        params = ",".join(f"{k}={v}" for k, v in sorted(d.params.items()))
+        lines.append(
+            f"  {d.name:<34} {params:<28} {d.baseline:>12.6g} "
+            f"{d.current:>12.6g} {d.rel_delta:>+7.1%}  {verdict} "
+            f"(tol {d.tolerance:.0%})"
+        )
+    for name in only_baseline:
+        lines.append(f"  {name}: only in baseline (dropped?)")
+    for name in only_current:
+        lines.append(f"  {name}: only in current (new)")
+    n_reg = sum(d.regressed for d in deltas)
+    lines.append(
+        f"  {len(deltas)} compared, {n_reg} regressed, "
+        f"{sum(d.improved for d in deltas)} improved"
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# suite registry
+# --------------------------------------------------------------------- #
+_SUITES: dict[str, dict] = {}
+
+
+def register_suite(name: str, fn=None, description: str = ""):
+    """Register *fn* as suite *name* (usable as a decorator).
+
+    A suite is ``fn(seed=0) -> list[BenchMetric]``; :func:`run_suite`
+    wraps the list into a provenance-stamped :class:`BenchResult`.
+    """
+
+    def _register(fn):
+        _SUITES[name] = {
+            "fn": fn,
+            "description": description or (fn.__doc__ or "").strip()
+            .splitlines()[0] if (description or fn.__doc__) else "",
+        }
+        return fn
+
+    return _register(fn) if fn is not None else _register
+
+
+def list_suites() -> dict[str, str]:
+    """``{name: one-line description}`` of every registered suite."""
+    return {n: s["description"] for n, s in sorted(_SUITES.items())}
+
+
+def run_suite(name: str, seed: int = 0) -> BenchResult:
+    """Run registered suite *name*; returns the stamped result."""
+    if name not in _SUITES:
+        raise ValueError(
+            f"unknown bench suite {name!r}; registered: "
+            f"{sorted(_SUITES) or '(none)'}"
+        )
+    metrics = _SUITES[name]["fn"](seed=seed)
+    if not metrics:
+        raise ValueError(f"suite {name!r} produced no metrics")
+    return BenchResult(
+        suite=name,
+        metrics=list(metrics),
+        git_rev=git_revision(),
+        seed=int(seed),
+        created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    )

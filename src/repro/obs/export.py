@@ -15,6 +15,7 @@ stage 8 — it raises :class:`ValueError` on any malformed document.
 from __future__ import annotations
 
 import json
+import math
 
 from repro.obs.registry import metrics_to_json
 
@@ -97,13 +98,69 @@ def write_trace(path: str, spans, metrics: dict | None = None) -> dict:
     return doc
 
 
+def _check_number(value, where: str, what: str) -> float:
+    """Finite, non-negative number — the monotonic-clock skew guard.
+
+    A span timed against a healthy monotonic clock cannot produce a
+    negative duration, an end before its start, or a NaN; any of those
+    in a trace means the clock (or a rebasing step) lied, and the
+    document is rejected rather than rendered misleadingly.  NaN is
+    checked explicitly: ``NaN < 0`` is ``False``, so a plain sign test
+    would wave it through.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not math.isfinite(value) or value < 0:
+        raise ValueError(
+            f"{where}: {what} must be a finite non-negative number, "
+            f"got {value!r}"
+        )
+    return float(value)
+
+
+def _validate_span_dict(d: dict, where: str, depth: int = 0) -> None:
+    """Recursive checks on the structured span forest (otherData.repro)."""
+    if depth > 500:
+        raise ValueError(f"{where}: span tree deeper than 500 levels")
+    if not isinstance(d, dict):
+        raise ValueError(f"{where}: span must be an object")
+    if not isinstance(d.get("name"), str) or not d["name"]:
+        raise ValueError(f"{where}: missing span name")
+    t0 = d.get("t0", 0.0)
+    if not isinstance(t0, (int, float)) or not math.isfinite(t0):
+        raise ValueError(f"{where}: t0 must be a finite number, got {t0!r}")
+    elapsed = _check_number(d.get("elapsed", 0.0), where, "elapsed")
+    for j, ev in enumerate(d.get("events", [])):
+        ev_where = f"{where}.events[{j}]"
+        if not isinstance(ev, (list, tuple)) or len(ev) != 3:
+            raise ValueError(f"{ev_where}: event must be (name, offset, attrs)")
+        offset = _check_number(ev[1], ev_where, "offset")
+        if offset > elapsed + 1e-6:
+            raise ValueError(
+                f"{ev_where}: event offset {offset:.9f}s beyond the span's "
+                f"elapsed {elapsed:.9f}s"
+            )
+    for j, child in enumerate(d.get("children", [])):
+        child_where = f"{where}.children[{j}]"
+        _validate_span_dict(child, child_where, depth + 1)
+        ct0 = child.get("t0", 0.0)
+        if ct0 < t0 - 1e-6:
+            raise ValueError(
+                f"{child_where}: child starts {t0 - ct0:.9f}s before its "
+                f"parent (clock skew?)"
+            )
+
+
 def validate_chrome_trace(doc: dict) -> int:
     """Check *doc* against the Chrome trace-event schema.
 
     Returns the number of events; raises :class:`ValueError` with the
     first violation found.  Accepts the JSON Object format with
     complete ("X"), instant ("i") and metadata ("M") phases — the
-    subset this exporter emits plus what Perfetto tolerates.
+    subset this exporter emits plus what Perfetto tolerates.  All
+    timestamps and durations must be finite and non-negative (NaN and
+    end-before-start spans are rejected — the monotonic-clock skew
+    guard), and the structured span forest under ``otherData.repro`` is
+    validated recursively when present.
     """
     if not isinstance(doc, dict):
         raise ValueError("trace document must be a JSON object")
@@ -123,15 +180,17 @@ def validate_chrome_trace(doc: dict) -> int:
             if not isinstance(ev.get(field), int):
                 raise ValueError(f"{where}: {field} must be an int")
         if ph != "M":
-            ts = ev.get("ts")
-            if not isinstance(ts, (int, float)) or ts < 0:
-                raise ValueError(f"{where}: ts must be a non-negative number")
+            _check_number(ev.get("ts"), where, "ts")
         if ph == "X":
-            dur = ev.get("dur")
-            if not isinstance(dur, (int, float)) or dur < 0:
-                raise ValueError(f"{where}: dur must be a non-negative number")
+            _check_number(ev.get("dur"), where, "dur")
         if "args" in ev and not isinstance(ev["args"], dict):
             raise ValueError(f"{where}: args must be an object")
+    spans = doc.get("otherData", {}).get("repro", {}).get("spans")
+    if spans is not None:
+        if not isinstance(spans, list):
+            raise ValueError("otherData.repro.spans must be a list")
+        for i, root in enumerate(spans):
+            _validate_span_dict(root, f"spans[{i}]")
     return len(events)
 
 
@@ -139,14 +198,24 @@ def validate_chrome_trace(doc: dict) -> int:
 # text summary (`repro profile`, ProfileReport.summary())
 # --------------------------------------------------------------------- #
 def _aggregate(roots: list[dict]) -> dict:
-    """Fold the span forest into per-name-path totals (calls, time)."""
+    """Fold the span forest into per-name-path totals.
+
+    Each row is ``[calls, total_s, peak_bytes, alloc_delta]`` — the
+    memory columns stay at 0 unless memory instrumentation attached
+    ``peak_bytes``/``alloc_delta`` attrs to the spans (peak is a max
+    across calls; alloc_delta sums).
+    """
     agg: dict[tuple, list] = {}
 
     def walk(d: dict, path: tuple) -> None:
         path = path + (d["name"],)
-        row = agg.setdefault(path, [0, 0.0])
+        row = agg.setdefault(path, [0, 0.0, 0, 0])
         row[0] += 1
         row[1] += d["elapsed"]
+        attrs = d.get("attrs", {})
+        if "peak_bytes" in attrs:
+            row[2] = max(row[2], int(attrs["peak_bytes"]))
+            row[3] += int(attrs.get("alloc_delta", 0))
         for child in d.get("children", []):
             walk(child, path)
 
@@ -155,31 +224,53 @@ def _aggregate(roots: list[dict]) -> dict:
     return agg
 
 
+def _fmt_bytes(n: float) -> str:
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{sign}{n:.0f}{unit}"
+            return f"{sign}{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{sign}{n:.1f}GiB"
+
+
 def format_profile(spans, metrics: dict | None = None,
-                   wall_s: float | None = None) -> str:
-    """Human-readable profile: aggregated span tree + metric series."""
+                   wall_s: float | None = None,
+                   mem: bool | None = None) -> str:
+    """Human-readable profile: aggregated span tree + metric series.
+
+    *mem* adds per-path peak/allocated byte columns; ``None`` (the
+    default) auto-detects — the columns appear whenever at least one
+    span carries memory attrs, i.e. the capture ran with ``memory=True``.
+    """
     roots = _span_dicts(spans)
     lines: list[str] = []
     if wall_s is not None:
         lines.append(f"wall time: {wall_s:.3f}s")
     agg = _aggregate(roots)
+    if mem is None:
+        mem = any(row[2] or row[3] for row in agg.values())
     if agg:
         total = sum(
             row[1] for path, row in agg.items() if len(path) == 1
         ) or 1.0
         lines.append("spans (aggregated by call path):")
-        lines.append(
-            f"  {'path':<44} {'calls':>6} {'total_s':>9} {'share':>6}"
-        )
+        header = f"  {'path':<44} {'calls':>6} {'total_s':>9} {'share':>6}"
+        if mem:
+            header += f" {'peak_mem':>9} {'alloc':>9}"
+        lines.append(header)
         # plain tuple order is a pre-order walk: every path sorts right
         # after its parent prefix, keeping the indentation a real tree
         for path in sorted(agg):
-            calls, secs = agg[path]
+            calls, secs, peak, alloc = agg[path]
             name = "  " * (len(path) - 1) + path[-1]
             share = secs / total
-            lines.append(
-                f"  {name:<44} {calls:>6d} {secs:>9.3f} {share:>5.0%}"
-            )
+            line = f"  {name:<44} {calls:>6d} {secs:>9.3f} {share:>5.0%}"
+            if mem:
+                line += f" {_fmt_bytes(peak):>9} {_fmt_bytes(alloc):>9}"
+            lines.append(line)
     else:
         lines.append("spans: none recorded")
 

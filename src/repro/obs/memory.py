@@ -1,0 +1,229 @@
+"""Memory instrumentation: per-span byte accounting on the tracer.
+
+The memory dimension follows the tracer's contract exactly — one
+process-global switch, one branch per instrumented site when off, a
+shared no-op singleton instead of per-call objects:
+
+* **per-span accounting** — while the switch is on, every real
+  :class:`~repro.obs.tracer.Span` gets two attributes at exit:
+  ``peak_bytes`` (the tracemalloc high-water mark reached *inside* the
+  span, relative to the bytes live at its start) and ``alloc_delta``
+  (bytes still live at exit minus bytes live at entry — what the span
+  *retained*).  Peaks propagate upward: a child's observed peak is
+  folded into its parent's, so a parent span never reports a smaller
+  peak than any of its children even though ``tracemalloc.reset_peak``
+  is called per frame.
+
+* **allocation gauges** — the known-big allocations (the
+  ``RefinementState`` (k, n) connectivity matrix, ``HGraph`` CSR
+  arrays, the ``VectorGraph`` resource matrix) call
+  :func:`note_bytes` at construction, producing
+  ``mem.alloc_bytes{site=...}`` gauges so a profile names where the
+  bytes go without diffing tracemalloc snapshots.
+
+* **process-level gauges** — :func:`rss_bytes` / :func:`rss_peak_bytes`
+  read the OS view (``/proc`` + ``getrusage``); a memory-enabled
+  capture stamps ``mem.rss_peak_bytes`` on exit.
+
+Measurement uses :mod:`tracemalloc`, which only sees allocations made
+through the Python memory APIs — C extensions that register their
+allocators (NumPy does) are covered; raw ``malloc`` outside them is
+not.  Tracing costs real time (~2x on allocation-heavy code), which is
+why the switch is off by default and the disabled path is budgeted by
+the same 1M-op test as the tracer (``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+
+__all__ = [
+    "memory_on",
+    "enable_memory",
+    "disable_memory",
+    "memory_probe",
+    "note_bytes",
+    "rss_bytes",
+    "rss_peak_bytes",
+]
+
+_MEMORY_ON = False
+_STARTED_HERE = False  # whether *we* started tracemalloc (vs -X tracemalloc)
+_tls = threading.local()
+
+#: Set by :mod:`repro.obs.tracer` at import; the process-wide registry
+#: the allocation gauges land in (an attribute, not an import, to keep
+#: this module importable before/without the tracer).
+_registry = None
+
+
+def _stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+# --------------------------------------------------------------------- #
+# switch
+# --------------------------------------------------------------------- #
+def memory_on() -> bool:
+    return _MEMORY_ON
+
+
+def enable_memory() -> None:
+    """Turn per-span memory accounting on process-wide.
+
+    Starts :mod:`tracemalloc` if it is not already tracing (e.g. via
+    ``-X tracemalloc``); :func:`disable_memory` only stops what this
+    module started.
+    """
+    global _MEMORY_ON, _STARTED_HERE
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _STARTED_HERE = True
+    _MEMORY_ON = True
+
+
+def disable_memory() -> None:
+    global _MEMORY_ON, _STARTED_HERE
+    _MEMORY_ON = False
+    if _STARTED_HERE and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_HERE = False
+
+
+# --------------------------------------------------------------------- #
+# frames — the tracer's Span enter/exit hooks
+# --------------------------------------------------------------------- #
+def frame_enter():
+    """Open a measurement frame; returns the token ``frame_exit`` takes.
+
+    A frame is ``[bytes_live_at_start, running_peak]``; the running
+    peak starts at the live size and accumulates the observed peaks of
+    closed child frames, so per-frame ``reset_peak`` calls cannot lose
+    a parent's true high-water mark.
+    """
+    if not tracemalloc.is_tracing():  # switch raced off mid-span
+        return None
+    cur, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    frame = [cur, cur]
+    _stack().append(frame)
+    return frame
+
+
+def frame_exit(frame) -> tuple[int, int] | None:
+    """Close *frame*; returns ``(peak_bytes, alloc_delta)`` or ``None``.
+
+    ``peak_bytes`` is relative to the frame's starting live size and
+    never negative; ``alloc_delta`` is signed (a span that frees more
+    than it allocates reports a negative delta).
+    """
+    if frame is None or not tracemalloc.is_tracing():
+        return None
+    cur, peak = tracemalloc.get_traced_memory()
+    stack = _stack()
+    if stack and stack[-1] is frame:
+        stack.pop()
+    observed = max(frame[1], peak)
+    if stack:
+        parent = stack[-1]
+        parent[1] = max(parent[1], observed)
+    # a sibling span opening next must not inherit this frame's peak
+    tracemalloc.reset_peak()
+    return max(0, observed - frame[0]), cur - frame[0]
+
+
+# --------------------------------------------------------------------- #
+# standalone probe (benchmarks, ad-hoc measurement)
+# --------------------------------------------------------------------- #
+class _NullProbe:
+    """Shared do-nothing probe: the entire cost of disabled memory."""
+
+    __slots__ = ()
+    peak_bytes = 0
+    alloc_delta = 0
+
+    def __enter__(self) -> "_NullProbe":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_PROBE = _NullProbe()
+
+
+class _MemProbe:
+    """A measurement frame as a context manager (``memory_probe()``)."""
+
+    __slots__ = ("_frame", "peak_bytes", "alloc_delta")
+
+    def __enter__(self) -> "_MemProbe":
+        self.peak_bytes = 0
+        self.alloc_delta = 0
+        self._frame = frame_enter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        out = frame_exit(self._frame)
+        if out is not None:
+            self.peak_bytes, self.alloc_delta = out
+
+
+def memory_probe():
+    """A byte-measuring context manager, or the no-op singleton when off.
+
+    ``with memory_probe() as p: ...`` leaves ``p.peak_bytes`` /
+    ``p.alloc_delta`` filled in when memory instrumentation is enabled;
+    when disabled it returns one shared object and measures nothing —
+    the same zero-allocation contract as ``trace_span``.
+    """
+    if not _MEMORY_ON:
+        return _NULL_PROBE
+    return _MemProbe()
+
+
+# --------------------------------------------------------------------- #
+# allocation gauges
+# --------------------------------------------------------------------- #
+def note_bytes(site: str, nbytes, **labels) -> None:
+    """Record a known-big allocation: ``mem.alloc_bytes{site=...}``.
+
+    One branch when memory instrumentation is off.  Gauge semantics
+    (last write wins per label set): the series answers "how big is
+    this structure *now*", not "how much was ever allocated".
+    """
+    if _MEMORY_ON and _registry is not None:
+        _registry.gauge_set("mem.alloc_bytes", float(nbytes), site=site,
+                            **labels)
+
+
+# --------------------------------------------------------------------- #
+# OS view
+# --------------------------------------------------------------------- #
+def rss_bytes() -> int:
+    """Current resident set size in bytes (0 where unsupported)."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            pages = int(fh.read().split()[1])
+        import os
+
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+def rss_peak_bytes() -> int:
+    """Lifetime peak RSS in bytes (``ru_maxrss``; 0 where unsupported)."""
+    try:
+        import resource
+        import sys
+
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes
+        return maxrss if sys.platform == "darwin" else maxrss * 1024
+    except (ImportError, OSError):
+        return 0

@@ -1,0 +1,281 @@
+"""Prometheus text exposition of the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot` into
+the Prometheus text exposition format (version 0.0.4) — ``# TYPE``
+headers, escaped labels, and for histograms the cumulative ``_bucket``
+series (with the mandatory ``le="+Inf"``) plus ``_sum`` and ``_count``
+— so the serve daemon's ``/metrics?format=prometheus`` is scrapeable
+by a stock Prometheus/VictoriaMetrics/Grafana-agent install.
+
+Registry names like ``serve.latency_ms`` are sanitized to
+``serve_latency_ms`` (dots and other invalid characters become
+underscores); label names likewise.  Values render via ``repr`` (full
+float precision); non-finite values render as ``+Inf``/``-Inf``/``NaN``
+per the exposition spec.
+
+:func:`validate_prometheus_text` is the matching line-format checker
+used by tests: it parses every line, enforces the metric/label name
+grammar and label escaping, and checks histogram consistency
+(cumulative monotone buckets, ``+Inf`` bucket equal to ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["render_prometheus", "validate_prometheus_text"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_FIX = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    out = _NAME_FIX.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _label_name(name: str) -> str:
+    out = _LABEL_FIX.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    # "__"-prefixed label names are reserved for Prometheus internals
+    while out.startswith("__"):
+        out = out[1:]
+    return out or "_"
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(v: float) -> str:
+    v = float(v)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v)
+
+
+def _labels_text(items) -> str:
+    if not items:
+        return ""
+    inner = ",".join(
+        f'{_label_name(k)}="{_escape(v)}"' for k, v in items
+    )
+    return "{" + inner + "}"
+
+
+def _le_text(bound) -> str:
+    if bound == "inf" or (
+        isinstance(bound, float) and math.isinf(bound)
+    ):
+        return "+Inf"
+    return repr(float(bound))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Registry snapshot → Prometheus text exposition (0.0.4)."""
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        pname = _metric_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        for key, value in sorted(snapshot["counters"][name].items()):
+            lines.append(f"{pname}{_labels_text(key)} {_fmt_value(value)}")
+    for name in sorted(snapshot.get("gauges", {})):
+        pname = _metric_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        for key, value in sorted(snapshot["gauges"][name].items()):
+            lines.append(f"{pname}{_labels_text(key)} {_fmt_value(value)}")
+    for name in sorted(snapshot.get("histograms", {})):
+        bounds, series = snapshot["histograms"][name]
+        pname = _metric_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        for key, (counts, total, count) in sorted(series.items()):
+            cum = 0
+            for bound, c in zip(list(bounds) + ["inf"], counts):
+                cum += c
+                le_labels = _labels_text(
+                    tuple(key) + (("le", _le_text(bound)),)
+                )
+                # le is emitted through _labels_text's escaping path,
+                # but its value never needs it (pure number / +Inf)
+                lines.append(f"{pname}_bucket{le_labels} {cum}")
+            lines.append(f"{pname}_sum{_labels_text(key)} {_fmt_value(total)}")
+            lines.append(f"{pname}_count{_labels_text(key)} {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --------------------------------------------------------------------- #
+# line-format checker
+# --------------------------------------------------------------------- #
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>-?[0-9][0-9.eE+-]*|[+-]?Inf|NaN)$"
+)
+
+
+def _parse_labels(text: str, where: str) -> dict:
+    """Parse ``k="v",...`` with exposition-format escape handling."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(text)
+    while i < n:
+        j = text.find("=", i)
+        if j < 0:
+            raise ValueError(f"{where}: malformed label pair at {text[i:]!r}")
+        lname = text[i:j]
+        if not _LABEL_OK.match(lname):
+            raise ValueError(f"{where}: bad label name {lname!r}")
+        if j + 1 >= n or text[j + 1] != '"':
+            raise ValueError(f"{where}: label {lname!r} value not quoted")
+        i = j + 2
+        out = []
+        while i < n:
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ValueError(f"{where}: dangling escape")
+                nxt = text[i + 1]
+                if nxt not in ('"', "\\", "n"):
+                    raise ValueError(
+                        f"{where}: invalid escape \\{nxt} in label "
+                        f"{lname!r}"
+                    )
+                out.append({"n": "\n"}.get(nxt, nxt))
+                i += 2
+            elif ch == '"':
+                break
+            elif ch == "\n":
+                raise ValueError(f"{where}: raw newline in label value")
+            else:
+                out.append(ch)
+                i += 1
+        else:
+            raise ValueError(f"{where}: unterminated label value")
+        if lname in labels:
+            raise ValueError(f"{where}: duplicate label {lname!r}")
+        labels[lname] = "".join(out)
+        i += 1  # past closing quote
+        if i < n:
+            if text[i] != ",":
+                raise ValueError(
+                    f"{where}: expected ',' between labels, got {text[i]!r}"
+                )
+            i += 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Check *text* against the exposition line format; returns samples.
+
+    Raises :class:`ValueError` on the first violation: bad metric/label
+    names, broken escaping, a ``# TYPE`` after samples of its metric,
+    non-cumulative histogram buckets, a missing ``le="+Inf"`` bucket,
+    or an ``+Inf`` bucket disagreeing with ``_count``.
+    """
+    n_samples = 0
+    types: dict[str, str] = {}
+    seen_samples: set[str] = set()
+    # (base_name, frozen non-le labels) -> {"buckets": [(le, v)], ...}
+    hists: dict[tuple, dict] = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(f"{where}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                mname, mtype = parts[2], (
+                    parts[3] if len(parts) > 3 else ""
+                )
+                if not _NAME_OK.match(mname):
+                    raise ValueError(f"{where}: bad metric name {mname!r}")
+                if mtype not in ("counter", "gauge", "histogram",
+                                 "summary", "untyped"):
+                    raise ValueError(f"{where}: bad metric type {mtype!r}")
+                if mname in types:
+                    raise ValueError(f"{where}: duplicate TYPE for {mname}")
+                if mname in seen_samples:
+                    raise ValueError(
+                        f"{where}: TYPE for {mname} after its samples"
+                    )
+                types[mname] = mtype
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"{where}: malformed sample {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels") or "", where)
+        value = _parse_value(m.group("value"))
+        n_samples += 1
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types \
+                    and types[name[: -len(suffix)]] == "histogram":
+                base = name[: -len(suffix)]
+                break
+        seen_samples.add(base)
+        if base != name or types.get(base) == "histogram":
+            other = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            row = hists.setdefault(
+                (base, other), {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(f"{where}: _bucket without le label")
+                le = labels["le"]
+                row["buckets"].append(
+                    (math.inf if le == "+Inf" else float(le), value, where)
+                )
+            elif name.endswith("_sum"):
+                row["sum"] = value
+            elif name.endswith("_count"):
+                row["count"] = value
+
+    for (base, labels), row in hists.items():
+        tag = f"histogram {base}{dict(labels)}"
+        buckets = sorted(row["buckets"])
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ValueError(f'{tag}: missing le="+Inf" bucket')
+        last = -1.0
+        for le, v, where in buckets:
+            if v < last:
+                raise ValueError(
+                    f"{tag}: bucket counts not cumulative at le={le} "
+                    f"({where})"
+                )
+            last = v
+        if row["count"] is None or row["sum"] is None:
+            raise ValueError(f"{tag}: missing _sum or _count")
+        if buckets[-1][1] != row["count"]:
+            raise ValueError(
+                f'{tag}: le="+Inf" bucket {buckets[-1][1]} != _count '
+                f"{row['count']}"
+            )
+    return n_samples

@@ -177,7 +177,13 @@ class MetricsRegistry:
                 out["gauges"][name] = d
         b_hists = before.get("histograms", {})
         for name, (bounds, series) in after["histograms"].items():
-            _, prev = b_hists.get(name, ((), {}))
+            prev_bounds, prev = b_hists.get(name, ((), {}))
+            if prev and tuple(prev_bounds) != tuple(bounds):
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds changed between "
+                    f"snapshots ({tuple(prev_bounds)} != {tuple(bounds)}); "
+                    f"counts cannot be subtracted"
+                )
             d = {}
             for k, (counts, total, count) in series.items():
                 p = prev.get(k, [[0] * len(counts), 0.0, 0])
@@ -209,6 +215,12 @@ class MetricsRegistry:
                 my_bounds, mine = self._hists.setdefault(
                     name, (tuple(bounds), {})
                 )
+                if mine and my_bounds != tuple(bounds):
+                    raise ValueError(
+                        f"histogram {name!r}: payload bucket bounds "
+                        f"{tuple(bounds)} disagree with registry bounds "
+                        f"{my_bounds}; refusing to misalign counts"
+                    )
                 for k, (counts, total, count) in series.items():
                     row = mine.get(k)
                     if row is None:

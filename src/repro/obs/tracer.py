@@ -42,6 +42,7 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.obs import memory as _memory
 from repro.obs.registry import MetricsRegistry
 from repro.util.stopwatch import Stopwatch
 
@@ -69,6 +70,9 @@ __all__ = [
 
 #: The process-wide metrics registry every instrumented series lands in.
 REGISTRY = MetricsRegistry()
+# allocation gauges (obs.memory.note_bytes) land in the same registry;
+# an attribute hand-off rather than an import keeps the modules acyclic
+_memory._registry = REGISTRY
 
 _METRICS_ON = False
 _TRACING_ON = False
@@ -92,7 +96,7 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "children", "events",
-        "t0", "elapsed", "tid", "pid", "_sw",
+        "t0", "elapsed", "tid", "pid", "_sw", "_mem",
     )
 
     def __init__(self, name: str, attrs: dict | None = None) -> None:
@@ -105,6 +109,7 @@ class Span:
         self.tid = threading.get_ident()
         self.pid = os.getpid()
         self._sw = Stopwatch()
+        self._mem = None
 
     def set(self, **attrs) -> "Span":
         """Attach/overwrite attributes (e.g. results known only at exit)."""
@@ -116,6 +121,8 @@ class Span:
         self.events.append((name, self._sw.split(), dict(attrs) if attrs else {}))
 
     def __enter__(self) -> "Span":
+        if _memory._MEMORY_ON:
+            self._mem = _memory.frame_enter()
         self.t0 = time.perf_counter()
         self._sw.start()
         _stack().append(self)
@@ -123,6 +130,12 @@ class Span:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = self._sw.stop()
+        if self._mem is not None:
+            measured = _memory.frame_exit(self._mem)
+            self._mem = None
+            if measured is not None:
+                self.attrs["peak_bytes"] = measured[0]
+                self.attrs["alloc_delta"] = measured[1]
         stack = _stack()
         if stack and stack[-1] is self:
             stack.pop()
@@ -160,6 +173,7 @@ class Span:
         s.events = [tuple(e) for e in d.get("events", [])]
         s.children = [cls.from_dict(c, shift) for c in d.get("children", [])]
         s._sw = None
+        s._mem = None
         return s
 
 
@@ -314,14 +328,18 @@ class Capture:
 
 
 @contextmanager
-def capture(tracing: bool = True, metrics: bool = True):
+def capture(tracing: bool = True, metrics: bool = True,
+            memory: bool = False):
     """Enable instrumentation for the block; yield the :class:`Capture`.
 
     Span roots and the registry delta are filled in when the block
     exits.  Previous switch states are restored (a serve daemon that
-    enabled metrics process-wide keeps them on).  One capture at a time
-    per process: captures are global so that spans from *any* thread
-    land in the trace.
+    enabled metrics process-wide keeps them on; memory instrumentation
+    enabled beforehand via :func:`~repro.obs.memory.enable_memory`
+    likewise stays on).  With *memory* true, per-span byte accounting
+    is enabled for the block and ``mem.rss_peak_bytes`` is stamped on
+    exit.  One capture at a time per process: captures are global so
+    that spans from *any* thread land in the trace.
     """
     global _CAPTURE, _METRICS_ON, _TRACING_ON
     if _CAPTURE is not None and _CAPTURE.pid != os.getpid():
@@ -334,14 +352,23 @@ def capture(tracing: bool = True, metrics: bool = True):
         raise RuntimeError("an observability capture is already active")
     cap = Capture()
     prev = (_METRICS_ON, _TRACING_ON)
+    mem_was_on = _memory.memory_on()
     cap._before = REGISTRY.snapshot()
     cap.t0 = time.perf_counter()
     _CAPTURE = cap
     _METRICS_ON = _METRICS_ON or bool(metrics)
     _TRACING_ON = _TRACING_ON or bool(tracing)
+    if memory and not mem_was_on:
+        _memory.enable_memory()
     try:
         yield cap
     finally:
+        if _memory.memory_on():
+            REGISTRY.gauge_set(
+                "mem.rss_peak_bytes", float(_memory.rss_peak_bytes())
+            )
+        if memory and not mem_was_on:
+            _memory.disable_memory()
         _METRICS_ON, _TRACING_ON = prev
         _CAPTURE = None
         cap.wall_s = time.perf_counter() - cap.t0

@@ -38,6 +38,7 @@ from collections import deque
 import numpy as np
 
 from repro.graph.wgraph import WGraph
+from repro.obs.memory import note_bytes
 from repro.partition.metrics import (
     ConstraintSpec,
     PartitionMetrics,
@@ -228,6 +229,10 @@ class RefinementState:
         np.add.at(ncnt, (a[ev], eu), ones)
         np.add.at(ncnt, (a[eu], ev), ones)
         self.ncnt = ncnt
+
+        # the (k, n) connectivity matrices dominate refinement memory
+        note_bytes("refine_state.conn", conn.nbytes + ncnt.nbytes,
+                   engine=type(self).__name__, k=self.k, n=n)
 
         pw = np.zeros(self.k, dtype=np.float64)
         np.add.at(pw, a, g.node_weights)

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.wgraph import WGraph
+from repro.obs.memory import note_bytes
 from repro.partition.metrics import ConstraintSpec
 from repro.partition.refine_state import RefinementState
 from repro.util.errors import PartitionError
@@ -153,6 +154,8 @@ class VectorGraph:
         w = check_weight_matrix(graph, weights).copy()
         w.setflags(write=False)
         self.weights = w
+        note_bytes("vector_graph.weights", w.nbytes,
+                   n=graph.n, resources=int(w.shape[1]))
         self.names = tuple(names)
         if self.names and len(self.names) != w.shape[1]:
             raise PartitionError(

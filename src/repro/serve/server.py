@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -320,6 +321,30 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _wants_prometheus(self, query: str) -> bool:
+        """``?format=prometheus`` wins; else Accept-header negotiation.
+
+        A scraper that asks for the exposition media type (and does not
+        prefer JSON) gets the text format without needing the query
+        parameter — stock Prometheus sends exactly such an Accept line.
+        """
+        params = urllib.parse.parse_qs(query)
+        fmt = params.get("format", [""])[-1].lower()
+        if fmt:
+            return fmt == "prometheus"
+        accept = self.headers.get("Accept", "")
+        return (
+            "text/plain" in accept or "openmetrics" in accept
+        ) and "application/json" not in accept
+
     def _read_body(self):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -339,12 +364,20 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - stdlib signature
         server = self.server.repro
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             with server.metrics.track("/healthz"):
                 self._send_json(200, server.health_payload())
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             with server.metrics.track("/metrics"):
-                self._send_json(200, server.metrics_payload())
+                if self._wants_prometheus(query):
+                    self._send_text(
+                        200,
+                        _obs.render_prometheus(_obs.REGISTRY.snapshot()),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._send_json(200, server.metrics_payload())
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 

@@ -1,0 +1,234 @@
+"""Tests for the benchmark telemetry layer (``repro.obs.benchdb``).
+
+Pins the three contracts CI stage 10 leans on:
+
+* **schema** — BENCH documents validate (and malformed ones are named
+  precisely), and the write/load round trip is lossless;
+* **gate** — :func:`compare_results` trips on changes past the per-unit
+  tolerance band in the *worse* direction only, honours ``better=
+  "higher"`` metrics and per-name tolerance overrides, and treats
+  unmatched metrics as informational;
+* **registry** — suites register once, run through :func:`run_suite`
+  with provenance stamped, and unknown names fail loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.benchdb import (
+    BENCH_SCHEMA_VERSION,
+    BenchMetric,
+    BenchResult,
+    compare_results,
+    format_compare,
+    list_suites,
+    load_bench,
+    register_suite,
+    run_suite,
+    validate_bench_doc,
+    write_bench,
+)
+
+
+def _doc(metrics=None, **header):
+    base = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "t",
+        "git_rev": "deadbeef",
+        "created_utc": "2026-01-01T00:00:00Z",
+        "seed": 0,
+        "metrics": metrics if metrics is not None else [
+            {"name": "m.runtime", "value": 1.0, "unit": "s",
+             "params": {"n": 60}, "seed": 0, "better": "lower"},
+        ],
+    }
+    base.update(header)
+    return base
+
+
+def _metric(name="m.runtime", value=1.0, unit="s", params=None,
+            better="lower"):
+    return {"name": name, "value": value, "unit": unit,
+            "params": dict(params or {"n": 60}), "seed": 0,
+            "better": better}
+
+
+# --------------------------------------------------------------------- #
+# schema
+# --------------------------------------------------------------------- #
+class TestSchema:
+    def test_valid_doc_counts_metrics(self):
+        assert validate_bench_doc(_doc()) == 1
+
+    @pytest.mark.parametrize("doc, match", [
+        ("nope", "JSON object"),
+        (_doc(schema_version=99), "schema_version"),
+        (_doc(suite=""), "'suite'"),
+        (_doc(seed="0"), "'seed'"),
+        (_doc(metrics=[]), "non-empty list"),
+        (_doc(metrics=[_metric(name="")]), "metric name"),
+        (_doc(metrics=[_metric(value=float("nan"))]), "finite"),
+        (_doc(metrics=[_metric(value=float("inf"))]), "finite"),
+        (_doc(metrics=[_metric(value=True)]), "finite"),
+        (_doc(metrics=[_metric(params={"n": [1, 2]})]), "scalar"),
+        (_doc(metrics=[_metric(better="sideways")]), "better"),
+        (_doc(metrics=[_metric(), _metric()]), "duplicate"),
+    ])
+    def test_rejections(self, doc, match):
+        with pytest.raises(ValueError, match=match):
+            validate_bench_doc(doc)
+
+    def test_same_name_different_params_is_not_a_duplicate(self):
+        doc = _doc(metrics=[
+            _metric(params={"n": 60}), _metric(params={"n": 120}),
+        ])
+        assert validate_bench_doc(doc) == 2
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        result = BenchResult(
+            suite="t",
+            metrics=[BenchMetric("m.cut", 42.0, "", {"n": 60, "k": 3})],
+            seed=7,
+        )
+        written = write_bench(path, result)
+        # provenance is stamped at write time
+        assert written["created_utc"] and written["git_rev"]
+        loaded = load_bench(path)
+        assert loaded == written
+        assert loaded["metrics"][0]["value"] == 42.0
+        assert loaded["seed"] == 7
+
+    def test_load_rejects_garbage(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ValueError, match="cannot read"):
+            load_bench(p)
+        p.write_text(json.dumps({"schema_version": 1}))
+        with pytest.raises(ValueError):
+            load_bench(p)
+
+    def test_write_validates_before_touching_disk(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        bad = BenchResult(suite="t", metrics=[
+            BenchMetric("m", float("nan"), "s")
+        ])
+        with pytest.raises(ValueError, match="finite"):
+            write_bench(path, bad)
+        assert not path.exists()
+
+
+# --------------------------------------------------------------------- #
+# the regression gate
+# --------------------------------------------------------------------- #
+class TestCompare:
+    def _pair(self, base_value, cur_value, unit="s", better="lower",
+              tolerances=None, name="m.runtime"):
+        b = _doc(metrics=[_metric(name=name, value=base_value, unit=unit,
+                                  better=better)])
+        c = _doc(metrics=[_metric(name=name, value=cur_value, unit=unit,
+                                  better=better)])
+        deltas, only_b, only_c = compare_results(b, c, tolerances)
+        assert not only_b and not only_c
+        (d,) = deltas
+        return d
+
+    def test_20pct_slowdown_trips_the_15pct_band(self):
+        d = self._pair(1.0, 1.2)
+        assert d.regressed and not d.improved
+        assert d.tolerance == pytest.approx(0.15)
+        assert d.rel_delta == pytest.approx(0.2)
+
+    def test_inside_the_band_is_ok_both_ways(self):
+        assert not self._pair(1.0, 1.1).regressed
+        d = self._pair(1.0, 0.9)
+        assert not d.regressed and not d.improved
+
+    def test_speedup_past_the_band_is_an_improvement(self):
+        d = self._pair(1.0, 0.5)
+        assert d.improved and not d.regressed
+
+    def test_exact_units_trip_on_any_change(self):
+        d = self._pair(100.0, 101.0, unit="")  # cuts are exact
+        assert d.tolerance == 0.0 and d.regressed
+        assert not self._pair(100.0, 100.0, unit="").regressed
+
+    def test_better_higher_flips_the_direction(self):
+        worse = self._pair(1.0, 0.0, unit="", better="higher")
+        assert worse.regressed  # feasibility lost
+        gained = self._pair(0.0, 1.0, unit="", better="higher")
+        assert gained.improved and not gained.regressed
+
+    def test_tolerance_overrides_win_by_pattern(self):
+        # the 20% slowdown is waived by a 30% override on m.*
+        d = self._pair(1.0, 1.2, tolerances={"m.*": 0.30})
+        assert d.tolerance == pytest.approx(0.30) and not d.regressed
+        # an unrelated pattern leaves the unit default in force
+        d = self._pair(1.0, 1.2, tolerances={"other.*": 0.30})
+        assert d.regressed
+
+    def test_unmatched_metrics_are_informational(self):
+        b = _doc(metrics=[_metric(name="old.metric")])
+        c = _doc(metrics=[_metric(name="new.metric")])
+        deltas, only_b, only_c = compare_results(b, c)
+        assert not deltas
+        assert only_b == ["old.metric{'n': 60}"]
+        assert only_c == ["new.metric{'n': 60}"]
+
+    def test_params_are_part_of_metric_identity(self):
+        b = _doc(metrics=[_metric(params={"n": 60})])
+        c = _doc(metrics=[_metric(params={"n": 120})])
+        deltas, only_b, only_c = compare_results(b, c)
+        assert not deltas and len(only_b) == len(only_c) == 1
+
+    def test_format_compare_flags_regressions(self):
+        b = _doc(metrics=[_metric(value=1.0)])
+        c = _doc(metrics=[_metric(value=2.0)])
+        text = format_compare(*compare_results(b, c))
+        assert "REGRESSED" in text
+        assert "1 compared, 1 regressed" in text
+
+
+# --------------------------------------------------------------------- #
+# suite registry
+# --------------------------------------------------------------------- #
+class TestSuites:
+    def test_register_run_and_list(self):
+        name = "_test_suite_benchdb"
+        try:
+            @register_suite(name, description="throwaway")
+            def _suite(seed=0):
+                return [BenchMetric("t.m", float(seed), "", {"n": 1},
+                                    seed=seed)]
+
+            assert list_suites()[name] == "throwaway"
+            result = run_suite(name, seed=5)
+            assert result.suite == name and result.seed == 5
+            assert result.metrics[0].value == 5.0
+            assert result.created_utc  # provenance stamped
+            validate_bench_doc(result.to_dict())
+        finally:
+            from repro.obs.benchdb import _SUITES
+            _SUITES.pop(name, None)
+
+    def test_unknown_suite_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("_no_such_suite")
+
+    def test_empty_suite_is_an_error(self):
+        name = "_test_empty_suite"
+        try:
+            register_suite(name, fn=lambda seed=0: [])
+            with pytest.raises(ValueError, match="no metrics"):
+                run_suite(name)
+        finally:
+            from repro.obs.benchdb import _SUITES
+            _SUITES.pop(name, None)
+
+    def test_shipped_suites_register_on_import(self):
+        import repro.bench.suites  # noqa: F401
+
+        names = set(list_suites())
+        assert {"smoke", "x9_refine", "x11_portfolio",
+                "x13_multires", "x14_flow"} <= names

@@ -47,7 +47,7 @@ class TestParity:
     def test_parser_defines_expected_surface(self):
         assert parser_subcommands() == {
             "partition", "tables", "figures", "generate", "cache", "serve",
-            "profile",
+            "profile", "bench",
         }
 
     def test_python_m_repro_exposes_full_surface(self):

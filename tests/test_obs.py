@@ -24,6 +24,7 @@ import numpy as np
 import pytest
 
 import repro.obs as obs
+import repro.obs.memory as _memory
 from repro.core.api import partition_graph
 from repro.graph.generators import random_process_network
 from repro.obs.registry import MetricsRegistry
@@ -38,8 +39,10 @@ N_JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
 def _obs_off():
     """Every test starts and ends with instrumentation disabled."""
     obs.disable()
+    _memory.disable_memory()
     yield
     obs.disable()
+    _memory.disable_memory()
 
 
 def _metered_task(x):
@@ -99,6 +102,34 @@ class TestRegistry:
         counts = r.snapshot()["histograms"]["h"][1][()][0]
         # 1.0 -> (≤1.0], 1.0001 and 10.0 -> (1.0, 10.0], 11.0 -> +inf
         assert counts == [1, 2, 1]
+
+    def test_delta_rejects_changed_bucket_bounds(self):
+        r = MetricsRegistry()
+        r.observe("lat", 1.0, buckets=(1.0, 10.0))
+        before = r.snapshot()
+        r.reset()
+        r.observe("lat", 1.0, buckets=(2.0, 20.0))
+        with pytest.raises(ValueError, match="'lat'"):
+            r.delta(before)
+
+    def test_merge_rejects_mismatched_bucket_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 1.0, buckets=(1.0, 10.0))
+        b.observe("lat", 1.0, buckets=(2.0, 20.0))
+        with pytest.raises(ValueError, match="'lat'"):
+            a.merge(b.snapshot())
+        # the registry survives the refusal untouched
+        assert a.snapshot()["histograms"]["lat"][1][()][2] == 1
+
+    def test_merge_accepts_matching_and_fresh_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 1.0, buckets=(1.0, 10.0))
+        b.observe("lat", 5.0, buckets=(1.0, 10.0))
+        b.observe("new", 1.0, buckets=(7.0,))
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["histograms"]["lat"][1][()][2] == 2
+        assert snap["histograms"]["new"][0] == (7.0,)
 
 
 # --------------------------------------------------------------------- #
@@ -197,6 +228,52 @@ class TestExport:
                      "ts": -1.0, "dur": 0.0}
                 ]}
             )
+
+    def test_validate_rejects_clock_skew_artifacts(self):
+        """The monotonic-clock skew guard: negative durations, NaN
+        timestamps and end-before-start span trees are all rejected."""
+        def event(**kv):
+            ev = {"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                  "ts": 0.0, "dur": 1.0}
+            ev.update(kv)
+            return {"traceEvents": [ev]}
+
+        with pytest.raises(ValueError, match="dur"):
+            obs.validate_chrome_trace(event(dur=-0.5))
+        with pytest.raises(ValueError, match="dur"):
+            obs.validate_chrome_trace(event(dur=float("nan")))
+        with pytest.raises(ValueError, match="ts"):
+            obs.validate_chrome_trace(event(ts=float("nan")))
+        with pytest.raises(ValueError, match="ts"):
+            obs.validate_chrome_trace(event(ts=float("inf")))
+        with pytest.raises(ValueError, match="ts"):
+            obs.validate_chrome_trace(event(ts=True))  # bool is not a time
+
+    def test_validate_rejects_bad_span_forest(self):
+        def doc(span):
+            return {"traceEvents": [],
+                    "otherData": {"repro": {"spans": [span]}}}
+
+        with pytest.raises(ValueError, match="elapsed"):
+            obs.validate_chrome_trace(
+                doc({"name": "s", "t0": 1.0, "elapsed": -0.1})
+            )
+        with pytest.raises(ValueError, match="offset"):
+            obs.validate_chrome_trace(doc({
+                "name": "s", "t0": 1.0, "elapsed": 0.5,
+                "events": [("e", 0.9, {})],
+            }))
+        with pytest.raises(ValueError, match="before its parent"):
+            obs.validate_chrome_trace(doc({
+                "name": "s", "t0": 5.0, "elapsed": 1.0,
+                "children": [{"name": "c", "t0": 1.0, "elapsed": 0.1}],
+            }))
+        # a well-formed forest passes
+        assert obs.validate_chrome_trace(doc({
+            "name": "s", "t0": 5.0, "elapsed": 1.0,
+            "events": [("e", 0.5, {})],
+            "children": [{"name": "c", "t0": 5.2, "elapsed": 0.3}],
+        })) == 0
 
     def test_format_profile_renders_spans_and_metrics(self):
         g = random_process_network(40, 90, seed=6)
@@ -386,6 +463,204 @@ class TestServeMetrics:
                 s2.close()
         finally:
             s1.close()
+
+
+# --------------------------------------------------------------------- #
+# memory instrumentation
+# --------------------------------------------------------------------- #
+class TestMemory:
+    def test_disabled_probe_is_shared_singleton(self):
+        assert not _memory.memory_on()
+        a = _memory.memory_probe()
+        b = _memory.memory_probe()
+        assert a is b  # no allocation on the disabled path
+        with a as p:
+            pass
+        assert p.peak_bytes == 0 and p.alloc_delta == 0
+
+    def test_disabled_site_cost_is_nanoseconds(self):
+        """1M disabled memory sites (probe + gauge) inside 2 seconds —
+        the same per-site budget the tracer's disabled path carries."""
+        probe = _memory.memory_probe
+        note = _memory.note_bytes
+        start = time.perf_counter()
+        for i in range(1_000_000):
+            with probe():
+                pass
+            note("test.site", i)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, f"1M disabled memory sites took {elapsed:.2f}s"
+
+    def test_disabled_note_bytes_never_touches_registry(self):
+        before = obs.REGISTRY.snapshot()
+        _memory.note_bytes("test.site", 4096, k=4)
+        assert obs.REGISTRY.delta(before) == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_probe_measures_a_numpy_allocation(self):
+        _memory.enable_memory()
+        try:
+            with _memory.memory_probe() as p:
+                buf = np.zeros(250_000)  # ~2 MB through the traced allocator
+                del buf
+            assert p.peak_bytes >= 1_500_000
+            # the buffer was freed inside the probe: retained << peak
+            assert p.alloc_delta < p.peak_bytes
+        finally:
+            _memory.disable_memory()
+
+    def test_child_peak_propagates_to_parent(self):
+        _memory.enable_memory()
+        try:
+            with _memory.memory_probe() as outer:
+                with _memory.memory_probe() as inner:
+                    buf = np.zeros(250_000)
+                    del buf
+            assert inner.peak_bytes >= 1_500_000
+            # reset_peak per frame must not let the parent under-report
+            assert outer.peak_bytes >= inner.peak_bytes
+        finally:
+            _memory.disable_memory()
+
+    def test_sibling_does_not_inherit_peak(self):
+        _memory.enable_memory()
+        try:
+            with _memory.memory_probe() as big:
+                buf = np.zeros(250_000)
+                del buf
+            with _memory.memory_probe() as small:
+                pass
+            assert big.peak_bytes >= 1_500_000
+            assert small.peak_bytes < 100_000
+        finally:
+            _memory.disable_memory()
+
+    def test_capture_restores_memory_switch_and_stamps_rss(self):
+        assert not _memory.memory_on()
+        with obs.capture(memory=True) as cap:
+            assert _memory.memory_on()
+        assert not _memory.memory_on()
+        gauges = cap.metrics.get("gauges", {})
+        assert "mem.rss_peak_bytes" in gauges
+        (value,) = gauges["mem.rss_peak_bytes"].values()
+        assert value > 0
+
+    def test_profile_mem_is_bit_identical_and_reports_bytes(self):
+        """The acceptance path: ``profile="mem"`` changes nothing about
+        the partition but attaches per-span bytes and the connectivity-
+        matrix allocation gauge."""
+        g = random_process_network(80, 200, seed=9)
+        cons = dict(bmax=0.3 * g.total_edge_weight,
+                    rmax=1.2 * g.total_node_weight / 3)
+        plain = partition_graph(g, 3, seed=7, **cons)
+        report = partition_graph(g, 3, seed=7, profile="mem", **cons)
+        assert not _memory.memory_on()  # switch restored after the capture
+        np.testing.assert_array_equal(plain.assign, report.result.assign)
+        assert plain.metrics.cut == report.result.metrics.cut
+
+        # every span in the tree carries the byte attributes
+        def walk(d):
+            yield d
+            for c in d.get("children", []):
+                yield from walk(c)
+
+        roots = [
+            r.to_dict() if hasattr(r, "to_dict") else r for r in report.spans
+        ]
+        spans = [s for root in roots for s in walk(root)]
+        assert spans
+        assert all("peak_bytes" in s["attrs"] for s in spans)
+        assert any(s["attrs"]["peak_bytes"] > 0 for s in spans)
+        # parents never report a smaller peak than their children
+        for d in roots:
+            for parent in walk(d):
+                for child in parent.get("children", []):
+                    assert parent["attrs"]["peak_bytes"] >= \
+                        child["attrs"]["peak_bytes"]
+
+        # the RefinementState connectivity matrix gauge is present
+        gauges = report.metrics.get("gauges", {})
+        assert "mem.alloc_bytes" in gauges
+        sites = {dict(key).get("site") for key in gauges["mem.alloc_bytes"]}
+        assert "refine_state.conn" in sites
+
+        # and the text profile grows the memory columns
+        text = report.summary()
+        assert "peak_mem" in text and "alloc" in text
+
+    def test_plain_profile_has_no_memory_columns(self):
+        g = random_process_network(40, 90, seed=2)
+        report = partition_graph(g, 2, seed=0, profile=True)
+        assert "peak_mem" not in report.summary()
+
+
+# --------------------------------------------------------------------- #
+# prometheus exposition
+# --------------------------------------------------------------------- #
+class TestPrometheus:
+    def _snapshot(self):
+        r = MetricsRegistry()
+        r.inc("fm.moves", 5.0, engine="graph")
+        r.inc("fm.moves", 2.0, engine="hyper")
+        r.gauge_set("mem.alloc_bytes", 1024.0, site='a"b\\c', k=4)
+        r.observe("serve.latency_ms", 3.0, buckets=(5.0, 25.0))
+        r.observe("serve.latency_ms", 40.0, buckets=(5.0, 25.0))
+        return r.snapshot()
+
+    def test_render_validates_and_has_histogram_shape(self):
+        text = obs.render_prometheus(self._snapshot())
+        n = obs.validate_prometheus_text(text)
+        assert n == 3 + 3 + 2  # counters + buckets(2+inf) + sum/count
+        assert "# TYPE fm_moves counter" in text
+        assert 'fm_moves{engine="graph"} 5.0' in text
+        assert "# TYPE serve_latency_ms histogram" in text
+        assert 'le="+Inf"' in text
+        # escaping survives the round trip
+        assert '\\"' in text and "\\\\" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert obs.render_prometheus(MetricsRegistry().snapshot()) == ""
+        assert obs.validate_prometheus_text("") == 0
+
+    def test_validator_rejects_malformed_text(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            obs.validate_prometheus_text("9bad_name 1.0\n")
+        with pytest.raises(ValueError, match="duplicate label"):
+            obs.validate_prometheus_text('m{a="1",a="2"} 1.0\n')
+        with pytest.raises(ValueError, match="after its samples"):
+            obs.validate_prometheus_text(
+                "m 1.0\n# TYPE m counter\n"
+            )
+        bad_hist = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1.0"} 5',
+            'h_bucket{le="+Inf"} 3',  # not cumulative
+            "h_sum 1.0",
+            "h_count 3",
+            "",
+        ])
+        with pytest.raises(ValueError, match="not cumulative"):
+            obs.validate_prometheus_text(bad_hist)
+        no_inf = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1.0"} 5',
+            "h_sum 1.0",
+            "h_count 5",
+            "",
+        ])
+        with pytest.raises(ValueError, match=r'le="\+Inf"'):
+            obs.validate_prometheus_text(no_inf)
+
+    def test_registry_snapshot_always_renders_clean(self):
+        """The live registry (dotted names, numeric labels) sanitizes to
+        valid exposition text."""
+        with obs.capture() as cap:
+            g = random_process_network(40, 90, seed=2)
+            gp_partition(g, 2, ConstraintSpec(), seed=0)
+        del cap
+        text = obs.render_prometheus(obs.REGISTRY.snapshot())
+        assert obs.validate_prometheus_text(text) > 0
 
 
 # --------------------------------------------------------------------- #

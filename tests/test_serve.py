@@ -227,6 +227,45 @@ class TestServerEndToEnd:
         assert lat["count"] == sum(lat["counts"]) >= 1
         assert "/healthz" in out["requests"]
 
+    def test_metrics_prometheus_exposition(self, server):
+        import json
+        import urllib.request
+
+        import repro.obs as obs
+
+        self._client(server).health()
+        base = f"http://{server.host}:{server.port}"
+
+        # explicit format= query parameter
+        with urllib.request.urlopen(
+            base + "/metrics?format=prometheus", timeout=30
+        ) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        # the line-format gate the ISSUE pins: stock scrapers can read it
+        assert obs.validate_prometheus_text(text) > 0
+        assert "# TYPE serve_requests counter" in text
+        assert 'serve_requests{endpoint="/healthz"}' in text
+        assert "# TYPE serve_latency_ms histogram" in text
+        assert 'le="+Inf"' in text
+
+        # Accept-header negotiation reaches the same rendering ...
+        req = urllib.request.Request(
+            base + "/metrics", headers={"Accept": "text/plain"}
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            assert obs.validate_prometheus_text(
+                resp.read().decode("utf-8")
+            ) > 0
+
+        # ... while the default stays JSON
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+            assert resp.headers["Content-Type"].startswith("application/json")
+            payload = json.loads(resp.read().decode("utf-8"))
+        assert "library" in payload
+
     def test_concurrent_identical_requests_compute_once(
         self, server, monkeypatch
     ):
