@@ -82,10 +82,25 @@ def _run_uncoarsen_legacy(g, a, cap):
     return legacy_greedy_kway_refine(g, out, K, max_part_weight=cap, seed=0)
 
 
-def _timed(fn, *args):
-    start = time.perf_counter()
-    out = fn(*args)
-    return out, time.perf_counter() - start
+def _timed(fn, *args, repeats=3):
+    """Best-of-*repeats* wall clock; output kept from the first run
+    (every timed path is deterministic, so repeats return the same
+    array).  The artifact box is a busy single-core container and the
+    smallest cells are ~40 ms — min-of-N keeps scheduler/GC noise out
+    of the 15% band ``repro bench --compare`` gates on.  Array inputs
+    are re-copied per repeat: the frozen legacy reference mutates its
+    assignment argument in place."""
+    out = None
+    best = float("inf")
+    for i in range(repeats):
+        fresh = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
+        start = time.perf_counter()
+        result = fn(*fresh)
+        elapsed = time.perf_counter() - start
+        if i == 0:
+            out = result
+        best = min(best, elapsed)
+    return out, best
 
 
 def test_refine_engine_speedup(benchmark):

@@ -44,7 +44,11 @@
 # bench --suite smoke` must write a schema-valid BENCH JSON artifact,
 # comparing the run against its own artifact must pass, and comparing
 # against a copy with a +25% injected runtime regression must exit 3
-# (the gate actually trips, not just runs).
+# (the gate actually trips, not just runs);
+# stage 11 runs the million-node-scale track (`repro bench --suite
+# x15_scale`): the sparse connectivity store at k=64 — the dense/sparse
+# footprint ratio is gated (a shrinking ratio past the band exits 3),
+# exercised exactly like stage 10 with a perturbed-copy trip check.
 #
 # Usage: scripts/ci.sh [extra pytest args passed to stage 1]
 set -euo pipefail
@@ -138,5 +142,54 @@ else
 fi
 rm -f benchmarks/artifacts/BENCH_smoke_perturbed.json
 echo "regression gate trips correctly"
+
+echo "== stage 11: million-node-scale track (sparse conn engine) =="
+python -m repro bench --suite x15_scale
+python - <<'PYEOF'
+import json, sys
+
+from repro.obs.benchdb import load_bench
+
+# validate the artifact, check the footprint ratio actually reports the
+# sparse win, then derive a perturbed copy: timings 25% slower AND the
+# dense/sparse ratio 30% smaller must both trip the gate
+doc = load_bench("benchmarks/artifacts/BENCH_x15_scale.json")
+by_name = {m["name"]: m for m in doc["metrics"]}
+ratio = by_name["x15.conn_ratio"]["value"]
+if ratio < 4.0:
+    sys.exit(f"sparse store only {ratio:.1f}x below dense at k=64 "
+             "(expected well above 4x on the bounded-degree instance)")
+bad = json.loads(json.dumps(doc))
+slowed = 0
+for m in bad["metrics"]:
+    if m["unit"] == "s":
+        m["value"] *= 1.25
+        slowed += 1
+    if m["name"] == "x15.conn_ratio":
+        m["value"] *= 0.70
+if not slowed:
+    sys.exit("x15_scale suite has no timing metrics to perturb")
+with open("benchmarks/artifacts/BENCH_x15_scale_perturbed.json", "w") as fh:
+    json.dump(bad, fh)
+print(f"validated BENCH_x15_scale.json (ratio {ratio:.1f}x); "
+      f"perturbed {slowed} timing metrics + the footprint ratio")
+PYEOF
+# identical comparison must pass ...
+python -m repro bench --compare benchmarks/artifacts/BENCH_x15_scale.json \
+  --current benchmarks/artifacts/BENCH_x15_scale.json
+# ... and the injected regression must trip the gate (exit 3)
+if python -m repro bench --compare benchmarks/artifacts/BENCH_x15_scale.json \
+     --current benchmarks/artifacts/BENCH_x15_scale_perturbed.json; then
+  echo "x15 regression gate FAILED to trip on the injected regression" >&2
+  exit 1
+else
+  rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "x15 regression gate exited $rc, expected 3" >&2
+    exit 1
+  fi
+fi
+rm -f benchmarks/artifacts/BENCH_x15_scale_perturbed.json
+echo "x15 scale gate trips correctly"
 
 echo "CI OK"

@@ -9,7 +9,10 @@ Importing this module also registers the ``repro bench`` suites (see
 :mod:`repro.obs.benchdb`): ``smoke`` — the fast everything-touched run CI
 gates on — plus thin wrappers around the X9/X11/X13/X14 study workloads
 (``x9_refine``, ``x11_portfolio``, ``x13_multires``, ``x14_flow``) that
-emit the same structured BENCH metrics at benchmark-driver scale.
+emit the same structured BENCH metrics at benchmark-driver scale, and
+``x15_scale`` — the million-node-scale track (sparse connectivity store
+footprint and localized-refinement time at k=64; the full 1M-node
+acceptance driver lives in ``benchmarks/bench_scale_sparse.py``).
 """
 
 from __future__ import annotations
@@ -425,4 +428,112 @@ def _x14_suite(seed: int = 0) -> list[BenchMetric]:
                 GPConfig(max_cycles=3, restarts=3, refine=mode), seed=seed,
             ), p, seed,
         )
+    return out
+
+
+def bounded_degree_graph(n: int, strides: tuple = (7, 101)) -> WGraph:
+    """Ring + chord graph with degree ``2·(1+len(strides))`` — the
+    bounded-degree shape where the sparse connectivity store shines.
+
+    Built through ``WGraph._from_canonical`` so construction is O(m)
+    numpy; the X15 suite and the 1M-node acceptance driver
+    (``benchmarks/bench_scale_sparse.py``) both need sizes where the
+    edge-list ``__init__`` path would dominate the measurement.
+    """
+    base = np.arange(n, dtype=np.int64)
+    u = np.concatenate([base] * (1 + len(strides)))
+    v = np.concatenate([(base + 1) % n] + [(base + s) % n for s in strides])
+    eu, ev = np.minimum(u, v), np.maximum(u, v)
+    order = np.lexsort((ev, eu))
+    eu, ev = eu[order], ev[order]
+    keep = np.ones(eu.size, dtype=bool)
+    keep[1:] = (eu[1:] != eu[:-1]) | (ev[1:] != ev[:-1])
+    eu, ev = eu[keep], ev[keep]
+    return WGraph._from_canonical(
+        n, eu, ev, np.ones(eu.size), np.ones(n)
+    )
+
+
+@register_suite(
+    "x15_scale",
+    description="million-node-scale track: sparse vs dense connectivity "
+                "store footprint and localized refinement at k=64",
+)
+def _x15_suite(seed: int = 0) -> list[BenchMetric]:
+    """Sparse-engine scale telemetry on a bounded-degree 80k-node graph.
+
+    ``k·n`` sits above the auto-sparse threshold, so this measures the
+    representation large instances actually get: per-format store bytes
+    and build peaks, the dense/sparse footprint ratio (gated
+    ``better="higher"``), and constrained-FM wall clock both global and
+    localized to a just-uncontracted-style seed set.  The assignment is
+    contiguous blocks with 2% random perturbation — the post-projection
+    shape uncoarsening hands to refinement.
+    """
+    import tracemalloc
+
+    from repro.partition.kway_refine import constrained_kway_fm
+    from repro.partition.refine_state import RefinementState
+
+    n, k = 80_000, 64
+    g = bounded_degree_graph(n)
+    rng = np.random.default_rng(seed)
+    a = (np.arange(n) * k // n).astype(np.int64)
+    perturbed = rng.choice(n, size=n // 50, replace=False)
+    a[perturbed] = rng.integers(0, k, size=perturbed.size)
+    p = {"instance": "ring", "n": n, "k": k}
+
+    out: list[BenchMetric] = []
+    nbytes = {}
+    for fmt in ("dense", "sparse"):
+        tracing = tracemalloc.is_tracing()
+        if not tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        t0 = time.perf_counter()
+        st = RefinementState(g, a.copy(), k, conn_format=fmt)
+        elapsed = time.perf_counter() - t0
+        peak = tracemalloc.get_traced_memory()[1]
+        if not tracing:
+            tracemalloc.stop()
+        nbytes[fmt] = st._store.nbytes
+        pf = {**p, "format": fmt}
+        out.append(BenchMetric(
+            f"x15.state_build.{fmt}.runtime", elapsed, "s", pf, seed,
+        ))
+        out.append(BenchMetric(
+            f"x15.conn_bytes.{fmt}", float(st._store.nbytes), "bytes",
+            pf, seed,
+        ))
+        out.append(BenchMetric(
+            f"x15.state_build.{fmt}.peak_bytes", float(peak), "bytes",
+            pf, seed,
+        ))
+        del st
+    out.append(BenchMetric(
+        "x15.conn_ratio", nbytes["dense"] / nbytes["sparse"], "",
+        dict(p), seed, better="higher",
+    ))
+
+    cons = ConstraintSpec(rmax=float(np.ceil(1.03 * g.total_node_weight / k)))
+    for tag, seeds in (("local", perturbed), ("global", None)):
+        t0 = time.perf_counter()
+        res = constrained_kway_fm(
+            g, a.copy(), k, cons, max_passes=2, seed=seed, seed_nodes=seeds,
+        )
+        elapsed = time.perf_counter() - t0
+        from repro.partition.metrics import evaluate_partition
+
+        m = evaluate_partition(g, res, k, cons)
+        pf = {**p, "frontier": tag}
+        out.append(BenchMetric(
+            f"x15.fm.{tag}.runtime", elapsed, "s", pf, seed,
+        ))
+        out.append(BenchMetric(
+            f"x15.fm.{tag}.cut", float(m.cut), "", pf, seed,
+        ))
+        out.append(BenchMetric(
+            f"x15.fm.{tag}.feasible", float(m.feasible), "", pf, seed,
+            better="higher",
+        ))
     return out

@@ -159,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
              "is never worse than fm (fm+flow) — --method gp/mlkp/evolve "
              "(--model hypergraph: evolve only); see docs/refinement.md",
     )
+    p.add_argument(
+        "--conn-format",
+        default="auto",
+        choices=["auto", "dense", "sparse"],
+        help="refinement engine connectivity store: dense (k,n) matrices, "
+             "the degree-sized sparse store, or pick by instance size "
+             "(auto, default) — results are bit-identical either way; "
+             "--method gp/mlkp with --model graph, scalar --rmax; see "
+             "docs/refinement.md",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes racing the method's independent "
@@ -424,6 +434,16 @@ def _run_partition(args: argparse.Namespace) -> int:
             "--resources / a comma-separated --rmax need --model graph "
             "(vector budgets live on the 2-pin mapping graph)"
         )
+    if args.conn_format != "auto" and (
+        args.method not in ("gp", "mlkp")
+        or args.model != "graph"
+        or args.resources
+        or rmax_is_vector
+    ):
+        raise ReproError(
+            "--conn-format applies to --method gp/mlkp with --model graph "
+            "and a scalar --rmax (other engines pick their format via auto)"
+        )
     if args.resources or rmax_is_vector:
         return _cmd_partition_vector(args, rmax, evolve_cfg)
     constraints = ConstraintSpec(bmax=args.bmax, rmax=rmax)
@@ -502,6 +522,7 @@ def _run_partition(args: argparse.Namespace) -> int:
         g, args.k, bmax=args.bmax, rmax=rmax,
         method=args.method, seed=args.seed, config=evolve_cfg,
         n_jobs=args.jobs, cache=not args.no_cache, refine=args.refine,
+        conn_format=args.conn_format,
     )
     results = [result]
     if args.compare and args.method != "mlkp":

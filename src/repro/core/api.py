@@ -50,6 +50,7 @@ from repro.hypergraph.hgraph import HGraph
 from repro.hypergraph.partition import HyperConfig, hyper_partition
 from repro.kpn.traffic import ppn_to_mapped_graph
 from repro.partition.base import PartitionResult
+from repro.partition.conn_store import check_conn_format
 from repro.partition.exact import exact_partition
 from repro.partition.flow_refine import check_refine_mode
 from repro.partition.gp import GPConfig, gp_partition
@@ -128,6 +129,8 @@ _JOBS_METHODS = ("gp", "evolve")
 _VECTOR_METHODS = ("gp", "evolve")
 #: Methods with a pluggable refinement stage (refine="flow"/"fm+flow").
 _REFINE_METHODS = ("gp", "mlkp", "evolve")
+#: Methods whose engine honours an explicit conn_format override.
+_CONN_METHODS = ("gp", "mlkp")
 
 
 def _fold_refine(config, refine: str, ctor):
@@ -142,6 +145,19 @@ def _fold_refine(config, refine: str, ctor):
     if config is None:
         return ctor(refine=refine)
     return dataclasses.replace(config, refine=refine)
+
+
+def _fold_conn(config, conn_format: str, ctor):
+    """Fold the ``conn_format=`` argument into the method's config object.
+
+    Mirrors :func:`_fold_refine`: ``"auto"`` (the default) leaves the
+    config's own ``conn_format`` field standing.
+    """
+    if conn_format == "auto":
+        return config
+    if config is None:
+        return ctor(conn_format=conn_format)
+    return dataclasses.replace(config, conn_format=conn_format)
 
 
 def _rmax_is_vector(rmax) -> bool:
@@ -220,6 +236,7 @@ def partition_graph(
     resources=None,
     profile: bool | str = False,
     refine: str = "fm",
+    conn_format: str = "auto",
 ) -> PartitionResult | MultiResResult | _obs.ProfileReport:
     """Partition *g* into *k* parts under the paper's two constraints.
 
@@ -260,6 +277,15 @@ def partition_graph(
     (the single-pass methods have no refinement stage to swap).  A
     non-default *refine* overrides the config's own ``refine`` field.
 
+    *conn_format* selects the refinement engine's connectivity
+    representation (``docs/refinement.md``): ``"auto"`` — dense below
+    the ``k·n`` threshold, sparse above (default); ``"dense"`` /
+    ``"sparse"`` force a format.  The partition is bit-identical either
+    way — only memory and speed change.  Honoured by ``"gp"`` and
+    ``"mlkp"`` (scalar constraints); rejected elsewhere and on the
+    *resources* path (those engines pick their format via ``"auto"``).
+    A non-default value overrides a ``GPConfig``'s own ``conn_format``.
+
     *profile* runs the call under an observability capture
     (:func:`repro.obs.capture`) and returns a
     :class:`~repro.obs.ProfileReport` instead: the same result plus the
@@ -277,7 +303,7 @@ def partition_graph(
             result = partition_graph(
                 g, k, bmax=bmax, rmax=rmax, method=method, seed=seed,
                 config=config, n_jobs=n_jobs, cache=cache,
-                resources=resources, refine=refine,
+                resources=resources, refine=refine, conn_format=conn_format,
             )
         return _obs.ProfileReport(
             result=result,
@@ -290,6 +316,16 @@ def partition_graph(
         raise PartitionError(
             f"refine={refine!r} is only supported by methods "
             f"{_REFINE_METHODS}, got method={method!r}"
+        )
+    check_conn_format(conn_format)
+    if conn_format != "auto" and (
+        method not in _CONN_METHODS or resources is not None
+    ):
+        raise PartitionError(
+            f"conn_format={conn_format!r} is only supported by methods "
+            f"{_CONN_METHODS} with scalar constraints, got "
+            f"method={method!r}"
+            + (" with resources" if resources is not None else "")
         )
     if n_jobs not in (None, 1) and method not in _JOBS_METHODS:
         raise PartitionError(
@@ -332,12 +368,16 @@ def partition_graph(
             )
         return gp_partition(
             g, k, constraints,
-            config=_fold_refine(config, refine, GPConfig), seed=seed,
+            config=_fold_conn(
+                _fold_refine(config, refine, GPConfig), conn_format, GPConfig
+            ),
+            seed=seed,
             n_jobs=n_jobs,
         )
     if method == "mlkp":
         return mlkp_partition(
-            g, k, seed=seed, constraints=constraints, refine=refine
+            g, k, seed=seed, constraints=constraints, refine=refine,
+            conn_format=conn_format,
         )
     if method == "spectral":
         return spectral_partition(g, k, constraints=constraints)

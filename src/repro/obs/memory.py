@@ -72,15 +72,23 @@ def memory_on() -> bool:
     return _MEMORY_ON
 
 
-def enable_memory() -> None:
+def enable_memory(trace: bool = True) -> None:
     """Turn per-span memory accounting on process-wide.
 
     Starts :mod:`tracemalloc` if it is not already tracing (e.g. via
     ``-X tracemalloc``); :func:`disable_memory` only stops what this
     module started.
+
+    With ``trace=False`` only the cheap switch flips: the
+    :func:`note_bytes` allocation gauges and the RSS gauges publish,
+    but tracemalloc stays off, so spans get no ``peak_bytes``/
+    ``alloc_delta`` — and the run pays none of tracemalloc's per-
+    allocation overhead.  This is the mode behind
+    ``capture(memory="gauges")``, used by the large-scale benchmarks
+    where tracing would multiply a minutes-long run.
     """
     global _MEMORY_ON, _STARTED_HERE
-    if not tracemalloc.is_tracing():
+    if trace and not tracemalloc.is_tracing():
         tracemalloc.start()
         _STARTED_HERE = True
     _MEMORY_ON = True

@@ -329,7 +329,7 @@ class Capture:
 
 @contextmanager
 def capture(tracing: bool = True, metrics: bool = True,
-            memory: bool = False):
+            memory: bool | str = False):
     """Enable instrumentation for the block; yield the :class:`Capture`.
 
     Span roots and the registry delta are filled in when the block
@@ -338,8 +338,11 @@ def capture(tracing: bool = True, metrics: bool = True,
     enabled beforehand via :func:`~repro.obs.memory.enable_memory`
     likewise stays on).  With *memory* true, per-span byte accounting
     is enabled for the block and ``mem.rss_peak_bytes`` is stamped on
-    exit.  One capture at a time per process: captures are global so
-    that spans from *any* thread land in the trace.
+    exit; ``memory="gauges"`` publishes the allocation/RSS gauges but
+    skips tracemalloc entirely (no per-span bytes, no tracing
+    overhead — the mode for minutes-long scale benchmarks).  One
+    capture at a time per process: captures are global so that spans
+    from *any* thread land in the trace.
     """
     global _CAPTURE, _METRICS_ON, _TRACING_ON
     if _CAPTURE is not None and _CAPTURE.pid != os.getpid():
@@ -359,20 +362,27 @@ def capture(tracing: bool = True, metrics: bool = True,
     _METRICS_ON = _METRICS_ON or bool(metrics)
     _TRACING_ON = _TRACING_ON or bool(tracing)
     if memory and not mem_was_on:
-        _memory.enable_memory()
+        _memory.enable_memory(trace=memory != "gauges")
     try:
         yield cap
     finally:
+        rss = None
         if _memory.memory_on():
-            REGISTRY.gauge_set(
-                "mem.rss_peak_bytes", float(_memory.rss_peak_bytes())
-            )
+            rss = float(_memory.rss_peak_bytes())
+            REGISTRY.gauge_set("mem.rss_peak_bytes", rss)
         if memory and not mem_was_on:
             _memory.disable_memory()
         _METRICS_ON, _TRACING_ON = prev
         _CAPTURE = None
         cap.wall_s = time.perf_counter() - cap.t0
         cap.metrics = REGISTRY.delta(cap._before)
+        if rss is not None:
+            # ru_maxrss is monotonic process-wide: a re-stamp at the same
+            # value would be dropped by the delta, but the stamp belongs
+            # to this capture — every memory-enabled capture reports it
+            cap.metrics.setdefault("gauges", {}).setdefault(
+                "mem.rss_peak_bytes", {}
+            )[()] = rss
 
 
 def absorb_payload(payload: dict) -> None:

@@ -72,9 +72,8 @@ def _fm_pass(
     """
     g = st.g
     queue = BucketQueue()
-    idx = np.arange(g.n)
     flip = 1 - st.assign
-    gains = st.conn[flip, idx] - st.conn[st.assign, idx]
+    gains = st.conn_at(flip) - st.conn_at(st.assign)
     for u in range(g.n):  # ascending id = deterministic equal-gain order
         queue.push(-float(gains[u]), u)
     locked = np.zeros(g.n, dtype=bool)

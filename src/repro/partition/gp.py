@@ -29,6 +29,7 @@ import repro.obs as _obs
 from repro.graph.wgraph import WGraph
 from repro.partition.base import PartitionResult
 from repro.partition.coarsen import Hierarchy, build_hierarchy
+from repro.partition.conn_store import check_conn_format
 from repro.partition.flow_refine import check_refine_mode, run_flow_refine
 from repro.partition.goodness import goodness_key
 from repro.partition.initial import greedy_initial_partition
@@ -74,6 +75,20 @@ class GPConfig:
         replace the per-level FM (ablation mode); ``"fm+flow"`` — FM per
         level, then one guarded flow stage on the race winner, so the
         result is never worse than ``"fm"`` under the same seeds.
+    conn_format:
+        Connectivity-store layout of every refinement state this run
+        builds (:mod:`repro.partition.conn_store`): ``"dense"`` — the
+        historical ``(k, n)`` matrices; ``"sparse"`` — packed per-node
+        slices sized by degree (the million-node setting); ``"auto"``
+        (default) — sparse iff ``k·n`` crosses the module threshold.
+        Dense and sparse are bit-identical under integer-valued weights.
+    local_refine_from:
+        Localised refinement threshold: on un-coarsening levels with at
+        least this many nodes the FM frontier is seeded from the
+        recently-uncontracted nodes (those whose coarse parent merged
+        ≥2 nodes) intersected with the boundary, n-level style, instead
+        of the whole boundary.  The default sits above every pinned
+        differential corpus, so small-instance results are unchanged.
     on_infeasible:
         ``"return"`` — give back the least-violating partition with
         ``feasible=False``; ``"raise"`` — raise :class:`InfeasibleError`.
@@ -98,6 +113,8 @@ class GPConfig:
     vcycles: int = 0
     matchings: tuple[str, ...] = ("random", "hem", "kmeans")
     refine: str = "fm"
+    conn_format: str = "auto"
+    local_refine_from: int = 200_000
     on_infeasible: str = "return"
     seed: int | None = None
 
@@ -118,6 +135,9 @@ class GPConfig:
         if self.refine_passes < 1:
             raise PartitionError("refine_passes must be >= 1")
         check_refine_mode(self.refine)
+        check_conn_format(self.conn_format)
+        if self.local_refine_from < 1:
+            raise PartitionError("local_refine_from must be >= 1")
         if self.on_infeasible not in ("return", "raise"):
             raise PartitionError(
                 f"on_infeasible must be 'return' or 'raise', "
@@ -140,18 +160,30 @@ def _uncoarsen(
     At each level, ``level_candidates`` independent refinement runs produce
     different intermediate clusterings; the goodness function picks the one
     "nearest to meeting the constraints" before descending further.
+
+    Levels with at least ``config.local_refine_from`` nodes refine
+    *locally* (n-level style): the FM frontier is seeded from the nodes
+    the projection just un-contracted (coarse parents that merged ≥2
+    nodes) instead of the whole boundary — the move frontier then grows
+    outward through neighbourhoods on its own.
     """
     rng = as_rng(seed)
     assign = np.asarray(assign_coarsest, dtype=np.int64)
 
-    def refine_best(graph: WGraph, a: np.ndarray, level: int) -> np.ndarray:
+    def refine_best(
+        graph: WGraph,
+        a: np.ndarray,
+        level: int,
+        seed_nodes: np.ndarray | None = None,
+    ) -> np.ndarray:
         cand_seeds = spawn_seeds(rng, config.level_candidates)
         with _obs.trace_span(
-            "gp.refine_level", level=level, nodes=graph.n, edges=graph.m
+            "gp.refine_level", level=level, nodes=graph.n, edges=graph.m,
+            local=seed_nodes is not None,
         ) as sp:
             # one engine build per level; each candidate run works on a copy
             # and its goodness comes from the incrementally-tracked metrics
-            base = RefinementState(graph, a, k)
+            base = RefinementState(graph, a, k, conn_format=config.conn_format)
             if _obs.tracing_on():
                 sp.set(cut_before=base.metrics(constraints).cut)
             if config.refine == "flow":
@@ -169,6 +201,7 @@ def _uncoarsen(
                 cand = constrained_kway_fm(
                     graph, a, k, constraints,
                     max_passes=config.refine_passes, seed=s, state=st,
+                    seed_nodes=seed_nodes,
                 )
                 m = st.metrics(constraints)
                 key = goodness_key(m, constraints)
@@ -177,10 +210,23 @@ def _uncoarsen(
             sp.set(cut_after=best_cut)
         return best
 
+    def uncontracted_nodes(level: int) -> np.ndarray | None:
+        """Fine nodes whose coarse parent merged ≥2 nodes — the locality
+        seeds — when the fine level is big enough to bother."""
+        fine = hier.levels[level - 1].graph
+        if fine.n < config.local_refine_from:
+            return None
+        node_map = hier.levels[level].node_map
+        members = np.bincount(node_map, minlength=hier.levels[level].graph.n)
+        return np.nonzero(members[node_map] >= 2)[0]
+
     with _obs.trace_span("uncoarsen", levels=hier.depth):
         for level in range(hier.depth - 1, 0, -1):
             assign = hier.project(assign, level)
-            assign = refine_best(hier.levels[level - 1].graph, assign, level - 1)
+            assign = refine_best(
+                hier.levels[level - 1].graph, assign, level - 1,
+                seed_nodes=uncontracted_nodes(level),
+            )
         if hier.depth == 1:
             assign = refine_best(hier.levels[0].graph, assign, 0)
     return assign
@@ -223,6 +269,7 @@ def _run_gp_cycle(context, seeds) -> tuple[np.ndarray, "PartitionMetrics", int]:
                 refine_passes=config.refine_passes,
                 seed=s_vc,
                 refine="fm" if config.refine == "fm+flow" else config.refine,
+                conn_format=config.conn_format,
             )
         metrics = evaluate_partition(g, assign, k, constraints)
         sp.set(levels=hier.depth, cut=metrics.cut, feasible=metrics.feasible)
@@ -311,7 +358,7 @@ def gp_partition(
             # which cycle wins; refining the winner leaves the race
             # untouched and (with the pass's never-worse guard) makes
             # "fm+flow" ≤ "fm" in (violation, cut) under the same seeds.
-            st = RefinementState(g, best_assign, k)
+            st = RefinementState(g, best_assign, k, conn_format=config.conn_format)
             best_assign = run_flow_refine(st, constraints)
 
     metrics = evaluate_partition(g, best_assign, k, constraints)

@@ -28,7 +28,6 @@ def kl_pass(g: WGraph, assign: np.ndarray) -> tuple[np.ndarray, float]:
     st = RefinementState(g, a, 2)
     locked = np.zeros(g.n, dtype=bool)
     eu, ev, ew = g.edge_array
-    idx = np.arange(g.n)
 
     st.clear_trail()
     best_mark = st.snapshot()
@@ -38,7 +37,7 @@ def kl_pass(g: WGraph, assign: np.ndarray) -> tuple[np.ndarray, float]:
     n_pairs = min(int(st.part_size[0]), int(st.part_size[1]))
     for _ in range(n_pairs):
         # D[u] = external - internal connection cost, for all nodes at once
-        d = st.conn[1 - st.assign, idx] - st.conn[st.assign, idx]
+        d = st.conn_at(1 - st.assign) - st.conn_at(st.assign)
         side0 = np.nonzero(~locked & (st.assign == 0))[0]
         side1 = np.nonzero(~locked & (st.assign == 1))[0]
         if side0.size == 0 or side1.size == 0:

@@ -113,7 +113,7 @@ def rebalance_pass(
         """Current best eviction key of node *v*: min over feasible dests of
         ``(cut damage, -weight, node, dest)`` — exactly the scan order."""
         w_v = float(node_w[v])
-        cv = st.conn[:, v]
+        cv = st.connection_vector(v)
         best = None
         for d in range(k):
             if d == src or st.part_weight[d] + w_v > cap:
@@ -128,8 +128,8 @@ def rebalance_pass(
         vectorized sweep over the connectivity matrix."""
         members = np.nonzero(st.assign == src)[0]
         w_m = node_w[members]
-        conn_m = st.conn[:, members]
-        damage = np.ascontiguousarray(conn_m[src][:, None] - conn_m.T)
+        conn_m = st.conn_columns(members)  # (members, k)
+        damage = np.ascontiguousarray(conn_m[:, src][:, None] - conn_m)
         feasible = st.part_weight[None, :] + w_m[:, None] <= cap
         feasible[:, src] = False
         masked = np.where(feasible, damage, np.inf)
@@ -210,6 +210,7 @@ def greedy_kway_refine(
     max_passes: int = 8,
     seed=None,
     state: RefinementState | None = None,
+    seed_nodes: np.ndarray | None = None,
 ) -> np.ndarray:
     """Cut-driven greedy boundary refinement (METIS style).
 
@@ -217,15 +218,26 @@ def greedy_kway_refine(
     gain, provided the destination stays under *max_part_weight*.  Among
     equal-gain destinations the one improving balance wins.  Passes repeat
     until no move fires.
+
+    *seed_nodes* localises the pass (n-level style): only boundary nodes
+    in the given set are scanned, widened to every moved node's
+    neighbourhood as the frontier expands — O(local boundary) per pass
+    instead of O(global boundary).  ``None`` (default) scans everything.
     """
     if max_passes < 1:
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
     a = check_assignment(g, assign, k)
     st = _as_state(g, a, k, state)
     rng = as_rng(seed)
+    active = None
+    if seed_nodes is not None:
+        active = np.zeros(g.n, dtype=bool)
+        active[np.asarray(seed_nodes, dtype=np.int64)] = True
 
     for _ in range(max_passes):
         boundary = st.boundary_nodes()
+        if active is not None:
+            boundary = boundary[active[boundary]]
         if boundary.size == 0:
             break
         rng.shuffle(boundary)
@@ -235,7 +247,7 @@ def greedy_kway_refine(
             src = int(st.assign[u])
             if st.part_size[src] <= 1:
                 continue  # kmetis rule: never empty a part
-            cu = st.conn[:, u]
+            cu = st.connection_vector(u)
             w_u = float(g.node_weights[u])
             best_dest, best_gain = -1, _EPS
             for dest in np.nonzero(cu > 0)[0]:
@@ -256,6 +268,9 @@ def greedy_kway_refine(
             if best_dest >= 0:
                 st.move(u, best_dest)
                 moved += 1
+                if active is not None:
+                    # frontier growth: a move re-opens its neighbourhood
+                    active[g.neighbors(u)] = True
         if moved == 0:
             break
     st.clear_trail()
@@ -319,6 +334,7 @@ def constrained_kway_fm(
     abort_after: int | None = None,
     state: RefinementState | None = None,
     selection: str = "first",
+    seed_nodes: np.ndarray | None = None,
 ) -> np.ndarray:
     """Constraint-driven FM k-way refinement (the GP local search).
 
@@ -337,7 +353,8 @@ def constrained_kway_fm(
 
     When *state* is given the engine is reused (and left holding the
     returned assignment, so callers can read ``state.metrics()`` without a
-    from-scratch evaluation).
+    from-scratch evaluation).  *seed_nodes* localises the FM frontier —
+    see :func:`run_constrained_fm`.
     """
     if max_passes < 1:
         raise PartitionError(f"max_passes must be >= 1, got {max_passes}")
@@ -346,7 +363,7 @@ def constrained_kway_fm(
     return run_constrained_fm(
         st, g.n, g.neighbors, constraints,
         max_passes=max_passes, seed=seed, abort_after=abort_after,
-        selection=selection,
+        selection=selection, seed_nodes=seed_nodes,
     )
 
 
@@ -359,6 +376,7 @@ def run_constrained_fm(
     seed=None,
     abort_after: int | None = None,
     selection: str = "first",
+    seed_nodes: np.ndarray | None = None,
 ) -> np.ndarray:
     """The constrained-FM pass discipline, engine-agnostic.
 
@@ -390,6 +408,15 @@ def run_constrained_fm(
     rules are shared, so the two differ only in move *order*; steepest is
     meant for coarsest-level polish where the boundary is tiny (see
     ROADMAP/X13 notes on the cost-quality trade).
+
+    *seed_nodes* localises the frontier, n-level style: only boundary
+    nodes inside the given set seed the queue (overloaded nodes always
+    do — violations must be reachable), and every move re-opens its
+    neighbourhood, so the pass expands outward from the seeds instead of
+    scanning the whole boundary.  On a fine level after uncoarsening,
+    seeding from the recently-uncontracted nodes gives O(changed region)
+    passes.  ``None`` (default) keeps the historical whole-boundary
+    behaviour, bit for bit.
     """
     if selection not in ("first", "steepest"):
         raise PartitionError(
@@ -398,6 +425,10 @@ def run_constrained_fm(
     rng = as_rng(seed)
     if abort_after is None:
         abort_after = max(50, n // 10)
+    active = None
+    if seed_nodes is not None:
+        active = np.zeros(n, dtype=bool)
+        active[np.asarray(seed_nodes, dtype=np.int64)] = True
 
     # Pass statistics ship to the obs registry, labeled by engine — the
     # local accumulators keep the per-move cost at zero lock traffic
@@ -424,8 +455,11 @@ def run_constrained_fm(
             while True:
                 # fresh global scan: every unlocked boundary/overloaded
                 # node, re-gained after the previous move
+                bnd = st.boundary_nodes()
+                if active is not None:
+                    bnd = bnd[active[bnd]]
                 cand = np.union1d(
-                    st.boundary_nodes(), st.overloaded_nodes(constraints)
+                    bnd, st.overloaded_nodes(constraints)
                 ).astype(np.int64)
                 cand = cand[~locked[cand]]
                 best = None
@@ -444,6 +478,8 @@ def run_constrained_fm(
                 if dv > -_EPS and dc > _EPS and stagnant >= abort_after:
                     break
                 st.move(u, dest)
+                if active is not None:
+                    active[neighbors_of(u)] = True
                 if rec:
                     tried += 1
                     gains.append(dc)
@@ -474,6 +510,8 @@ def run_constrained_fm(
                     queue.push((dv, dc), (int(u), dest, epoch))
 
         seeds = st.boundary_nodes()
+        if active is not None:
+            seeds = seeds[active[seeds]]
         extra = st.overloaded_nodes(constraints)
         if extra.size:
             if rec:
@@ -515,6 +553,8 @@ def run_constrained_fm(
             if stagnant > abort_after:
                 break
             nbrs = neighbors_of(u)
+            if active is not None:
+                active[nbrs] = True  # later passes may re-seed from here
             push_all(nbrs[~locked[nbrs]])
 
         # FM discipline: rewind to the best prefix seen so far

@@ -37,6 +37,12 @@ __all__ = ["mlkp_partition", "recursive_bisection"]
 #: METIS's default load-imbalance tolerance for k-way (ufactor=30 -> 1.03).
 DEFAULT_BALANCE = 1.03
 
+#: Levels with at least this many nodes refine locally: the FM frontier is
+#: seeded from the just-uncontracted boundary nodes instead of the full
+#: boundary (n-level style).  Set above every pinned corpus so small runs
+#: are bit-identical to the historical global sweep.
+LOCAL_REFINE_FROM = 200_000
+
 
 def _grow_bisection(
     g: WGraph, target0: float, rng: np.random.Generator
@@ -139,6 +145,7 @@ def mlkp_partition(
     refine_passes: int = 8,
     constraints: ConstraintSpec | None = None,
     refine: str = "fm",
+    conn_format: str = "auto",
 ) -> PartitionResult:
     """Partition *g* into *k* parts, METIS style.
 
@@ -151,6 +158,10 @@ def mlkp_partition(
     un-coarsening, run under the baseline's *own* objective — a balance
     cap of ``balance · total / k`` as the resource constraint — so the
     stage polishes the cut without abandoning kmetis's balance contract.
+
+    *conn_format* selects the engine's connectivity representation
+    (``"auto"``/``"dense"``/``"sparse"``, see
+    :mod:`repro.partition.conn_store`); results are identical either way.
     """
     check_refine_mode(refine)
     if k < 1:
@@ -183,7 +194,16 @@ def mlkp_partition(
             ):
                 # one engine state per level, shared by both phases so
                 # connectivity and bandwidth are never rebuilt between them
-                state = RefinementState(level_graph, assign, k)
+                state = RefinementState(
+                    level_graph, assign, k, conn_format=conn_format
+                )
+                seed_nodes = None
+                if level_graph.n >= LOCAL_REFINE_FROM:
+                    node_map = hier.levels[level].node_map
+                    members = np.bincount(
+                        node_map, minlength=hier.levels[level].graph.n
+                    )
+                    seed_nodes = np.nonzero(members[node_map] >= 2)[0]
                 # kmetis order: restore balance first, then chase the cut
                 assign = rebalance_pass(
                     level_graph, assign, k, max_part_weight,
@@ -197,12 +217,13 @@ def mlkp_partition(
                     max_passes=refine_passes,
                     seed=refine_seeds[level - 1],
                     state=state,
+                    seed_nodes=seed_nodes,
                 )
         if hier.depth == 1:
             with _obs.trace_span(
                 "mlkp.refine_level", level=0, nodes=g.n, edges=g.m
             ):
-                state = RefinementState(g, assign, k)
+                state = RefinementState(g, assign, k, conn_format=conn_format)
                 assign = rebalance_pass(
                     g, assign, k, max_part_weight,
                     seed=refine_seeds[0], state=state,
@@ -218,7 +239,7 @@ def mlkp_partition(
             # guarded flow polish under the baseline's balance objective;
             # the pass's never-worse guard keeps (balance violation, cut)
             # from regressing, so the kmetis contract survives
-            st = RefinementState(g, assign, k)
+            st = RefinementState(g, assign, k, conn_format=conn_format)
             assign = run_flow_refine(
                 st, ConstraintSpec(rmax=float(max_part_weight))
             )

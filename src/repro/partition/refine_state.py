@@ -4,10 +4,11 @@ Every refinement pass in this package (greedy k-way boundary refinement,
 kmetis rebalancing, the paper's constrained FM, two-way FM, KL) needs the
 same four quantities kept current under single-node moves:
 
-* the per-node **part-connectivity matrix** ``conn`` of shape ``(k, n)``:
-  ``conn[c, u]`` is the summed weight of *u*'s edges into part *c* (the
-  KaHyPar-style "gain cache" — a node's cut gain to any destination is one
-  subtraction away),
+* the per-node **part-connectivity store** (``conn[c, u]`` = summed weight
+  of *u*'s edges into part *c*, plus the matching neighbour counts — the
+  KaHyPar-style "gain cache"; a node's cut gain to any destination is one
+  subtraction away), kept either as dense ``(k, n)`` matrices or as packed
+  degree-sized slices (:mod:`repro.partition.conn_store`),
 * per-part **resource weights** and node counts,
 * the pairwise **bandwidth matrix** ``bw`` (and hence the global cut), and
 * the **boundary set** — nodes with at least one neighbour in another part,
@@ -39,6 +40,7 @@ import numpy as np
 
 from repro.graph.wgraph import WGraph
 from repro.obs.memory import note_bytes
+from repro.partition.conn_store import make_conn_store
 from repro.partition.metrics import (
     ConstraintSpec,
     PartitionMetrics,
@@ -55,6 +57,12 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+#: Chunk bound for the batched (nb, k, k) bandwidth-delta tensor: batches
+#: beyond this many cells are processed in row-chunks (rows independent ⇒
+#: floats identical), capping that tensor near 32 MB instead of letting a
+#: 100k-node boundary at k=64 allocate gigabytes transiently.
+_BATCH_TENSOR_CELLS = 4_000_000
 
 
 def constrained_key(
@@ -188,6 +196,12 @@ class RefinementState:
     ----------
     g, assign, k:
         Graph, initial node→part assignment (validated, copied), part count.
+    conn_format:
+        Connectivity-store layout (:mod:`repro.partition.conn_store`):
+        ``"dense"`` — the historical ``(k, n)`` matrices; ``"sparse"`` —
+        packed per-node slices sized by degree; ``"auto"`` (default) —
+        sparse iff ``k * n`` crosses the module threshold.  Both formats
+        answer every query identically under integer-valued weights.
 
     Notes
     -----
@@ -200,8 +214,8 @@ class RefinementState:
         "g",
         "k",
         "assign",
-        "conn",
-        "ncnt",
+        "_store",
+        "_degrees",
         "part_weight",
         "part_size",
         "bw",
@@ -211,34 +225,37 @@ class RefinementState:
         "_relu_cache",
     )
 
-    def __init__(self, g: WGraph, assign: np.ndarray, k: int) -> None:
+    def __init__(
+        self,
+        g: WGraph,
+        assign: np.ndarray,
+        k: int,
+        conn_format: str = "auto",
+    ) -> None:
         self.g = g
         self.k = int(k)
         a = check_assignment(g, assign, k).copy()
         self.assign = a
         n = g.n
-        eu, ev, ew = g.edge_array
 
-        conn = np.zeros((self.k, n), dtype=np.float64)
-        np.add.at(conn, (a[ev], eu), ew)
-        np.add.at(conn, (a[eu], ev), ew)
-        self.conn = conn
+        store = make_conn_store(g, a, self.k, conn_format)
+        self._store = store
+        # degrees are invariant — cached here so the boundary scan never
+        # rebuilds them from CSR (it runs per FM frontier refresh)
+        indptr = g.csr[0]
+        self._degrees = indptr[1:] - indptr[:-1]
 
-        ncnt = np.zeros((self.k, n), dtype=np.int64)
-        ones = np.ones(len(ew), dtype=np.int64)
-        np.add.at(ncnt, (a[ev], eu), ones)
-        np.add.at(ncnt, (a[eu], ev), ones)
-        self.ncnt = ncnt
-
-        # the (k, n) connectivity matrices dominate refinement memory
-        note_bytes("refine_state.conn", conn.nbytes + ncnt.nbytes,
-                   engine=type(self).__name__, k=self.k, n=n)
+        # the connectivity store dominates refinement memory
+        note_bytes("refine_state.conn", store.nbytes,
+                   engine=type(self).__name__, k=self.k, n=n,
+                   format=store.format)
 
         pw = np.zeros(self.k, dtype=np.float64)
         np.add.at(pw, a, g.node_weights)
         self.part_weight = pw
         self.part_size = np.bincount(a, minlength=self.k)
 
+        eu, ev, ew = g.edge_array
         bw = np.zeros((self.k, self.k), dtype=np.float64)
         cu, cv = a[eu], a[ev]
         crossing = cu != cv
@@ -264,23 +281,53 @@ class RefinementState:
         epoch is still exact — nothing has moved since."""
         return self._epoch
 
+    @property
+    def conn_format(self) -> str:
+        """Layout of the connectivity store (``"dense"`` or ``"sparse"``)."""
+        return self._store.format
+
+    @property
+    def conn(self) -> np.ndarray:
+        """The ``(k, n)`` part-connectivity weight matrix.
+
+        On the dense store this is the live backing array; on the sparse
+        store it is **materialised on every access** — tests and
+        debugging only, never a hot path.
+        """
+        return self._store.dense_conn()
+
+    @property
+    def ncnt(self) -> np.ndarray:
+        """The ``(k, n)`` neighbour-count matrix (see :attr:`conn`)."""
+        return self._store.dense_counts()
+
     def connection_vector(self, u: int) -> np.ndarray:
         """Weight of *u*'s edges into each part, shape ``(k,)`` (a copy)."""
-        return self.conn[:, u].copy()
+        return self._store.col(u)
+
+    def conn_at(self, parts: np.ndarray) -> np.ndarray:
+        """``out[i] = conn[parts[i], i]`` — one weight gather per node.
+
+        The two-way engines (FM bisection, KL) build whole-graph gain
+        vectors from two of these gathers; going through the store keeps
+        them layout-agnostic.
+        """
+        return self._store.conn_at(parts)
+
+    def conn_columns(self, nodes: np.ndarray) -> np.ndarray:
+        """Connectivity columns of *nodes* as a ``(len(nodes), k)`` array."""
+        return self._store.gather_cols(nodes)
 
     def gain(self, u: int, dest: int) -> float:
         """Cut reduction if *u* moved to part *dest* (negative = worse)."""
         src = int(self.assign[u])
         if dest == src:
             return 0.0
-        return float(self.conn[dest, u] - self.conn[src, u])
+        return self._store.gain_pair(u, src, dest)
 
     def boundary_mask(self) -> np.ndarray:
         """Boolean mask of nodes with ≥1 neighbour in a different part."""
-        idx = np.arange(self.g.n)
-        deg = self.g.csr[0]
-        degrees = deg[1:] - deg[:-1]
-        return (degrees - self.ncnt[self.assign, idx]) > 0
+        return (self._degrees - self._store.same_part_counts(self.assign)) > 0
 
     def boundary_nodes(self) -> np.ndarray:
         """Sorted array of boundary-node ids (the explicit boundary set)."""
@@ -330,9 +377,9 @@ class RefinementState:
         """Sorted ids of nodes in part *a* or *b* with connectivity into
         the other — the seed set of a flow corridor."""
         assign = self.assign
-        conn = self.conn
-        mask = ((assign == a) & (conn[b] > 0.0)) | (
-            (assign == b) & (conn[a] > 0.0)
+        store = self._store
+        mask = ((assign == a) & store.touching(b)) | (
+            (assign == b) & store.touching(a)
         )
         return np.nonzero(mask)[0]
 
@@ -361,7 +408,7 @@ class RefinementState:
         if dest == src:
             return -1
         g = self.g
-        cu = self.conn[:, u].copy()
+        cu = self._store.col(u)
         bw = self.bw
         # bw row/col updates; the diagonal corrections undo the double hit
         bw[src, :] -= cu
@@ -372,10 +419,7 @@ class RefinementState:
         bw[dest, dest] -= 2.0 * cu[dest]
 
         nbrs, ws = g.neighbor_weights(u)
-        self.conn[src, nbrs] -= ws
-        self.conn[dest, nbrs] += ws
-        self.ncnt[src, nbrs] -= 1
-        self.ncnt[dest, nbrs] += 1
+        self._store.apply_move(src, dest, nbrs, ws)
 
         w_u = float(g.node_weights[u])
         self.part_weight[src] -= w_u
@@ -414,8 +458,8 @@ class RefinementState:
         out.g = self.g
         out.k = self.k
         out.assign = self.assign.copy()
-        out.conn = self.conn.copy()
-        out.ncnt = self.ncnt.copy()
+        out._store = self._store.copy()
+        out._degrees = self._degrees
         out.part_weight = self.part_weight.copy()
         out.part_size = self.part_size.copy()
         out.bw = self.bw.copy()
@@ -450,7 +494,7 @@ class RefinementState:
         keys bit for bit.
         """
         src = int(self.assign[u])
-        cu = self.conn[:, u]
+        cu = self._store.col(u)
         k = self.k
         dv = np.zeros(k, dtype=np.float64)
         rmax, bmax = constraints.rmax, constraints.bmax
@@ -494,9 +538,26 @@ class RefinementState:
         nodes = np.asarray(nodes, dtype=np.int64)
         nb = nodes.size
         k = self.k
+        # the bandwidth branch builds an (nb, k, k) tensor; rows are
+        # independent, so chunking the batch reproduces the unchunked
+        # floats exactly while bounding peak memory at scale.  The
+        # unbound call skips subclass overrides — their extra terms are
+        # added once, after this returns.
+        if nb * k * k > _BATCH_TENSOR_CELLS and np.isfinite(constraints.bmax):
+            step = max(1, _BATCH_TENSOR_CELLS // (k * k))
+            chunks = [
+                RefinementState.move_deltas_batch(
+                    self, nodes[i : i + step], constraints
+                )
+                for i in range(0, nb, step)
+            ]
+            return (
+                np.concatenate([c[0] for c in chunks]),
+                np.concatenate([c[1] for c in chunks]),
+            )
         srcs = self.assign[nodes]
         rows = np.arange(nb)
-        cu_b = self.conn.T[nodes]  # (nb, k) contiguous gather
+        cu_b = self._store.gather_cols(nodes)  # (nb, k) contiguous gather
         cu_src = cu_b[rows, srcs]
         dv = np.zeros((nb, k), dtype=np.float64)
         rmax, bmax = constraints.rmax, constraints.bmax
@@ -553,7 +614,7 @@ class RefinementState:
         part id.  Returns ``None`` when no candidate exists.
         """
         src = int(self.assign[u])
-        cu = self.conn[:, u]
+        cu = self._store.col(u)
         escape = bool(self.overloaded_mask(constraints)[src])
         dv, dc = self.move_deltas(u, constraints)
         return self._select_best(
@@ -570,7 +631,7 @@ class RefinementState:
         dv, dc = self.move_deltas_batch(nodes, constraints)
         srcs = self.assign[nodes]
         escape = self.overloaded_mask(constraints)[srcs]
-        cu_b = self.conn[:, nodes].T
+        cu_b = self._store.gather_cols(nodes)
         dv_l, dc_l, cu_l = dv.tolist(), dc.tolist(), cu_b.tolist()
         return [
             self._select_best(
@@ -586,9 +647,10 @@ class RefinementState:
         cache (its epoch would otherwise still match) and the move trail
         (rolling back across a rebuild would corrupt the fresh state).
         """
-        fresh = RefinementState(self.g, self.assign, self.k)
-        self.conn = fresh.conn
-        self.ncnt = fresh.ncnt
+        fresh = RefinementState(
+            self.g, self.assign, self.k, conn_format=self._store.format
+        )
+        self._store = fresh._store
         self.part_weight = fresh.part_weight
         self.part_size = fresh.part_size
         self.bw = fresh.bw

@@ -71,6 +71,7 @@ def vcycle_refine(
     method: str = "hem",
     seed=None,
     refine: str = "fm",
+    conn_format: str = "auto",
 ) -> np.ndarray:
     """Improve *assign* with *rounds* partition-preserving V-cycles.
 
@@ -85,6 +86,10 @@ def vcycle_refine(
     corridor flow passes; ``"fm+flow"`` runs FM per level plus a flow
     stage on the finest level — both still inside the round's goodness
     guard, so the never-worse-than-input property is unchanged.
+
+    *conn_format* selects the engine's connectivity representation per
+    level (``"auto"``/``"dense"``/``"sparse"``, see
+    :mod:`repro.partition.conn_store`); results are identical either way.
     """
     check_refine_mode(refine)
     if rounds < 0:
@@ -147,14 +152,16 @@ def vcycle_refine(
         st = None
         for level in range(len(graphs) - 1, 0, -1):
             cand = cand[maps[level - 1]]
-            st = RefinementState(graphs[level - 1], cand, k)
+            st = RefinementState(
+                graphs[level - 1], cand, k, conn_format=conn_format
+            )
             cand, st = level_refine(
                 graphs[level - 1], cand, refine_seeds[level - 1], state=st
             )
         if refine == "fm+flow":
             # flow polish on the finest level, inside the goodness guard
             if st is None:
-                st = RefinementState(g, cand, k)
+                st = RefinementState(g, cand, k, conn_format=conn_format)
             cand = run_flow_refine(st, constraints)
         metrics = (
             st.metrics(constraints)

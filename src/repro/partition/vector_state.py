@@ -210,10 +210,15 @@ class VectorRefinementState(RefinementState):
     __slots__ = ("weights", "loads", "_rmax_cache", "_bw_spec")
 
     def __init__(
-        self, g: WGraph, weights: np.ndarray, assign: np.ndarray, k: int
+        self,
+        g: WGraph,
+        weights: np.ndarray,
+        assign: np.ndarray,
+        k: int,
+        conn_format: str = "auto",
     ) -> None:
         w = check_weight_matrix(g, weights)
-        super().__init__(g, assign, k)
+        super().__init__(g, assign, k, conn_format=conn_format)
         self.weights = w
         loads = np.zeros((self.k, w.shape[1]), dtype=np.float64)
         np.add.at(loads, self.assign, w)

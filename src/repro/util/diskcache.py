@@ -25,7 +25,12 @@ Design:
   misses.
 * **LRU-ish size-bounded eviction.**  Hits touch the entry's mtime;
   when the store's total size passes *max_bytes* after a put, the
-  oldest-mtime entries are removed until it fits again.
+  oldest-mtime entries are removed until it fits again.  The total is
+  tracked as a running byte counter (seeded by one directory scan on
+  the first put, adjusted per put/unlink) so a put under budget costs
+  O(1) stats, not an O(entries) rescan; the full scan only happens when
+  the budget is actually crossed, which also re-synchronises the
+  counter against anything other processes did to the directory.
 * **Thread-safe** within a process (one lock around mutations — the
   serve daemon's request threads share one store).  Cross-*process*
   safety relies on the atomic replace plus key verification: concurrent
@@ -97,6 +102,9 @@ class DiskCache:
         self.name = name
         self._version_tag = f"repro/{__version__}/schema/{SCHEMA_VERSION}/{salt}"
         self._lock = threading.Lock()
+        # running store size in bytes; None until the first put seeds it
+        # with a directory scan (later puts adjust it incrementally)
+        self._total_bytes: int | None = None
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -127,7 +135,13 @@ class DiskCache:
                 value = doc["value"]
             except Exception:
                 # torn/corrupt/foreign entry: drop it, report a miss
-                path.unlink(missing_ok=True)
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                else:
+                    if self._total_bytes is not None:
+                        self._total_bytes -= len(blob)
                 self.misses += 1
                 _obs.cache_event(self.name, "miss")
                 return False, None
@@ -158,6 +172,15 @@ class DiskCache:
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         with self._lock:
+            if self._total_bytes is None:
+                # seed the running total once; adjusted incrementally below
+                self._total_bytes = sum(
+                    size for _, size, _ in self._entries()
+                )
+            try:
+                old_size = path.stat().st_size  # overwrite replaces this
+            except OSError:
+                old_size = 0
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 prefix=".tmp-", suffix=_SUFFIX, dir=path.parent
@@ -172,9 +195,11 @@ class DiskCache:
                 except OSError:
                     pass
                 raise
+            self._total_bytes += len(blob) - old_size
             self.puts += 1
             _obs.add("cache.puts", cache=self.name)
-            self._evict_over_budget()
+            if self._total_bytes > self.max_bytes:
+                self._evict_over_budget()
 
     # ------------------------------------------------------------------ #
     def _entries(self) -> list[tuple[float, int, Path]]:
@@ -189,20 +214,23 @@ class DiskCache:
         return out
 
     def _evict_over_budget(self) -> None:
+        # the full scan also re-seeds the running total, correcting any
+        # drift (foreign writers, failed unlinks) accumulated since the
+        # last crossing
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
-        if total <= self.max_bytes:
-            return
-        for _, size, p in sorted(entries):  # oldest mtime first
-            try:
-                p.unlink()
-            except OSError:  # pragma: no cover - defensive
-                continue
-            self.evictions += 1
-            _obs.add("cache.evictions", cache=self.name)
-            total -= size
-            if total <= self.max_bytes:
-                break
+        if total > self.max_bytes:
+            for _, size, p in sorted(entries):  # oldest mtime first
+                try:
+                    p.unlink()
+                except OSError:  # pragma: no cover - defensive
+                    continue
+                self.evictions += 1
+                _obs.add("cache.evictions", cache=self.name)
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        self._total_bytes = total
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
@@ -217,6 +245,7 @@ class DiskCache:
             self.misses = 0
             self.puts = 0
             self.evictions = 0
+            self._total_bytes = None  # re-seeded on the next put
 
     def stats(self) -> dict:
         with self._lock:
@@ -233,8 +262,20 @@ class DiskCache:
         }
 
     def __contains__(self, key) -> bool:
-        path, _ = self._locate(key)
-        return path.is_file()
+        """True iff *key* is stored with a *verified* key repr.
+
+        A pure query: unlike :meth:`lookup` it never touches the
+        hit/miss counters, the entry's mtime, or corrupt files — so
+        probing membership does not skew stats or eviction order.
+        Verification matters: a hash collision or torn write answers
+        ``False`` here exactly as it would miss in :meth:`lookup`.
+        """
+        path, key_repr = self._locate(key)
+        try:
+            doc = pickle.loads(path.read_bytes())
+            return doc["key"] == key_repr
+        except Exception:
+            return False
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,422 @@
+"""Sparse vs dense connectivity stores: differential + memory tests.
+
+The sparse store's contract is *bit-identity* with the dense one under
+integer-valued weights (the invariant every pinned corpus holds — see
+``conn_store``'s module docstring).  The tests here enforce it at every
+layer: raw store queries, move/rollback sequences through the engine,
+each refinement driver (FM first/steepest, greedy k-way, flow), the
+vector-resource engine, and the end-to-end partitioners.  The memory
+half pins the point of the exercise: the sparse footprint gauge on a
+bounded-degree graph at k=64 lands far below the dense ``16·k·n``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as _obs
+from repro.graph import random_process_network
+from repro.graph.wgraph import WGraph
+from repro.partition.conn_store import (
+    AUTO_SPARSE_CELLS,
+    DenseConnStore,
+    SparseConnStore,
+    check_conn_format,
+    make_conn_store,
+)
+from repro.partition.flow_refine import run_flow_refine
+from repro.partition.gp import GPConfig, gp_partition
+from repro.partition.kway_refine import (
+    constrained_kway_fm,
+    greedy_kway_refine,
+    run_constrained_fm,
+)
+from repro.partition.metrics import ConstraintSpec, evaluate_partition
+from repro.partition.mlkp import mlkp_partition
+from repro.partition.refine_state import RefinementState
+from repro.partition.vector_state import VectorConstraints, VectorRefinementState
+from repro.util.errors import PartitionError
+
+# (n, m, k, seed) — integer weights by construction (random_process_network)
+CORPUS = [
+    (30, 70, 4, 0),
+    (40, 90, 3, 1),
+    (60, 150, 6, 2),
+    (80, 200, 8, 3),
+]
+
+
+def _case(n, m, k, seed):
+    g = random_process_network(n, m, seed=seed)
+    a = np.random.default_rng(seed).integers(0, k, size=n).astype(np.int64)
+    return g, a
+
+
+def _ring_chord_graph(n: int, strides=(7, 101)) -> WGraph:
+    """Bounded-degree graph (ring + chords, degree ≈ ``2·(1+len(strides))``).
+
+    Built through ``_from_canonical`` so construction is O(m) numpy — the
+    memory smoke below needs hundreds of thousands of nodes.
+    """
+    base = np.arange(n, dtype=np.int64)
+    u = np.concatenate([base] * (1 + len(strides)))
+    v = np.concatenate([(base + 1) % n] + [(base + s) % n for s in strides])
+    eu, ev = np.minimum(u, v), np.maximum(u, v)
+    order = np.lexsort((ev, eu))
+    eu, ev = eu[order], ev[order]
+    keep = np.ones(eu.size, dtype=bool)
+    keep[1:] = (eu[1:] != eu[:-1]) | (ev[1:] != ev[:-1])
+    eu, ev = eu[keep], ev[keep]
+    return WGraph._from_canonical(
+        n, eu, ev, np.ones(eu.size), np.ones(n)
+    )
+
+
+def _assert_stores_equal(sd: DenseConnStore, ss: SparseConnStore, g, assign):
+    np.testing.assert_array_equal(sd.dense_conn(), ss.dense_conn())
+    np.testing.assert_array_equal(sd.dense_counts(), ss.dense_counts())
+    rng = np.random.default_rng(0)
+    nodes = rng.integers(0, g.n, size=min(10, g.n))
+    for u in nodes:
+        np.testing.assert_array_equal(sd.col(int(u)), ss.col(int(u)))
+        src = int(assign[u])
+        dest = (src + 1) % sd.k
+        assert sd.gain_pair(int(u), src, dest) == ss.gain_pair(
+            int(u), src, dest
+        )
+    parts = rng.integers(0, sd.k, size=g.n)
+    np.testing.assert_array_equal(sd.conn_at(parts), ss.conn_at(parts))
+    np.testing.assert_array_equal(
+        sd.same_part_counts(assign), ss.same_part_counts(assign)
+    )
+    np.testing.assert_array_equal(
+        sd.gather_cols(nodes), ss.gather_cols(nodes)
+    )
+    for c in range(sd.k):
+        np.testing.assert_array_equal(sd.touching(c), ss.touching(c))
+
+
+# --------------------------------------------------------------------- #
+# store-level parity
+# --------------------------------------------------------------------- #
+class TestStoreParity:
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS)
+    def test_fresh_stores_agree(self, n, m, k, seed):
+        g, a = _case(n, m, k, seed)
+        sd = make_conn_store(g, a, k, "dense")
+        ss = make_conn_store(g, a, k, "sparse")
+        assert sd.format == "dense" and ss.format == "sparse"
+        _assert_stores_equal(sd, ss, g, a)
+
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS)
+    def test_stores_agree_through_moves(self, n, m, k, seed):
+        g, a = _case(n, m, k, seed)
+        sd = make_conn_store(g, a.copy(), k, "dense")
+        ss = make_conn_store(g, a.copy(), k, "sparse")
+        assign = a.copy()
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(200):
+            u = int(rng.integers(0, n))
+            src = int(assign[u])
+            dest = int(rng.integers(0, k))
+            if dest == src:
+                continue
+            nbrs, ws = g.neighbor_weights(u)
+            sd.apply_move(src, dest, nbrs, ws)
+            ss.apply_move(src, dest, nbrs, ws)
+            assign[u] = dest
+        _assert_stores_equal(sd, ss, g, assign)
+        # capacity invariant: live entries never exceed min(deg, k)
+        cap = ss.indptr[1:] - ss.indptr[:-1]
+        assert np.all(ss.nnz <= cap)
+        assert np.all(ss.counts[np.repeat(
+            np.arange(n), ss.nnz)] >= 0)
+
+    def test_copy_is_independent(self):
+        g, a = _case(*CORPUS[0])
+        k = CORPUS[0][2]
+        ss = make_conn_store(g, a, k, "sparse")
+        clone = ss.copy()
+        nbrs, ws = g.neighbor_weights(0)
+        ss.apply_move(int(a[0]), (int(a[0]) + 1) % k, nbrs, ws)
+        sd = make_conn_store(g, a, k, "dense")
+        np.testing.assert_array_equal(clone.dense_conn(), sd.dense_conn())
+
+    def test_auto_threshold(self, monkeypatch):
+        g, a = _case(*CORPUS[0])
+        k = CORPUS[0][2]
+        assert make_conn_store(g, a, k, "auto").format == "dense"
+        monkeypatch.setattr(
+            "repro.partition.conn_store.AUTO_SPARSE_CELLS", k * g.n - 1
+        )
+        assert make_conn_store(g, a, k, "auto").format == "sparse"
+        assert AUTO_SPARSE_CELLS > 0  # module constant untouched outside
+
+    def test_check_conn_format_rejects_junk(self):
+        with pytest.raises(PartitionError, match="conn_format"):
+            check_conn_format("csr")
+
+
+# --------------------------------------------------------------------- #
+# engine-level parity (move protocol, rollback, every driver)
+# --------------------------------------------------------------------- #
+def _engine_pair(g, a, k):
+    return (
+        RefinementState(g, a.copy(), k, conn_format="dense"),
+        RefinementState(g, a.copy(), k, conn_format="sparse"),
+    )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS)
+    def test_moves_and_rollback(self, n, m, k, seed):
+        g, a = _case(n, m, k, seed)
+        st_d, st_s = _engine_pair(g, a, k)
+        assert st_d.conn_format == "dense" and st_s.conn_format == "sparse"
+        rng = np.random.default_rng(seed)
+        marks = (st_d.snapshot(), st_s.snapshot())
+        moved = 0
+        for _ in range(150):
+            u = int(rng.integers(0, n))
+            dest = int(rng.integers(0, k))
+            if dest == int(st_d.assign[u]):
+                continue
+            st_d.move(u, dest)
+            st_s.move(u, dest)
+            moved += 1
+            if moved == 60:
+                marks = (st_d.snapshot(), st_s.snapshot())
+        np.testing.assert_array_equal(st_d.conn, st_s.conn)
+        np.testing.assert_array_equal(st_d.ncnt, st_s.ncnt)
+        np.testing.assert_array_equal(
+            st_d.boundary_mask(), st_s.boundary_mask()
+        )
+        assert st_d.cut == st_s.cut
+        cons = ConstraintSpec(bmax=50.0, rmax=30.0)
+        assert st_d.key(cons) == st_s.key(cons)
+        st_d.rollback(marks[0])
+        st_s.rollback(marks[1])
+        np.testing.assert_array_equal(st_d.assign, st_s.assign)
+        np.testing.assert_array_equal(st_d.conn, st_s.conn)
+        np.testing.assert_array_equal(st_d.ncnt, st_s.ncnt)
+
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS)
+    @pytest.mark.parametrize("selection", ["first", "steepest"])
+    def test_constrained_fm_parity(self, n, m, k, seed, selection):
+        g, a = _case(n, m, k, seed)
+        cons = ConstraintSpec(
+            bmax=0.2 * g.total_edge_weight,
+            rmax=float(np.ceil(1.2 * g.total_node_weight / k)),
+        )
+        st_d, st_s = _engine_pair(g, a, k)
+        out_d = run_constrained_fm(
+            st_d, g.n, g.neighbors, cons, seed=seed, selection=selection
+        )
+        out_s = run_constrained_fm(
+            st_s, g.n, g.neighbors, cons, seed=seed, selection=selection
+        )
+        np.testing.assert_array_equal(out_d, out_s)
+        assert st_d.key(cons) == st_s.key(cons)
+
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS[:2])
+    def test_greedy_kway_parity(self, n, m, k, seed):
+        g, a = _case(n, m, k, seed)
+        cap = float(np.ceil(1.1 * g.total_node_weight / k))
+        st_d, st_s = _engine_pair(g, a, k)
+        out_d = greedy_kway_refine(
+            g, a.copy(), k, max_part_weight=cap, seed=seed, state=st_d
+        )
+        out_s = greedy_kway_refine(
+            g, a.copy(), k, max_part_weight=cap, seed=seed, state=st_s
+        )
+        np.testing.assert_array_equal(out_d, out_s)
+
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS[:2])
+    def test_flow_refine_parity(self, n, m, k, seed):
+        g, a = _case(n, m, k, seed)
+        cons = ConstraintSpec(
+            bmax=0.2 * g.total_edge_weight,
+            rmax=float(np.ceil(1.2 * g.total_node_weight / k)),
+        )
+        st_d, st_s = _engine_pair(g, a, k)
+        out_d = run_flow_refine(st_d, cons)
+        out_s = run_flow_refine(st_s, cons)
+        np.testing.assert_array_equal(out_d, out_s)
+
+    @pytest.mark.parametrize("n,m,k,seed", CORPUS[:2])
+    def test_vector_engine_parity(self, n, m, k, seed):
+        g, a = _case(n, m, k, seed)
+        rng = np.random.default_rng(seed)
+        w = rng.integers(1, 5, size=(n, 3)).astype(np.float64)
+        caps = tuple(float(np.ceil(1.3 * w[:, r].sum() / k)) for r in range(3))
+        cons = VectorConstraints(bmax=0.2 * g.total_edge_weight, rmax=caps)
+        st_d = VectorRefinementState(g, w, a.copy(), k, conn_format="dense")
+        st_s = VectorRefinementState(g, w, a.copy(), k, conn_format="sparse")
+        out_d = run_constrained_fm(st_d, g.n, g.neighbors, cons, seed=seed)
+        out_s = run_constrained_fm(st_s, g.n, g.neighbors, cons, seed=seed)
+        np.testing.assert_array_equal(out_d, out_s)
+
+    def test_recompute_preserves_format(self):
+        g, a = _case(*CORPUS[0])
+        k = CORPUS[0][2]
+        st = RefinementState(g, a, k, conn_format="sparse")
+        st.move(0, (int(a[0]) + 1) % k)
+        st.recompute()
+        assert st.conn_format == "sparse"
+
+
+# --------------------------------------------------------------------- #
+# localized refinement (seed_nodes)
+# --------------------------------------------------------------------- #
+class TestLocalizedRefinement:
+    @pytest.mark.parametrize("selection", ["first", "steepest"])
+    def test_full_seed_set_matches_global(self, selection):
+        g, a = _case(*CORPUS[1])
+        k = CORPUS[1][2]
+        cons = ConstraintSpec(
+            bmax=0.2 * g.total_edge_weight,
+            rmax=float(np.ceil(1.2 * g.total_node_weight / k)),
+        )
+        st_g = RefinementState(g, a.copy(), k)
+        st_l = RefinementState(g, a.copy(), k)
+        out_g = run_constrained_fm(
+            st_g, g.n, g.neighbors, cons, seed=7, selection=selection
+        )
+        out_l = run_constrained_fm(
+            st_l, g.n, g.neighbors, cons, seed=7, selection=selection,
+            seed_nodes=np.arange(g.n),
+        )
+        np.testing.assert_array_equal(out_g, out_l)
+
+    def test_partial_seed_set_never_worse(self):
+        g, a = _case(*CORPUS[2])
+        k = CORPUS[2][2]
+        cons = ConstraintSpec(
+            bmax=0.2 * g.total_edge_weight,
+            rmax=float(np.ceil(1.2 * g.total_node_weight / k)),
+        )
+        before = evaluate_partition(g, a, k, cons)
+        rng = np.random.default_rng(1)
+        seeds = rng.choice(g.n, size=g.n // 4, replace=False)
+        out = constrained_kway_fm(g, a, k, cons, seed=3, seed_nodes=seeds)
+        after = evaluate_partition(g, out, k, cons)
+        assert (after.total_violation, after.cut) <= (
+            before.total_violation, before.cut,
+        )
+
+    def test_empty_seed_set_still_fixes_violations(self):
+        # overloaded nodes always seed, even with an empty locality set
+        g, a = _case(*CORPUS[0])
+        k = CORPUS[0][2]
+        a = np.zeros(g.n, dtype=np.int64)  # everything violates rmax
+        cons = ConstraintSpec(
+            rmax=float(np.ceil(1.5 * g.total_node_weight / k))
+        )
+        out = constrained_kway_fm(
+            g, a, k, cons, seed=0,
+            seed_nodes=np.empty(0, dtype=np.int64),
+        )
+        after = evaluate_partition(g, out, k, cons)
+        before = evaluate_partition(g, a, k, cons)
+        assert after.total_violation < before.total_violation
+
+
+# --------------------------------------------------------------------- #
+# end-to-end parity + knob honesty
+# --------------------------------------------------------------------- #
+class TestEndToEnd:
+    def test_gp_sparse_equals_dense(self):
+        g = random_process_network(50, 120, seed=4)
+        cons = ConstraintSpec(
+            bmax=0.3 * g.total_edge_weight,
+            rmax=float(np.ceil(1.3 * g.total_node_weight / 4)),
+        )
+        outs = {
+            fmt: gp_partition(
+                g, 4, cons, config=GPConfig(max_cycles=2, conn_format=fmt),
+                seed=0,
+            )
+            for fmt in ("dense", "sparse")
+        }
+        np.testing.assert_array_equal(
+            outs["dense"].assign, outs["sparse"].assign
+        )
+
+    def test_mlkp_sparse_equals_dense(self):
+        g = random_process_network(60, 140, seed=5)
+        outs = {
+            fmt: mlkp_partition(g, 4, seed=0, conn_format=fmt)
+            for fmt in ("dense", "sparse")
+        }
+        np.testing.assert_array_equal(
+            outs["dense"].assign, outs["sparse"].assign
+        )
+
+    def test_partition_graph_knob(self):
+        from repro.core.api import partition_graph
+
+        g = random_process_network(40, 90, seed=6)
+        r_d = partition_graph(g, 3, seed=0, conn_format="dense")
+        r_s = partition_graph(g, 3, seed=0, conn_format="sparse")
+        np.testing.assert_array_equal(r_d.assign, r_s.assign)
+
+    def test_partition_graph_rejects_unsupported(self):
+        from repro.core.api import partition_graph
+
+        g = random_process_network(20, 40, seed=7)
+        with pytest.raises(PartitionError, match="conn_format"):
+            partition_graph(g, 2, method="spectral", conn_format="sparse")
+        with pytest.raises(PartitionError, match="conn_format"):
+            partition_graph(
+                g, 2, conn_format="sparse",
+                resources=np.ones((20, 2)), rmax=(15.0, 15.0),
+            )
+        with pytest.raises(PartitionError, match="conn_format"):
+            partition_graph(g, 2, conn_format="blocked")
+
+    def test_gpconfig_validates(self):
+        with pytest.raises(PartitionError, match="conn_format"):
+            GPConfig(conn_format="csr")
+        with pytest.raises(PartitionError, match="local_refine_from"):
+            GPConfig(local_refine_from=0)
+
+
+# --------------------------------------------------------------------- #
+# memory
+# --------------------------------------------------------------------- #
+def _conn_gauges(cap):
+    gauges = cap.metrics.get("gauges", {}).get("mem.alloc_bytes", {})
+    return {
+        dict(key).get("format"): value
+        for key, value in gauges.items()
+        if dict(key).get("site") == "refine_state.conn"
+    }
+
+
+class TestMemory:
+    def test_gauge_reports_store_footprint(self):
+        g = _ring_chord_graph(2000)
+        a = np.random.default_rng(0).integers(0, 8, size=g.n)
+        with _obs.capture(memory=True) as cap:
+            st = RefinementState(g, a, 8, conn_format="sparse")
+        by_format = _conn_gauges(cap)
+        assert by_format["sparse"] == st._store.nbytes
+        assert st._store.nbytes < 16 * 8 * g.n  # below the dense figure
+
+    @pytest.mark.slow
+    def test_sparse_footprint_200k_k64(self):
+        n, k = 200_000, 64
+        g = _ring_chord_graph(n)
+        a = np.random.default_rng(0).integers(0, k, size=n)
+        with _obs.capture(memory=True) as cap:
+            st_s = RefinementState(g, a, k, conn_format="sparse")
+            st_d = RefinementState(g, a, k, conn_format="dense")
+        by_format = _conn_gauges(cap)
+        assert by_format["dense"] == 16 * k * n
+        assert by_format["sparse"] < 0.25 * by_format["dense"]
+        # auto picks sparse up here (k·n = 12.8M cells > threshold) ...
+        assert k * n > AUTO_SPARSE_CELLS
+        # ... and both formats agree on the queries that drive refinement
+        np.testing.assert_array_equal(
+            st_d.boundary_mask(), st_s.boundary_mask()
+        )
+        assert st_d.cut == st_s.cut

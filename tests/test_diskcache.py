@@ -108,6 +108,73 @@ class TestDiskCache:
         with pytest.raises(ReproError):
             DiskCache(tmp_path, max_bytes=0)
 
+    def test_contains_verifies_stored_key(self, tmp_path):
+        """``in`` answers from the stored key repr, not mere file
+        existence — a colliding/tampered entry is not a member."""
+        d = DiskCache(tmp_path)
+        d.put("k", 42)
+        assert "k" in d
+        path, _ = d._locate("k")
+        path.write_bytes(pickle.dumps({"key": repr("other"), "value": 99}))
+        assert "k" not in d  # file exists, key repr disagrees
+        path.write_bytes(b"\x00torn")
+        assert "k" not in d  # corrupt file, still just False
+
+    def test_contains_is_a_pure_query(self, tmp_path):
+        """Membership probes leave hit/miss counters and corrupt files
+        untouched (diagnosis is ``lookup``'s job)."""
+        d = DiskCache(tmp_path)
+        d.put("k", 1)
+        path, _ = d._locate("k")
+        path.write_bytes(b"\x00torn")
+        before = (d.hits, d.misses)
+        assert "k" not in d
+        assert "absent" not in d
+        assert (d.hits, d.misses) == before
+        assert path.is_file()  # __contains__ never unlinks
+
+    def test_running_total_tracks_stats(self, tmp_path):
+        """The incremental byte counter matches a full directory scan
+        through puts, overwrites and corrupt-entry cleanup."""
+        d = DiskCache(tmp_path)
+        for i in range(6):
+            d.put(("k", i), np.zeros(16 + i))
+        d.put(("k", 0), np.zeros(64))  # overwrite with a bigger blob
+        assert d._total_bytes == d.stats()["bytes"]
+        path, _ = d._locate(("k", 3))
+        orig_size = path.stat().st_size
+        torn = b"\x00torn"
+        path.write_bytes(torn)  # external tamper = counter drift, by design
+        before = d._total_bytes
+        d.lookup(("k", 3))  # corrupt entry unlinked, observed size subtracted
+        assert d._total_bytes == before - len(torn)
+        # what remains unaccounted is exactly the externally-injected drift
+        assert d._total_bytes - d.stats()["bytes"] == orig_size - len(torn)
+
+    def test_put_under_budget_skips_the_scan(self, tmp_path, monkeypatch):
+        """Under budget, a put must not rescan the store (the O(store)
+        rescan per put is the bug this guards against); over budget the
+        scan runs and corrects any counter drift."""
+        d = DiskCache(tmp_path, max_bytes=1 << 20)
+        d.put("seed", 0)  # seeds the running total
+        calls = {"n": 0}
+        real = d._entries
+
+        def counting():
+            calls["n"] += 1
+            return real()
+
+        monkeypatch.setattr(d, "_entries", counting)
+        for i in range(10):
+            d.put(("k", i), np.zeros(8))
+        assert calls["n"] == 0
+        # drift injected behind the counter's back is corrected by the
+        # eviction scan once the (tiny) budget is crossed
+        d2 = DiskCache(tmp_path, max_bytes=1)
+        d2.put("x", np.zeros(8))
+        assert d2._total_bytes == d2.stats()["bytes"]
+        assert d2.stats()["bytes"] <= 1 or d2.stats()["entries"] <= 1
+
 
 class _DictBackend:
     """Minimal in-memory stand-in honouring the backend protocol."""

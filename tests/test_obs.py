@@ -498,6 +498,24 @@ class TestMemory:
             "counters": {}, "gauges": {}, "histograms": {}
         }
 
+    def test_gauges_only_mode_skips_tracemalloc(self):
+        """``capture(memory="gauges")`` publishes allocation/RSS gauges
+        without starting tracemalloc (the scale-benchmark mode)."""
+        import tracemalloc
+
+        assert not _memory.memory_on()
+        with obs.capture(memory="gauges") as cap:
+            assert _memory.memory_on()
+            assert not tracemalloc.is_tracing()
+            _memory.note_bytes("test.gauges_only", 4096, k=4)
+            # spans carry no byte attrs: frames never open without tracing
+            assert _memory.frame_enter() is None
+        assert not _memory.memory_on()
+        gauges = cap.metrics["gauges"]
+        key = (("k", 4), ("site", "test.gauges_only"))
+        assert gauges["mem.alloc_bytes"][key] == 4096.0
+        assert gauges["mem.rss_peak_bytes"]  # stamped on exit as usual
+
     def test_probe_measures_a_numpy_allocation(self):
         _memory.enable_memory()
         try:
